@@ -1,0 +1,403 @@
+(* The paper's evaluation harness: regenerates every table and figure of
+   "The Design of a High-Performance File Server" (ICDCS 1989), plus the
+   ablations DESIGN.md calls out and Bechamel microbenchmarks of the real
+   code.
+
+   Usage:  dune exec bench/main.exe            (everything)
+           dune exec bench/main.exe -- fig2 compare micro   (a subset) *)
+
+module E = Experiments
+
+let ms us = float_of_int us /. 1000.
+
+let line () = print_endline (String.make 72 '-')
+
+let header title =
+  print_newline ();
+  line ();
+  Printf.printf "%s\n" title;
+  line ()
+
+let size_label n = Workload.Sizes.describe n
+
+(* ---- Fig. 2: the Bullet server ---- *)
+
+let fig2 () =
+  header "FIG2 - Bullet file server: READ and CREATE+DELETE (paper Fig. 2)";
+  let rows = E.fig2_bullet () in
+  Printf.printf "(a) Delay (msec)\n";
+  Printf.printf "  %-10s %12s %12s\n" "File Size" "READ" "CREATE+DEL";
+  List.iter
+    (fun (r : E.row) ->
+      Printf.printf "  %-10s %12.2f %12.2f\n" (size_label r.E.size) (ms r.E.read_us) (ms r.E.write_us))
+    rows;
+  Printf.printf "\n(b) Bandwidth (Kbytes/sec)\n";
+  Printf.printf "  %-10s %12s %12s\n" "File Size" "READ" "CREATE+DEL";
+  List.iter
+    (fun (r : E.row) ->
+      Printf.printf "  %-10s %12.1f %12.1f\n" (size_label r.E.size)
+        (E.bandwidth_kbs ~size:r.E.size ~us:r.E.read_us)
+        (E.bandwidth_kbs ~size:r.E.size ~us:r.E.write_us))
+    rows
+
+(* ---- Fig. 3: SUN NFS ---- *)
+
+let fig3 () =
+  header "FIG3 - SUN NFS baseline: READ and CREATE (paper Fig. 3)";
+  let rows = E.fig3_nfs () in
+  Printf.printf "(a) Delay (msec)\n";
+  Printf.printf "  %-10s %12s %12s\n" "File Size" "READ" "CREATE";
+  List.iter
+    (fun (r : E.row) ->
+      Printf.printf "  %-10s %12.2f %12.2f\n" (size_label r.E.size) (ms r.E.read_us) (ms r.E.write_us))
+    rows;
+  Printf.printf "\n(b) Bandwidth (Kbytes/sec)\n";
+  Printf.printf "  %-10s %12s %12s\n" "File Size" "READ" "CREATE";
+  List.iter
+    (fun (r : E.row) ->
+      Printf.printf "  %-10s %12.1f %12.1f\n" (size_label r.E.size)
+        (E.bandwidth_kbs ~size:r.E.size ~us:r.E.read_us)
+        (E.bandwidth_kbs ~size:r.E.size ~us:r.E.write_us))
+    rows
+
+(* ---- the §4 comparison claims ---- *)
+
+let verdict ok = if ok then "holds" else "FAILS"
+
+let compare_cmd () =
+  header "CMP - Bullet vs NFS: the paper's Section 4 claims";
+  let rows = E.compare_servers () in
+  Printf.printf "  %-10s %14s %18s %16s %14s\n" "File Size" "read ratio" "bullet write KB/s"
+    "nfs write KB/s" "nfs read KB/s";
+  List.iter
+    (fun c ->
+      Printf.printf "  %-10s %14.2f %18.1f %16.1f %14.1f\n" (size_label c.E.size) c.E.read_ratio
+        c.E.bullet_write_kbs c.E.nfs_write_kbs c.E.nfs_read_kbs)
+    rows;
+  print_newline ();
+  let at size = List.find (fun c -> c.E.size = size) rows in
+  let c1 = List.for_all (fun c -> c.E.read_ratio >= 3.0 && c.E.read_ratio <= 6.5) rows in
+  Printf.printf "  C1 reads 3-6x faster at every size:            %s\n" (verdict c1);
+  let big = at 1_048_576 in
+  Printf.printf "  C2 ~10x write bandwidth at 1 MB (measured %.1fx): %s\n" big.E.write_ratio
+    (verdict (big.E.write_ratio >= 7.0));
+  let c3 =
+    List.for_all
+      (fun c -> c.E.size < 65_536 || c.E.bullet_write_kbs > c.E.nfs_read_kbs)
+      rows
+  in
+  Printf.printf "  C3 bullet writes beat NFS reads above 64 KB:   %s\n" (verdict c3);
+  let k64 = at 65_536 in
+  let c4 =
+    big.E.nfs_write_kbs < k64.E.nfs_write_kbs && big.E.nfs_read_kbs < k64.E.nfs_read_kbs
+  in
+  Printf.printf "  C4 NFS bandwidth dips at 1 MB:                 %s\n" (verdict c4)
+
+(* ---- P-FACTOR ---- *)
+
+let pfactor () =
+  header "PFACT - create delay vs Paranoia Factor (64 KB file)";
+  Printf.printf "  %-10s %14s\n" "P-FACTOR" "CREATE (msec)";
+  List.iter (fun (p, us) -> Printf.printf "  %-10d %14.2f\n" p (ms us)) (E.pfactor_sweep ());
+  Printf.printf
+    "  (p=0 replies from RAM; p=1 waits for one disk; p=2 waits for both,\n\
+    \   written in parallel - the paper's measurement configuration)\n"
+
+(* ---- fragmentation ---- *)
+
+let frag () =
+  header "FRAG - external fragmentation and the 3 a.m. compaction";
+  let r = E.fragmentation_experiment () in
+  Printf.printf "  files written under churn        %d\n" r.E.files_written;
+  Printf.printf "  disk utilisation at pressure     %.1f%%\n" (100. *. r.E.disk_utilisation);
+  Printf.printf "  fragmentation before             %.3f\n" r.E.fragmentation_before;
+  Printf.printf "  largest free hole before         %d blocks\n" r.E.largest_hole_before;
+  Printf.printf "  compaction moved                 %d blocks\n" r.E.compaction_moved_blocks;
+  Printf.printf "  compaction took                  %.1f s (simulated)\n"
+    (float_of_int r.E.compaction_us /. 1e6);
+  Printf.printf "  fragmentation after              %.3f\n" r.E.fragmentation_after;
+  Printf.printf
+    "  (the paper's trade-off: contiguous storage wastes space between\n\
+    \   files; a nightly compaction reclaims it)\n"
+
+(* ---- cache ---- *)
+
+let cache () =
+  header "CACHE - RAM cache behaviour (256 KB file, 2 MB cache)";
+  let r = E.cache_experiment () in
+  Printf.printf "  read, cache hit                  %8.2f ms\n" (ms r.E.hit_us);
+  Printf.printf "  read, cache miss (disk load)     %8.2f ms\n" (ms r.E.miss_us);
+  Printf.printf "  read, cold server                %8.2f ms\n" (ms r.E.cold_us);
+  Printf.printf "  LRU hit rate, working set fits   %8.1f%%\n" (100. *. r.E.hit_rate_working_set);
+  Printf.printf "  LRU hit rate, working set 2x     %8.1f%%\n" (100. *. r.E.hit_rate_thrash)
+
+(* ---- ablations ---- *)
+
+let ablation () =
+  header "ABL1 - allocation policy ablation (first-fit vs best-fit)";
+  let r = E.allocation_ablation () in
+  Printf.printf "  %-12s %16s %16s\n" "policy" "fragmentation" "create failures";
+  Printf.printf "  %-12s %16.3f %16d\n" "first-fit" r.E.first_fit_frag r.E.first_fit_failures;
+  Printf.printf "  %-12s %16.3f %16d\n" "best-fit" r.E.best_fit_frag r.E.best_fit_failures;
+  header "ABL2 - the append problem (50 x 120 B onto a 64 KB file)";
+  let a = E.append_ablation () in
+  Printf.printf "  %-34s %12s\n" "strategy" "total (ms)";
+  Printf.printf "  %-34s %12.1f\n" "log server (segment chain)" (ms a.E.log_server_us);
+  Printf.printf "  %-34s %12.1f\n" "BULLET.MODIFY (server-side copy)" (ms a.E.modify_us);
+  Printf.printf "  %-34s %12.1f\n" "naive read + re-create" (ms a.E.naive_us);
+  Printf.printf
+    "  (the paper: \"For log files we have implemented a separate server\")\n";
+  header "ABL3 - immediate files (reference [1]) on the block baseline (60 B file)";
+  let i = E.immediate_ablation () in
+  Printf.printf "  %-28s %14s %14s\n" "" "write (ms)" "read (ms)";
+  Printf.printf "  %-28s %14.2f %14.2f\n" "stock baseline" (ms i.E.plain_write_us) (ms i.E.plain_read_us);
+  Printf.printf "  %-28s %14.2f %14.2f\n" "with immediate files" (ms i.E.immediate_write_us)
+    (ms i.E.immediate_read_us);
+  Printf.printf "  %-28s %14s %14.2f\n" "Bullet (for scale)" "-" (ms i.E.bullet_read_us);
+  Printf.printf
+    "  (inode-inline data removes the per-file data-block access; the\n\
+    \   large-file gap is untouched - that one is the Bullet design)\n"
+
+(* ---- trace replay ---- *)
+
+let trace () =
+  header "TRACE - BSD-style trace replay, Bullet vs NFS end to end";
+  let r = E.trace_replay () in
+  Printf.printf "  operations                       %d\n" r.E.ops;
+  Printf.printf "  Bullet total                     %10.1f ms\n" (ms r.E.bullet_total_us);
+  Printf.printf "  NFS total                        %10.1f ms\n" (ms r.E.nfs_total_us);
+  Printf.printf "  speedup                          %10.2f x\n" r.E.speedup;
+  Printf.printf "  per-op latency p50 / p99         Bullet %.1f / %.1f ms, NFS %.1f / %.1f ms\n"
+    r.E.bullet_p50_ms r.E.bullet_p99_ms r.E.nfs_p50_ms r.E.nfs_p99_ms;
+  Printf.printf "\n  speedup vs update-heaviness (where immutability costs):\n";
+  Printf.printf "  %-18s %10s\n" "update fraction" "speedup";
+  List.iter
+    (fun (fraction, speedup) -> Printf.printf "  %-18.2f %9.2fx\n" fraction speedup)
+    (E.mix_sweep ());
+  Printf.printf
+    "  (small in-place updates make Bullet copy the whole file; the paper\n\
+    \   concedes this regime to the log server and to sharding)\n"
+
+
+(* ---- parameter sweeps ---- *)
+
+let sweep () =
+  header "SWEEP1 - read bandwidth vs file size (Bullet, cache hits)";
+  let sizes = [ 512; 2_048; 8_192; 32_768; 131_072; 524_288; 2_097_152 ] in
+  let rows = E.fig2_bullet ~sizes () in
+  Printf.printf "  %-10s %12s %14s\n" "File Size" "READ (ms)" "KB/s";
+  let bar kbs = String.make (int_of_float (kbs /. 20.)) '#' in
+  List.iter
+    (fun (r : E.row) ->
+      let kbs = E.bandwidth_kbs ~size:r.E.size ~us:r.E.read_us in
+      Printf.printf "  %-10s %12.2f %14.1f  %s\n" (size_label r.E.size) (ms r.E.read_us) kbs
+        (bar kbs))
+    rows;
+  Printf.printf "  (the curve saturates at the Ethernet's effective rate: whole-file\n";
+  Printf.printf "   transfer amortises the fixed RPC cost away)\n";
+  header "SWEEP2 - LRU hit rate vs cache size (4 MB working set)";
+  Printf.printf "  %-10s %12s %16s\n" "cache" "hit rate" "mean read (ms)";
+  List.iter
+    (fun p ->
+      Printf.printf "  %4d MB    %11.1f%% %16.2f\n" p.E.cache_mb (100. *. p.E.hit_rate)
+        p.E.mean_read_ms)
+    (E.cache_size_sweep ());
+  header "SWEEP3 - CREATE delay (ms): P-FACTOR x file size";
+  let matrix = E.pfactor_matrix () in
+  Printf.printf "  %-10s %10s %10s %10s\n" "File Size" "p=0" "p=1" "p=2";
+  List.iter
+    (fun (size, cells) ->
+      let at p = ms (List.assoc p cells) in
+      Printf.printf "  %-10s %10.2f %10.2f %10.2f\n" (size_label size) (at 0) (at 1) (at 2))
+    matrix;
+  Printf.printf
+    "  (the disk term p removes is fixed; the wire term grows with size,\n\
+    \   so p=0's relative advantage shrinks for big files)\n";
+  header "SWEEP4 - boot time vs inode-table size (whole table read into RAM)";
+  Printf.printf "  %-12s %14s\n" "max files" "boot scan (ms)";
+  List.iter
+    (fun max_files ->
+      let clock = Amoeba_sim.Clock.create () in
+      let geometry = Amoeba_disk.Geometry.small ~sectors:131_072 in
+      let d1 = Amoeba_disk.Block_device.create ~id:"b1" ~geometry ~clock in
+      let d2 = Amoeba_disk.Block_device.create ~id:"b2" ~geometry ~clock in
+      let mirror = Amoeba_disk.Mirror.create [ d1; d2 ] in
+      Bullet_core.Server.format mirror ~max_files;
+      let _, us =
+        Amoeba_sim.Clock.elapsed clock (fun () ->
+            ignore (Result.get_ok (Bullet_core.Inode_table.load mirror)))
+      in
+      Printf.printf "  %-12d %14.1f\n" max_files (ms us))
+    [ 1_024; 8_192; 32_768; 131_072 ];
+  Printf.printf
+    "  (\"it reads the complete inode table into the RAM inode table and\n\
+    \   keeps it there permanently\" - boot cost is one sequential read)\n"
+
+(* ---- naming ---- *)
+
+let naming () =
+  header "NAMING - path resolution: server-side resolve vs stepwise lookups";
+  let r = E.naming_experiment () in
+  Printf.printf "  resolving a %d-component path:\n" r.E.depth;
+  Printf.printf "  %-26s %14s %14s\n" "" "resolve (1 RPC)" "stepwise (N)";
+  Printf.printf "  %-26s %13.1f %15.1f\n" "same Ethernet (ms)" (ms r.E.local_resolve_us)
+    (ms r.E.local_stepwise_us);
+  Printf.printf "  %-26s %13.1f %15.1f\n" "directory server abroad" (ms r.E.wide_resolve_us)
+    (ms r.E.wide_stepwise_us);
+  Printf.printf
+    "  (one wide-area round trip vs one per component - why Amoeba's\n\
+    \   directory server walks paths itself)\n"
+
+(* ---- quantitative scalability ---- *)
+
+let scale () =
+  header "SCALE - closed-loop pool processors reading 4 KB files (100 ms think)";
+  let r = E.scale_experiment () in
+  Printf.printf "  measured server demand per read: Bullet %.2f ms, NFS %.2f ms\n"
+    (ms r.E.bullet_service_us) (ms r.E.nfs_service_us);
+  Printf.printf "  analytic saturation population:  Bullet %.0f clients, NFS %.0f clients\n\n"
+    r.E.bullet_knee r.E.nfs_knee;
+  Printf.printf "  %-8s | %26s | %26s\n" "" "Bullet" "NFS baseline";
+  Printf.printf "  %-8s | %10s %10s %4s | %10s %10s %4s\n" "clients" "ops/s" "resp ms" "util"
+    "ops/s" "resp ms" "util";
+  List.iter2
+    (fun (b : E.scale_point) (n : E.scale_point) ->
+      Printf.printf "  %-8d | %10.1f %10.1f %3.0f%% | %10.1f %10.1f %3.0f%%\n" b.E.clients
+        b.E.throughput_per_sec b.E.mean_response_ms (100. *. b.E.utilisation)
+        n.E.throughput_per_sec n.E.mean_response_ms (100. *. n.E.utilisation))
+    r.E.bullet_points r.E.nfs_points;
+  Printf.printf
+    "  (\"whole file transfer minimizes the load on the file server ...\n\
+    \   allowing the service to be used on a larger scale\" - paper section 5)\n"
+
+(* ---- geographic scalability ---- *)
+
+let geo () =
+  header "GEO - geographic scalability: one name space across countries (paper 2.1)";
+  let r = E.geo_experiment () in
+  Printf.printf "  64 KB read, replica at reader's site   %10.1f ms\n" (ms r.E.local_read_us);
+  Printf.printf "  64 KB read, replica one gateway away   %10.1f ms\n" (ms r.E.regional_read_us);
+  Printf.printf "  64 KB read, replica across the line    %10.1f ms\n" (ms r.E.wide_read_us);
+  Printf.printf "  fetch from Norway picked replica at    %10s\n" r.E.nearest_pick;
+  Printf.printf "  publish, single site                   %10.1f ms\n" (ms r.E.publish_local_us);
+  Printf.printf "  publish + replica shipped abroad       %10.1f ms\n"
+    (ms r.E.publish_replicated_us);
+  Printf.printf
+    "  (immutable files make replicas trivially consistent; readers are\n\
+    \   served by the nearest copy)\n"
+
+(* ---- Bechamel microbenchmarks of the real code ---- *)
+
+let micro () =
+  header "MICRO - Bechamel microbenchmarks (real wall-clock, ns/run)";
+  let open Bechamel in
+  let open Toolkit in
+  let sealer = Amoeba_cap.Sealer.of_passphrase "bench" in
+  let prng = Amoeba_sim.Prng.create ~seed:1L in
+  let random = Amoeba_cap.Sealer.fresh_random sealer prng in
+  let rights = Amoeba_cap.Rights.all in
+  let check = Amoeba_cap.Sealer.seal sealer ~random ~rights in
+  let cap =
+    Amoeba_cap.Capability.v ~port:(Amoeba_cap.Port.of_int64 1L) ~obj:1 ~rights ~check
+  in
+  let inode =
+    { Bullet_core.Layout.random = 0x1234L; index = 3; first_block = 99; size_bytes = 4096 }
+  in
+  let inode_buf = Bytes.create Bullet_core.Layout.inode_bytes in
+  let alloc_cycle () =
+    let a = Bullet_core.Extent_alloc.create ~start:0 ~length:4096 () in
+    let rec go n =
+      if n > 0 then begin
+        match Bullet_core.Extent_alloc.alloc a 16 with
+        | Some s ->
+          Bullet_core.Extent_alloc.free a ~start:s ~length:16;
+          go (n - 1)
+        | None -> ()
+      end
+    in
+    go 32
+  in
+  let cache_cycle =
+    let cache =
+      Bullet_core.Cache.create ~capacity:65_536 ~max_rnodes:16 ~on_evict:(fun ~inode:_ ~rnode:_ -> ())
+    in
+    let data = Bytes.create 1024 in
+    fun () ->
+      match Bullet_core.Cache.insert cache ~inode:1 data with
+      | Some rnode ->
+        ignore (Bullet_core.Cache.get cache ~rnode);
+        Bullet_core.Cache.remove cache ~rnode
+      | None -> ()
+  in
+  let tests =
+    [
+      Test.make ~name:"xtea_seal" (Staged.stage (fun () -> ignore (Amoeba_cap.Sealer.seal sealer ~random ~rights)));
+      Test.make ~name:"xtea_verify" (Staged.stage (fun () -> ignore (Amoeba_cap.Sealer.verify sealer ~random ~cap)));
+      Test.make ~name:"inode_codec"
+        (Staged.stage (fun () ->
+             Bullet_core.Layout.encode_inode inode inode_buf 0;
+             ignore (Bullet_core.Layout.decode_inode inode_buf 0)));
+      Test.make ~name:"extent_alloc_free_x32" (Staged.stage alloc_cycle);
+      Test.make ~name:"cache_insert_get_remove_1k" (Staged.stage cache_cycle);
+      Test.make ~name:"prng_next" (Staged.stage (fun () -> ignore (Amoeba_sim.Prng.next_int64 prng)));
+    ]
+  in
+  let benchmark test =
+    let instances = Instance.[ monotonic_clock ] in
+    let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:true () in
+    let raw = Benchmark.all cfg instances test in
+    let ols =
+      Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+    in
+    Analyze.all ols Instance.monotonic_clock raw
+  in
+  let print_results name results =
+    Hashtbl.iter
+      (fun _label result ->
+        match Bechamel.Analyze.OLS.estimates result with
+        | Some [ est ] -> Printf.printf "  %-30s %12.1f ns/run\n" name est
+        | _ -> Printf.printf "  %-30s %12s\n" name "n/a")
+      results
+  in
+  List.iter
+    (fun test ->
+      let results = benchmark (Test.make_grouped ~name:"g" [ test ]) in
+      print_results (Test.name test) results)
+    tests
+
+(* ---- driver ---- *)
+
+let all_benches =
+  [
+    ("fig2", fig2);
+    ("fig3", fig3);
+    ("compare", compare_cmd);
+    ("pfactor", pfactor);
+    ("frag", frag);
+    ("cache", cache);
+    ("ablation", ablation);
+    ("trace", trace);
+    ("sweep", sweep);
+    ("scale", scale);
+    ("naming", naming);
+    ("geo", geo);
+    ("micro", micro);
+  ]
+
+let () =
+  let requested = List.tl (Array.to_list Sys.argv) in
+  let chosen =
+    if requested = [] then all_benches
+    else
+      List.filter_map
+        (fun name ->
+          match List.assoc_opt name all_benches with
+          | Some f -> Some (name, f)
+          | None ->
+            Printf.eprintf "unknown bench %S (have: %s)\n" name
+              (String.concat ", " (List.map fst all_benches));
+            exit 2)
+        requested
+  in
+  Printf.printf "Bullet file server evaluation - reproduction of ICDCS 1989 tables\n";
+  List.iter (fun (_, f) -> f ()) chosen

@@ -1,0 +1,95 @@
+(* bullet_fsck: offline checker / repairer / compactor for Bullet drive
+   images — the operational counterpart of the server's boot-time
+   consistency scan and its "3 a.m." compaction.
+
+     bullet_fsck IMG [IMG2]              check only
+     bullet_fsck IMG [IMG2] --repair     persist the scan's repairs
+     bullet_fsck IMG [IMG2] --compact    also squeeze out the holes      *)
+
+module Layout = Bullet_core.Layout
+module Inode_table = Bullet_core.Inode_table
+module Server = Bullet_core.Server
+
+let load_images paths =
+  let clock = Amoeba_sim.Clock.create () in
+  let load i path =
+    match Amoeba_disk.Image.load ~id:(Printf.sprintf "drive%d" i) ~clock path with
+    | Ok device -> device
+    | Error e ->
+      Printf.eprintf "%s: %s\n" path e;
+      exit 1
+  in
+  (clock, Amoeba_disk.Mirror.create (List.mapi load paths))
+
+let report_table table scan =
+  let desc = Inode_table.descriptor table in
+  Printf.printf "block size        %d bytes\n" desc.Layout.block_size;
+  Printf.printf "inode table       %d blocks (%d inodes)\n" desc.Layout.control_size
+    (Layout.max_inode desc);
+  Printf.printf "file area         %d blocks\n" desc.Layout.data_size;
+  Printf.printf "live files        %d\n" scan.Inode_table.files;
+  let used = ref 0 in
+  Inode_table.iter_live table (fun _ inode ->
+      used := !used + ((inode.Layout.size_bytes + desc.Layout.block_size - 1) / desc.Layout.block_size));
+  Printf.printf "blocks in use     %d (%.1f%%)\n" !used
+    (100. *. float_of_int !used /. float_of_int desc.Layout.data_size);
+  match scan.Inode_table.repaired with
+  | [] -> Printf.printf "consistency       clean\n"
+  | bad ->
+    Printf.printf "consistency       %d inode(s) repaired: %s\n" (List.length bad)
+      (String.concat ", " (List.map string_of_int bad))
+
+let run paths repair compact =
+  if paths = [] then begin
+    prerr_endline "need at least one image";
+    exit 2
+  end;
+  let clock, mirror = load_images paths in
+  (match Inode_table.load mirror with
+  | Error e ->
+    Printf.eprintf "not a valid Bullet image: %s\n" e;
+    exit 1
+  | Ok (table, scan) ->
+    report_table table scan;
+    let dirty = scan.Inode_table.repaired <> [] in
+    if dirty && not repair then
+      Printf.printf "(run with --repair to persist the repairs)\n";
+    if repair && dirty then begin
+      Inode_table.flush_all table ~sync:(Amoeba_disk.Mirror.live_count mirror);
+      Printf.printf "repairs written back\n"
+    end);
+  if compact then begin
+    match Server.start mirror with
+    | Error e ->
+      Printf.eprintf "cannot boot for compaction: %s\n" e;
+      exit 1
+    | Ok (server, _) ->
+      let frag_before = Server.disk_fragmentation server in
+      let moved = Server.compact_disk server in
+      Printf.printf "compaction        moved %d blocks (fragmentation %.3f -> %.3f)\n" moved
+        frag_before (Server.disk_fragmentation server)
+  end;
+  if repair || compact then begin
+    Amoeba_disk.Mirror.drain mirror;
+    List.iteri
+      (fun i path ->
+        Amoeba_disk.Image.save (List.nth (Amoeba_disk.Mirror.drives mirror) i) path)
+      paths;
+    Printf.printf "images saved\n"
+  end;
+  ignore clock
+
+open Cmdliner
+
+let images = Arg.(value & pos_all file [] & info [] ~docv:"IMAGE")
+
+let repair = Arg.(value & flag & info [ "repair" ] ~doc:"Write scan repairs back to the images.")
+
+let compact =
+  Arg.(value & flag & info [ "compact" ] ~doc:"Compact the file area (implies saving).")
+
+let cmd =
+  let doc = "check, repair and compact Bullet drive images" in
+  Cmd.v (Cmd.info "bullet_fsck" ~doc) Term.(const run $ images $ repair $ compact)
+
+let () = exit (Cmd.eval cmd)

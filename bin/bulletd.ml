@@ -1,0 +1,164 @@
+(* bulletd: the Bullet file server + directory service as a standalone
+   daemon.
+
+   The server logic, disk layout and capability protection are exactly
+   the library's; the simulated mirrored drives persist in image files,
+   and requests arrive as RPC frames over TCP instead of the simulated
+   Ethernet. The directory service stores its directories as Bullet
+   files and survives restarts through a checkpoint whose capability is
+   kept beside the images. Try:
+
+     dune exec bin/bulletd.exe -- --port 7654 --data /tmp/bullet &
+     dune exec bin/bullet_ctl.exe -- store notes notes.txt --port 7654
+     dune exec bin/bullet_ctl.exe -- ls --port 7654
+     dune exec bin/bullet_ctl.exe -- fetch notes --port 7654             *)
+
+module Server = Bullet_core.Server
+module Dir = Amoeba_dir.Dir_server
+module Message = Amoeba_rpc.Message
+module Status = Amoeba_rpc.Status
+module Port = Amoeba_cap.Port
+
+let cmd_hello = 0
+
+let run tcp_port data_dir size_mb max_files cache_mb =
+  if not (Sys.file_exists data_dir) then Unix.mkdir data_dir 0o755;
+  let clock = Amoeba_sim.Clock.create () in
+  let geometry = Amoeba_disk.Geometry.small ~sectors:(size_mb * 2048) in
+  let open_drive name =
+    match
+      Amoeba_disk.Image.load_or_create ~id:name ~clock ~geometry
+        (Filename.concat data_dir (name ^ ".img"))
+    with
+    | Ok (device, state) ->
+      Printf.printf "drive %s: %s\n%!" name
+        (match state with `Loaded -> "loaded from image" | `Created -> "created fresh");
+      device
+    | Error e ->
+      Printf.eprintf "cannot open drive %s: %s\n" name e;
+      exit 1
+  in
+  let drive1 = open_drive "drive1" in
+  let drive2 = open_drive "drive2" in
+  let mirror = Amoeba_disk.Mirror.create [ drive1; drive2 ] in
+  (* mkfs only if the image is brand new *)
+  let formatted =
+    match Bullet_core.Inode_table.load mirror with Ok _ -> true | Error _ -> false
+  in
+  if not formatted then begin
+    Printf.printf "formatting fresh images (max %d files)\n%!" max_files;
+    Server.format mirror ~max_files
+  end;
+  let config = { Server.default_config with Server.cache_bytes = cache_mb * 1024 * 1024 } in
+  let server, report =
+    match Server.start ~config mirror with
+    | Ok v -> v
+    | Error e ->
+      Printf.eprintf "cannot start server: %s\n" e;
+      exit 1
+  in
+  Printf.printf "bullet server on port %s: %d files, scan repaired %d\n%!"
+    (Port.to_string (Server.port server))
+    report.Bullet_core.Inode_table.files
+    (List.length report.Bullet_core.Inode_table.repaired);
+  (* the directory service stores directories as Bullet files; its own
+     traffic rides an in-process transport *)
+  let local_transport = Amoeba_rpc.Transport.create ~clock in
+  Bullet_core.Proto.serve server local_transport;
+  let store = Bullet_core.Client.connect local_transport (Server.port server) in
+  let dir_cap_path = Filename.concat data_dir "dir.cap" in
+  let dirs =
+    let restored =
+      if Sys.file_exists dir_cap_path then begin
+        let ic = open_in dir_cap_path in
+        let line = input_line ic in
+        close_in ic;
+        match Dir.restore ~store (Amoeba_cap.Capability.of_string line) with
+        | Ok dirs ->
+          Printf.printf "directory service restored from checkpoint\n%!";
+          Some dirs
+        | Error e ->
+          Printf.eprintf "checkpoint restore failed (%s); starting fresh\n%!"
+            (Status.to_string e);
+          None
+      end
+      else None
+    in
+    match restored with Some dirs -> dirs | None -> Dir.create ~store ()
+  in
+  Printf.printf "directory service on port %s\n%!" (Port.to_string (Dir.port dirs));
+  let save_state () =
+    (match Dir.checkpoint dirs with
+    | Ok cap ->
+      let oc = open_out dir_cap_path in
+      output_string oc (Amoeba_cap.Capability.to_string cap);
+      output_char oc '\n';
+      close_out oc
+    | Error e -> Printf.eprintf "checkpoint failed: %s\n%!" (Status.to_string e));
+    Amoeba_disk.Mirror.drain mirror;
+    Amoeba_disk.Image.save drive1 (Filename.concat data_dir "drive1.img");
+    Amoeba_disk.Image.save drive2 (Filename.concat data_dir "drive2.img")
+  in
+  let requests = ref 0 in
+  let hello_reply () =
+    (* bullet port in the capability slot, directory port in the body *)
+    let body = Bytes.create Port.wire_size in
+    Port.write (Dir.port dirs) body 0;
+    Message.reply ~status:Status.Ok
+      ~cap:
+        (Amoeba_cap.Capability.v ~port:(Server.port server) ~obj:0 ~rights:Amoeba_cap.Rights.none
+           ~check:0L)
+      ~body ()
+  in
+  let handler request =
+    incr requests;
+    let reply =
+      if request.Message.command = cmd_hello && Port.equal request.Message.port (Port.of_int64 0L)
+      then hello_reply ()
+      else if Port.equal request.Message.port (Dir.port dirs) then
+        Amoeba_dir.Dir_proto.dispatch dirs request
+      else Bullet_core.Proto.dispatch server request
+    in
+    if !requests mod 16 = 0 then save_state ();
+    reply
+  in
+  let tcp = Amoeba_rpc.Tcp.listen ~port:tcp_port () in
+  Printf.printf "listening on 127.0.0.1:%d (data in %s)\n%!" (Amoeba_rpc.Tcp.bound_port tcp)
+    data_dir;
+  let quit _signal =
+    Printf.printf "saving state and exiting\n%!";
+    save_state ();
+    exit 0
+  in
+  Sys.set_signal Sys.sigint (Sys.Signal_handle quit);
+  Sys.set_signal Sys.sigterm (Sys.Signal_handle quit);
+  (try Amoeba_rpc.Tcp.serve_forever tcp ~handler with Unix.Unix_error _ -> ());
+  save_state ()
+
+open Cmdliner
+
+let tcp_port =
+  Arg.(value & opt int 7654 & info [ "port" ] ~docv:"PORT" ~doc:"TCP port to listen on.")
+
+let data_dir =
+  Arg.(
+    value
+    & opt string "./bullet-data"
+    & info [ "data" ] ~docv:"DIR" ~doc:"Directory holding the drive images and checkpoint.")
+
+let size_mb =
+  Arg.(value & opt int 64 & info [ "size-mb" ] ~docv:"MB" ~doc:"Drive size for fresh images.")
+
+let max_files =
+  Arg.(value & opt int 2048 & info [ "max-files" ] ~docv:"N" ~doc:"Inode-table size for mkfs.")
+
+let cache_mb =
+  Arg.(value & opt int 12 & info [ "cache-mb" ] ~docv:"MB" ~doc:"RAM file cache size.")
+
+let cmd =
+  let doc = "the Bullet file server daemon (contiguous immutable files, mirrored drives)" in
+  Cmd.v
+    (Cmd.info "bulletd" ~doc)
+    Term.(const run $ tcp_port $ data_dir $ size_mb $ max_files $ cache_mb)
+
+let () = exit (Cmd.eval cmd)

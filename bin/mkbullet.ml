@@ -1,0 +1,38 @@
+(* mkbullet: create formatted Bullet drive images.
+
+     mkbullet drive1.img drive2.img --size-mb 64 --max-files 2048        *)
+
+let run paths size_mb max_files =
+  if paths = [] then begin
+    prerr_endline "need at least one image path";
+    exit 2
+  end;
+  let clock = Amoeba_sim.Clock.create () in
+  let geometry = Amoeba_disk.Geometry.small ~sectors:(size_mb * 2048) in
+  let drives =
+    List.mapi
+      (fun i _ -> Amoeba_disk.Block_device.create ~id:(Printf.sprintf "drive%d" i) ~geometry ~clock)
+      paths
+  in
+  let mirror = Amoeba_disk.Mirror.create drives in
+  Bullet_core.Server.format mirror ~max_files;
+  List.iter2 (fun device path -> Amoeba_disk.Image.save device path) drives paths;
+  let desc = Bullet_core.Layout.plan geometry ~max_files in
+  Printf.printf "formatted %d image(s): %d MB, %d inodes, %d data blocks\n" (List.length paths)
+    size_mb
+    (Bullet_core.Layout.max_inode desc)
+    desc.Bullet_core.Layout.data_size
+
+open Cmdliner
+
+let images = Arg.(value & pos_all string [] & info [] ~docv:"IMAGE")
+
+let size_mb = Arg.(value & opt int 64 & info [ "size-mb" ] ~docv:"MB" ~doc:"Drive size.")
+
+let max_files = Arg.(value & opt int 2048 & info [ "max-files" ] ~docv:"N" ~doc:"Inode count.")
+
+let cmd =
+  let doc = "create formatted Bullet drive images" in
+  Cmd.v (Cmd.info "mkbullet" ~doc) Term.(const run $ images $ size_mb $ max_files)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,103 @@
+module Message = Amoeba_rpc.Message
+module Status = Amoeba_rpc.Status
+
+type t = {
+  transport : Amoeba_rpc.Transport.t;
+  model : Amoeba_rpc.Net_model.t;
+  service : Amoeba_cap.Port.t;
+}
+
+let connect ?(model = Amoeba_rpc.Net_model.amoeba) transport service =
+  { transport; model; service }
+
+let port t = t.service
+
+let transport t = t.transport
+
+let trans t request = Amoeba_rpc.Transport.trans t.transport ~model:t.model request
+
+let checked t request =
+  let reply = trans t request in
+  Status.check reply.Message.status;
+  reply
+
+let cap_of reply =
+  match reply.Message.cap with
+  | Some cap -> cap
+  | None -> raise (Status.Error Status.Server_failure)
+
+let create t ?(p_factor = 2) data =
+  cap_of
+    (checked t
+       (Message.request ~port:t.service ~command:Proto.cmd_create ~arg0:p_factor ~body:data ()))
+
+let size t cap =
+  let reply = checked t (Message.request ~port:t.service ~command:Proto.cmd_size ~cap ()) in
+  reply.Message.arg0
+
+let read_now t cap =
+  let reply = checked t (Message.request ~port:t.service ~command:Proto.cmd_read ~cap ()) in
+  reply.Message.body
+
+let read t cap =
+  let (_ : int) = size t cap in
+  read_now t cap
+
+let delete t cap =
+  let (_ : Message.t) = checked t (Message.request ~port:t.service ~command:Proto.cmd_delete ~cap ()) in
+  ()
+
+let read_range t cap ~pos ~len =
+  let reply =
+    checked t
+      (Message.request ~port:t.service ~command:Proto.cmd_read_range ~cap ~arg0:pos ~arg1:len ())
+  in
+  reply.Message.body
+
+let modify t ?(p_factor = 2) cap ~pos data =
+  cap_of
+    (checked t
+       (Message.request ~port:t.service ~command:Proto.cmd_modify ~cap ~arg0:p_factor ~arg1:pos
+          ~body:data ()))
+
+let append t ?(p_factor = 2) cap data =
+  cap_of
+    (checked t
+       (Message.request ~port:t.service ~command:Proto.cmd_append ~cap ~arg0:p_factor ~body:data ()))
+
+let truncate t ?(p_factor = 2) cap n =
+  cap_of
+    (checked t
+       (Message.request ~port:t.service ~command:Proto.cmd_truncate ~cap ~arg0:p_factor ~arg1:n ()))
+
+let restrict t cap rights =
+  cap_of
+    (checked t
+       (Message.request ~port:t.service ~command:Proto.cmd_restrict ~cap
+          ~arg0:(Amoeba_cap.Rights.to_int rights) ()))
+
+type stat_info = {
+  live_files : int;
+  free_blocks : int;
+  data_blocks : int;
+  cache_used : int;
+  cache_capacity : int;
+}
+
+let stat t =
+  let reply = checked t (Message.request ~port:t.service ~command:Proto.cmd_stat ()) in
+  let body = reply.Message.body in
+  let get off =
+    let v = ref 0 in
+    for i = 0 to 3 do
+      v := (!v lsl 8) lor Char.code (Bytes.get body (off + i))
+    done;
+    !v
+  in
+  {
+    live_files = get 0;
+    free_blocks = get 4;
+    data_blocks = get 8;
+    cache_used = get 12;
+    cache_capacity = get 16;
+  }

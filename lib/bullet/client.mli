@@ -1,0 +1,57 @@
+(** Client stubs for the Bullet service.
+
+    These are what application code (the directory server, the UNIX
+    emulation, the examples and the benchmarks) calls: each stub builds a
+    request, runs one RPC transaction — paying the Amoeba wire costs — and
+    decodes the reply. Stubs raise {!Amoeba_rpc.Status.Error} on any
+    non-[Ok] reply. *)
+
+type t
+
+val connect :
+  ?model:Amoeba_rpc.Net_model.t -> Amoeba_rpc.Transport.t -> Amoeba_cap.Port.t -> t
+(** A client of the Bullet service on the given port; [model] defaults to
+    {!Amoeba_rpc.Net_model.amoeba}. *)
+
+val port : t -> Amoeba_cap.Port.t
+
+val transport : t -> Amoeba_rpc.Transport.t
+
+val create : t -> ?p_factor:int -> bytes -> Amoeba_cap.Capability.t
+(** [BULLET.CREATE]; [p_factor] defaults to 2 (both disks, as in the
+    paper's measurements). *)
+
+val size : t -> Amoeba_cap.Capability.t -> int
+
+val read : t -> Amoeba_cap.Capability.t -> bytes
+(** [BULLET.SIZE] then [BULLET.READ], as the paper prescribes: "First
+    BULLET.SIZE is called to get the size of the file ... Then
+    BULLET.READ is invoked". Two transactions. *)
+
+val read_now : t -> Amoeba_cap.Capability.t -> bytes
+(** Just the [BULLET.READ] transaction, when the size is already known
+    (the kernel mapped-file path). *)
+
+val delete : t -> Amoeba_cap.Capability.t -> unit
+
+val read_range : t -> Amoeba_cap.Capability.t -> pos:int -> len:int -> bytes
+
+val modify :
+  t -> ?p_factor:int -> Amoeba_cap.Capability.t -> pos:int -> bytes -> Amoeba_cap.Capability.t
+
+val append : t -> ?p_factor:int -> Amoeba_cap.Capability.t -> bytes -> Amoeba_cap.Capability.t
+
+val truncate : t -> ?p_factor:int -> Amoeba_cap.Capability.t -> int -> Amoeba_cap.Capability.t
+
+val restrict : t -> Amoeba_cap.Capability.t -> Amoeba_cap.Rights.t -> Amoeba_cap.Capability.t
+
+type stat_info = {
+  live_files : int;
+  free_blocks : int;
+  data_blocks : int;
+  cache_used : int;
+  cache_capacity : int;
+}
+
+val stat : t -> stat_info
+(** Server statistics (administration). *)

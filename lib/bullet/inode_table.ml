@@ -1,0 +1,165 @@
+type t = {
+  mirror : Amoeba_disk.Mirror.t;
+  desc : Layout.descriptor;
+  inodes : Layout.inode array; (* index 0 is the descriptor slot, never a file *)
+  mutable free_inodes : int list; (* sorted ascending *)
+}
+
+type scan_report = { files : int; repaired : int list }
+
+let format mirror ~max_files =
+  let geometry = Amoeba_disk.Mirror.geometry mirror in
+  let desc = Layout.plan geometry ~max_files in
+  let block = Bytes.make desc.Layout.block_size '\000' in
+  Layout.encode_descriptor desc block 0;
+  let write_drive drive =
+    Amoeba_disk.Block_device.poke drive ~sector:0 block;
+    let zero_block = Bytes.make desc.Layout.block_size '\000' in
+    for s = 1 to desc.Layout.control_size - 1 do
+      Amoeba_disk.Block_device.poke drive ~sector:s zero_block
+    done
+  in
+  List.iter write_drive (Amoeba_disk.Mirror.drives mirror);
+  desc
+
+let load mirror =
+  let geometry = Amoeba_disk.Mirror.geometry mirror in
+  let sector_bytes = geometry.Amoeba_disk.Geometry.sector_bytes in
+  let first = Amoeba_disk.Mirror.read mirror ~sector:0 ~count:1 in
+  match Layout.decode_descriptor first 0 with
+  | Error e -> Error e
+  | Ok desc ->
+    if desc.Layout.block_size <> sector_bytes then Error "image block size mismatches drive"
+    else if desc.Layout.control_size + desc.Layout.data_size > geometry.Amoeba_disk.Geometry.sector_count
+    then Error "image larger than drive"
+    else begin
+      (* One sequential read of the remaining inode table. *)
+      let table =
+        if desc.Layout.control_size > 1 then
+          Amoeba_disk.Mirror.read mirror ~sector:1 ~count:(desc.Layout.control_size - 1)
+        else Bytes.create 0
+      in
+      let per_block = Layout.inodes_per_block desc.Layout.block_size in
+      let count = desc.Layout.control_size * per_block in
+      let inodes = Array.make count Layout.free_inode in
+      for i = 1 to count - 1 do
+        let byte_off = (i * Layout.inode_bytes) - sector_bytes in
+        let raw =
+          if byte_off < 0 then Layout.decode_inode first (i * Layout.inode_bytes)
+          else Layout.decode_inode table byte_off
+        in
+        (* The cache index has no significance on disk: clear it. *)
+        inodes.(i) <- { raw with Layout.index = 0 }
+      done;
+      (* Consistency checks: inside the data area, no overlaps. *)
+      let data_lo = Layout.data_start desc in
+      let data_hi = data_lo + desc.Layout.data_size in
+      let blocks_of inode =
+        (inode.Layout.size_bytes + sector_bytes - 1) / sector_bytes
+      in
+      let repaired = ref [] in
+      let zap i =
+        inodes.(i) <- Layout.free_inode;
+        repaired := i :: !repaired
+      in
+      for i = 1 to count - 1 do
+        let inode = inodes.(i) in
+        if not (Layout.is_free inode) then begin
+          let first_block = inode.Layout.first_block in
+          let last = first_block + blocks_of inode in
+          if first_block < data_lo || last > data_hi || inode.Layout.size_bytes < 0 then zap i
+        end
+      done;
+      (* Overlap detection among files with a non-empty disk footprint:
+         sort by first block and zero any inode starting inside its
+         predecessor. *)
+      let live = ref [] in
+      for i = count - 1 downto 1 do
+        if (not (Layout.is_free inodes.(i))) && blocks_of inodes.(i) > 0 then live := i :: !live
+      done;
+      let by_start =
+        List.sort
+          (fun a b -> compare inodes.(a).Layout.first_block inodes.(b).Layout.first_block)
+          !live
+      in
+      let rec check_overlaps = function
+        | a :: b :: rest ->
+          let ia = inodes.(a) in
+          let a_end = ia.Layout.first_block + blocks_of ia in
+          if inodes.(b).Layout.first_block < a_end then begin
+            zap b;
+            check_overlaps (a :: rest)
+          end
+          else check_overlaps (b :: rest)
+        | [ _ ] | [] -> ()
+      in
+      check_overlaps by_start;
+      let free_inodes = ref [] in
+      let files = ref 0 in
+      for i = count - 1 downto 1 do
+        if Layout.is_free inodes.(i) then free_inodes := i :: !free_inodes else incr files
+      done;
+      Ok
+        ( { mirror; desc; inodes; free_inodes = !free_inodes },
+          { files = !files; repaired = List.rev !repaired } )
+    end
+
+let descriptor t = t.desc
+
+let max_inode t = Array.length t.inodes - 1
+
+let check_index t i =
+  if i < 1 || i > max_inode t then invalid_arg (Printf.sprintf "Inode_table: inode %d" i)
+
+let get t i =
+  check_index t i;
+  t.inodes.(i)
+
+let set t i inode =
+  check_index t i;
+  t.inodes.(i) <- inode
+
+let flush t ~sync i =
+  check_index t i;
+  let per_block = Layout.inodes_per_block t.desc.Layout.block_size in
+  let sector = i / per_block in
+  let block = Bytes.make t.desc.Layout.block_size '\000' in
+  if sector = 0 then Layout.encode_descriptor t.desc block 0;
+  let first = sector * per_block in
+  for j = max 1 first to first + per_block - 1 do
+    (* On-disk index field is irrelevant; write it as stored. *)
+    Layout.encode_inode t.inodes.(j) block ((j - first) * Layout.inode_bytes)
+  done;
+  Amoeba_disk.Mirror.write t.mirror ~sync ~sector block
+
+let flush_all t ~sync =
+  let per_block = Layout.inodes_per_block t.desc.Layout.block_size in
+  for sector = 0 to t.desc.Layout.control_size - 1 do
+    flush t ~sync (max 1 (sector * per_block))
+  done
+
+let alloc t =
+  match t.free_inodes with
+  | [] -> None
+  | i :: rest ->
+    t.free_inodes <- rest;
+    Some i
+
+let free t i =
+  check_index t i;
+  t.inodes.(i) <- Layout.free_inode;
+  t.free_inodes <- List.merge compare [ i ] t.free_inodes
+
+let free_count t = List.length t.free_inodes
+
+let live_count t =
+  let n = ref 0 in
+  for i = 1 to max_inode t do
+    if not (Layout.is_free t.inodes.(i)) then incr n
+  done;
+  !n
+
+let iter_live t f =
+  for i = 1 to max_inode t do
+    if not (Layout.is_free t.inodes.(i)) then f i t.inodes.(i)
+  done

@@ -1,0 +1,60 @@
+(** The RAM copy of the inode table.
+
+    "When the file server starts up, it reads the complete inode table
+    into the RAM inode table and keeps it there permanently." Updates go
+    to RAM and are written through by flushing the whole disk block
+    containing the changed inode (the paper: "the whole disk block
+    containing the inode has to be written"). Unused (all-zero) inodes are
+    kept on a free list. The startup scan performs the paper's consistency
+    checks — files must lie inside the data area and must not overlap —
+    and zeroes offending inodes. *)
+
+type t
+
+type scan_report = {
+  files : int;  (** live inodes found *)
+  repaired : int list;  (** inodes zeroed by the consistency checks *)
+}
+
+val format : Amoeba_disk.Mirror.t -> max_files:int -> Layout.descriptor
+(** Write a fresh empty Bullet image (descriptor + zeroed inode table) to
+    every drive of the mirror. Untimed (mkfs happens offline). *)
+
+val load : Amoeba_disk.Mirror.t -> (t * scan_report, string) result
+(** Read the descriptor and the whole inode table from the primary drive
+    (charging one sequential read), rebuild the free-inode list, clear
+    stale cache indices and run the consistency checks. *)
+
+val descriptor : t -> Layout.descriptor
+
+val max_inode : t -> int
+
+val get : t -> int -> Layout.inode
+(** Raises [Invalid_argument] out of table range. *)
+
+val set : t -> int -> Layout.inode -> unit
+(** RAM-only update; call {!flush} to write through. Freeing or allocating
+    via [set] keeps the free list consistent. *)
+
+val flush : t -> sync:int -> int -> unit
+(** [flush t ~sync i] writes the disk block containing inode [i] through
+    the mirror with the given number of synchronous replicas. *)
+
+val flush_all : t -> sync:int -> unit
+(** Write the entire RAM table back through the mirror (one write per
+    inode block); used by the offline fsck to persist scan repairs. *)
+
+val alloc : t -> int option
+(** Lowest free inode number, removed from the free list (its content is
+    still {!Layout.free_inode} until [set]). *)
+
+val free : t -> int -> unit
+(** Zero inode [i] in RAM and return it to the free list (does not
+    flush). *)
+
+val free_count : t -> int
+
+val live_count : t -> int
+
+val iter_live : t -> (int -> Layout.inode -> unit) -> unit
+(** Visit every non-free inode. *)

@@ -1,0 +1,59 @@
+(** The Bullet server's on-disk format.
+
+    The disk has two sections (paper, Fig. 1): the {e inode table} and the
+    {e contiguous file area}. Inode entry 0 is the {e disk descriptor}
+    holding the block size, the number of blocks in the inode table
+    ("control size") and the number of blocks in the file area ("data
+    size"). Every other inode is 16 bytes: a 6-byte random protection
+    number, a 2-byte cache index (meaningless on disk), a 4-byte first
+    block and a 4-byte byte size. An all-zero inode is free. *)
+
+type inode = {
+  random : int64;  (** 48-bit protection number; 0 on a free inode *)
+  index : int;  (** rnode index + 1 when cached, 0 otherwise; RAM-only *)
+  first_block : int;  (** absolute sector of the file's first block *)
+  size_bytes : int;  (** exact file length in bytes *)
+}
+
+val free_inode : inode
+(** The all-zero inode. *)
+
+val is_free : inode -> bool
+
+type descriptor = {
+  block_size : int;  (** physical sector size the image was formatted with *)
+  control_size : int;  (** blocks occupied by the inode table *)
+  data_size : int;  (** blocks in the contiguous file area *)
+}
+
+val inode_bytes : int
+(** 16. *)
+
+val inodes_per_block : int -> int
+(** [inodes_per_block block_size] — 32 for 512-byte sectors. *)
+
+val encode_inode : inode -> bytes -> int -> unit
+
+val decode_inode : bytes -> int -> inode
+
+val encode_descriptor : descriptor -> bytes -> int -> unit
+(** Includes a magic number so {!decode_descriptor} can reject foreign
+    images. *)
+
+val decode_descriptor : bytes -> int -> (descriptor, string) result
+
+val plan : Amoeba_disk.Geometry.t -> max_files:int -> descriptor
+(** Compute a descriptor for a fresh image on a drive of the given
+    geometry: enough inode-table blocks for [max_files] inodes (plus the
+    descriptor), all remaining space as file area. Raises
+    [Invalid_argument] if the drive is too small. *)
+
+val data_start : descriptor -> int
+(** First sector of the file area ([control_size]). *)
+
+val inode_block : descriptor -> int -> int
+(** [inode_block d i] is the sector containing inode [i].
+    Raises [Invalid_argument] if [i] is out of table range. *)
+
+val max_inode : descriptor -> int
+(** Largest valid inode number (inode 0 being the descriptor). *)

@@ -1,0 +1,96 @@
+module Message = Amoeba_rpc.Message
+module Status = Amoeba_rpc.Status
+
+let cmd_create = 1
+
+let cmd_size = 2
+
+let cmd_read = 3
+
+let cmd_delete = 4
+
+let cmd_read_range = 5
+
+let cmd_modify = 6
+
+let cmd_append = 7
+
+let cmd_truncate = 8
+
+let cmd_restrict = 9
+
+let cmd_stat = 10
+
+(* stat reply body: five big-endian u32s *)
+let encode_stat server =
+  let buf = Bytes.create 20 in
+  let set off v =
+    for i = 0 to 3 do
+      Bytes.set buf (off + i) (Char.chr ((v lsr (8 * (3 - i))) land 0xff))
+    done
+  in
+  set 0 (Server.live_files server);
+  set 4 (Server.free_blocks server);
+  set 8 (Server.data_blocks server);
+  set 12 (Server.cache_used server);
+  set 16 (Server.cache_capacity server);
+  buf
+
+let reply_of_result ~encode = function
+  | Ok v -> encode v
+  | Error status -> Message.error status
+
+let reply_cap cap = Message.reply ~status:Status.Ok ~cap ()
+
+let with_cap request k =
+  match request.Message.cap with
+  | None -> Message.error Status.Bad_request
+  | Some cap -> k cap
+
+let dispatch server request =
+  let command = request.Message.command in
+  if command = cmd_create then
+    let p_factor = request.Message.arg0 in
+    reply_of_result ~encode:reply_cap (Server.create server ~p_factor request.Message.body)
+  else if command = cmd_size then
+    with_cap request (fun cap ->
+        reply_of_result
+          ~encode:(fun n -> Message.reply ~status:Status.Ok ~arg0:n ())
+          (Server.size server cap))
+  else if command = cmd_read then
+    with_cap request (fun cap ->
+        reply_of_result
+          ~encode:(fun body -> Message.reply ~status:Status.Ok ~body ())
+          (Server.read server cap))
+  else if command = cmd_delete then
+    with_cap request (fun cap ->
+        reply_of_result
+          ~encode:(fun () -> Message.reply ~status:Status.Ok ())
+          (Server.delete server cap))
+  else if command = cmd_read_range then
+    with_cap request (fun cap ->
+        reply_of_result
+          ~encode:(fun body -> Message.reply ~status:Status.Ok ~body ())
+          (Server.read_range server cap ~pos:request.Message.arg0 ~len:request.Message.arg1))
+  else if command = cmd_modify then
+    with_cap request (fun cap ->
+        reply_of_result ~encode:reply_cap
+          (Server.modify server ~p_factor:request.Message.arg0 cap ~pos:request.Message.arg1 request.Message.body))
+  else if command = cmd_append then
+    with_cap request (fun cap ->
+        reply_of_result ~encode:reply_cap
+          (Server.append server ~p_factor:request.Message.arg0 cap request.Message.body))
+  else if command = cmd_truncate then
+    with_cap request (fun cap ->
+        reply_of_result ~encode:reply_cap
+          (Server.truncate server ~p_factor:request.Message.arg0 cap request.Message.arg1))
+  else if command = cmd_restrict then
+    with_cap request (fun cap ->
+        reply_of_result ~encode:reply_cap
+          (Server.restrict server cap (Amoeba_cap.Rights.of_int request.Message.arg0)))
+  else if command = cmd_stat then
+    Message.reply ~status:Status.Ok ~body:(encode_stat server) ()
+  else Message.error Status.Bad_request
+
+let serve server transport =
+  Amoeba_rpc.Transport.register transport (Server.port server) (dispatch server)

@@ -1,0 +1,32 @@
+(** Bullet wire protocol: command numbers and the server-side dispatcher.
+
+    Whole-file transfer keeps this trivially small — requests carry at
+    most a capability, two integers and one buffer; replies carry a
+    status, possibly a capability and possibly the file. *)
+
+val cmd_create : int
+
+val cmd_size : int
+
+val cmd_read : int
+
+val cmd_delete : int
+
+val cmd_read_range : int
+
+val cmd_modify : int
+
+val cmd_append : int
+
+val cmd_truncate : int
+
+val cmd_restrict : int
+
+val cmd_stat : int
+
+val dispatch : Server.t -> Amoeba_rpc.Message.t -> Amoeba_rpc.Message.t
+(** Decode one request, run it against the server, encode the reply.
+    Unknown commands and missing capabilities yield [Bad_request]. *)
+
+val serve : Server.t -> Amoeba_rpc.Transport.t -> unit
+(** Register the server's dispatcher on its port. *)

@@ -1,0 +1,148 @@
+(** The Bullet file server.
+
+    Implements the paper's architectural model: every file is immutable
+    and stored contiguously on disk, in the server's RAM cache, and on the
+    wire. The interface is the paper's four calls — {!create}, {!size},
+    {!read}, {!delete} — plus the §5 extension that derives a new file
+    from an existing one ({!modify}, {!append}, {!truncate},
+    {!read_range}) so small updates need not transfer the whole file.
+
+    [create]'s [p_factor] is the paper's Paranoia Factor: the number of
+    disks that must hold the file before the reply; 0 replies straight
+    from the RAM cache. Writes always go through to every replica disk
+    (write-through), the P-FACTOR only chooses the reply point.
+
+    All operations charge virtual time (server CPU, memory copies, disk
+    accesses) to the simulation clock; the RPC layer adds wire time. *)
+
+type t
+
+type config = {
+  cache_bytes : int;  (** RAM devoted to the file cache *)
+  max_cached_files : int;  (** rnode table size *)
+  cpu_request_us : int;  (** per-request server CPU cost *)
+  copy_bytes_per_sec : int;  (** RAM-to-RAM copy rate of the server CPU *)
+  alloc_policy : Extent_alloc.policy;  (** disk extent allocation policy *)
+}
+
+val default_config : config
+(** The paper's server: a 16 MB machine leaves ~12 MB of cache; 1.2 ms of
+    CPU per request; 8 MB/s copies (16.7 MHz MC68020); first-fit. *)
+
+val format : Amoeba_disk.Mirror.t -> max_files:int -> unit
+(** mkfs: write an empty Bullet image on every replica drive. *)
+
+val start :
+  ?config:config ->
+  ?seed:int64 ->
+  Amoeba_disk.Mirror.t ->
+  (t * Inode_table.scan_report, string) result
+(** Boot a server on a formatted replica set: reads the whole inode table
+    into RAM (charging the sequential read), runs the consistency checks,
+    builds the free lists, and picks a fresh service port. *)
+
+val port : t -> Amoeba_cap.Port.t
+(** The port clients address; stable for the life of this incarnation. *)
+
+val clock : t -> Amoeba_sim.Clock.t
+
+val crash : t -> unit
+(** Kill the server: RAM cache and inode table are lost, pending
+    write-behind is discarded, and every subsequent operation fails with
+    [Server_failure]. Boot again with {!start} on the same mirror. *)
+
+(** {1 The Bullet interface} *)
+
+val create : t -> ?p_factor:int -> bytes -> (Amoeba_cap.Capability.t, Amoeba_rpc.Status.t) result
+(** [BULLET.CREATE]. Returns a capability with all rights. Fails with
+    [No_space] if the file exceeds the cache (files must fit in server
+    memory), or disk/inode space is exhausted; [Bad_request] if [p_factor]
+    exceeds the number of drives. Default [p_factor] is the drive count. *)
+
+val size : t -> Amoeba_cap.Capability.t -> (int, Amoeba_rpc.Status.t) result
+(** [BULLET.SIZE]; needs the read right. *)
+
+val read : t -> Amoeba_cap.Capability.t -> (bytes, Amoeba_rpc.Status.t) result
+(** [BULLET.READ]: the whole file; needs the read right. A cache hit
+    touches no disk; a miss loads the file contiguously in one disk
+    transfer, evicting LRU files as needed. *)
+
+val delete : t -> Amoeba_cap.Capability.t -> (unit, Amoeba_rpc.Status.t) result
+(** [BULLET.DELETE]; needs the delete right. Zeroes the inode on every
+    disk and frees cache and disk space. *)
+
+(** {1 §5 extensions} *)
+
+val read_range :
+  t -> Amoeba_cap.Capability.t -> pos:int -> len:int -> (bytes, Amoeba_rpc.Status.t) result
+(** Partial read, for clients with small memories. The file is still
+    cached whole on the server. *)
+
+val modify :
+  t ->
+  ?p_factor:int ->
+  Amoeba_cap.Capability.t ->
+  pos:int ->
+  bytes ->
+  (Amoeba_cap.Capability.t, Amoeba_rpc.Status.t) result
+(** [BULLET.MODIFY]: create a {e new} file whose contents are the old
+    file with the given bytes spliced in at [pos] (extending it if the
+    splice runs past the end). The old file is untouched — immutability
+    is preserved; only the small delta crosses the wire. Needs read and
+    modify rights. *)
+
+val append :
+  t ->
+  ?p_factor:int ->
+  Amoeba_cap.Capability.t ->
+  bytes ->
+  (Amoeba_cap.Capability.t, Amoeba_rpc.Status.t) result
+(** Derive a new file = old ++ data. *)
+
+val truncate :
+  t ->
+  ?p_factor:int ->
+  Amoeba_cap.Capability.t ->
+  int ->
+  (Amoeba_cap.Capability.t, Amoeba_rpc.Status.t) result
+(** Derive a new file = first [n] bytes of the old. *)
+
+val restrict :
+  t ->
+  Amoeba_cap.Capability.t ->
+  Amoeba_cap.Rights.t ->
+  (Amoeba_cap.Capability.t, Amoeba_rpc.Status.t) result
+(** Re-seal a capability with intersected rights. *)
+
+(** {1 Administration and introspection} *)
+
+val compact_disk : t -> int
+(** Slide files to the start of the data area (the paper's "compaction
+    every morning at 3 am"); returns blocks moved. Charges disk time. *)
+
+val compact_cache : t -> int
+(** Compact the RAM cache; returns bytes moved. Charges copy time. *)
+
+val live_files : t -> int
+
+val free_inodes : t -> int
+
+val data_blocks : t -> int
+(** Size of the file area in blocks. *)
+
+val free_blocks : t -> int
+
+val largest_hole_blocks : t -> int
+
+val disk_fragmentation : t -> float
+(** [1 - largest_hole/free]; the FRAG experiment's metric. *)
+
+val cache_used : t -> int
+
+val cache_capacity : t -> int
+
+val stats : t -> Amoeba_sim.Stats.t
+(** Counters: [creates], [reads], [deletes], [modifies], [cache_hits],
+    [cache_misses]. *)
+
+val mirror : t -> Amoeba_disk.Mirror.t

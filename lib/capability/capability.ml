@@ -1,0 +1,90 @@
+type t = { port : Port.t; obj : int; rights : Rights.t; check : int64 }
+
+let v ~port ~obj ~rights ~check =
+  if obj < 0 then invalid_arg "Capability.v: negative object number";
+  { port; obj; rights; check }
+
+let equal a b =
+  Port.equal a.port b.port && a.obj = b.obj
+  && Rights.equal a.rights b.rights
+  && Int64.equal a.check b.check
+
+let compare a b =
+  let c = Port.compare a.port b.port in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.obj b.obj in
+    if c <> 0 then c
+    else
+      let c = Int.compare (Rights.to_int a.rights) (Rights.to_int b.rights) in
+      if c <> 0 then c else Int64.compare a.check b.check
+
+let pp ppf t =
+  Format.fprintf ppf "cap(%a obj=%d %a check=%Lx)" Port.pp t.port t.obj Rights.pp t.rights t.check
+
+let wire_size = Port.wire_size + 4 + 2 + 8
+
+let set_u32 buf off v =
+  for i = 0 to 3 do
+    Bytes.set buf (off + i) (Char.chr ((v lsr (8 * (3 - i))) land 0xff))
+  done
+
+let get_u32 buf off =
+  let acc = ref 0 in
+  for i = 0 to 3 do
+    acc := (!acc lsl 8) lor Char.code (Bytes.get buf (off + i))
+  done;
+  !acc
+
+let set_u64 buf off v =
+  for i = 0 to 7 do
+    let shift = 8 * (7 - i) in
+    Bytes.set buf (off + i) (Char.chr (Int64.to_int (Int64.shift_right_logical v shift) land 0xff))
+  done
+
+let get_u64 buf off =
+  let acc = ref 0L in
+  for i = 0 to 7 do
+    acc := Int64.logor (Int64.shift_left !acc 8) (Int64.of_int (Char.code (Bytes.get buf (off + i))))
+  done;
+  !acc
+
+let write t buf off =
+  Port.write t.port buf off;
+  set_u32 buf (off + 6) t.obj;
+  Bytes.set buf (off + 10) '\000';
+  Bytes.set buf (off + 11) (Char.chr (Rights.to_int t.rights));
+  set_u64 buf (off + 12) t.check
+
+let read buf off =
+  {
+    port = Port.read buf off;
+    obj = get_u32 buf (off + 6);
+    rights = Rights.of_int (Char.code (Bytes.get buf (off + 11)));
+    check = get_u64 buf (off + 12);
+  }
+
+let to_bytes t =
+  let buf = Bytes.create wire_size in
+  write t buf 0;
+  buf
+
+let of_bytes buf =
+  if Bytes.length buf <> wire_size then invalid_arg "Capability.of_bytes: bad length";
+  read buf 0
+
+let to_string t =
+  Printf.sprintf "%s:%x:%02x:%Lx" (Port.to_string t.port) t.obj (Rights.to_int t.rights) t.check
+
+let of_string s =
+  match String.split_on_char ':' s with
+  | [ port; obj; rights; check ] -> (
+    match
+      ( int_of_string_opt ("0x" ^ obj),
+        int_of_string_opt ("0x" ^ rights),
+        Int64.of_string_opt ("0x" ^ check) )
+    with
+    | Some obj, Some rights, Some check ->
+      { port = Port.of_string port; obj; rights = Rights.of_int rights; check }
+    | _ -> invalid_arg "Capability.of_string: malformed fields")
+  | _ -> invalid_arg "Capability.of_string: want port:obj:rights:check"

@@ -1,0 +1,40 @@
+type t = int64 (* invariant: top 16 bits zero *)
+
+let mask48 = 0xFFFF_FFFF_FFFFL
+
+let of_int64 v = Int64.logand v mask48
+
+let to_int64 t = t
+
+let random prng = of_int64 (Amoeba_sim.Prng.next_int64 prng)
+
+let equal = Int64.equal
+
+let compare = Int64.compare
+
+let hash t = Int64.to_int t land max_int
+
+let to_string t = Printf.sprintf "%012Lx" t
+
+let of_string s =
+  if String.length s <> 12 then invalid_arg "Port.of_string: want 12 hex digits";
+  match Int64.of_string_opt ("0x" ^ s) with
+  | Some v -> of_int64 v
+  | None -> invalid_arg "Port.of_string: malformed hex"
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)
+
+let wire_size = 6
+
+let write t buf off =
+  for i = 0 to 5 do
+    let shift = 8 * (5 - i) in
+    Bytes.set buf (off + i) (Char.chr (Int64.to_int (Int64.shift_right_logical t shift) land 0xff))
+  done
+
+let read buf off =
+  let acc = ref 0L in
+  for i = 0 to 5 do
+    acc := Int64.logor (Int64.shift_left !acc 8) (Int64.of_int (Char.code (Bytes.get buf (off + i))))
+  done;
+  !acc

@@ -1,0 +1,31 @@
+type t = { key : Crypto.key }
+
+let create ~key = { key }
+
+let of_passphrase phrase = { key = Crypto.key_of_string phrase }
+
+let mask48 = 0xFFFF_FFFF_FFFFL
+
+let fresh_random _t prng = Int64.logand (Amoeba_sim.Prng.next_int64 prng) mask48
+
+(* Pack rights into the top 16 bits and the 48-bit random below; the whole
+   64-bit block is then encrypted, so flipping any rights bit scrambles
+   the entire check field. *)
+let plaintext ~random ~rights =
+  Int64.logor
+    (Int64.shift_left (Int64.of_int (Rights.to_int rights)) 48)
+    (Int64.logand random mask48)
+
+let seal t ~random ~rights = Crypto.encrypt t.key (plaintext ~random ~rights)
+
+let verify t ~random ~cap =
+  let open Capability in
+  Int64.equal (Crypto.decrypt t.key cap.check) (plaintext ~random ~rights:cap.rights)
+
+let restrict t ~random ~cap ~rights =
+  if not (verify t ~random ~cap) then None
+  else
+    let narrowed = Rights.inter cap.Capability.rights rights in
+    Some
+      (Capability.v ~port:cap.Capability.port ~obj:cap.Capability.obj ~rights:narrowed
+         ~check:(seal t ~random ~rights:narrowed))

@@ -1,0 +1,30 @@
+type t = unit
+
+let create () = ()
+
+let owner_rights = Rights.all
+
+(* Mix the rights into the random before the one-way function; the pad
+   spreads the 8 rights bits across the word so single-bit rights
+   changes flip many input bits. *)
+let pad rights =
+  let r = Int64.of_int (Rights.to_int rights) in
+  Int64.logxor (Int64.mul r 0x0101_0101_0101_0101L) 0x5DEECE66DL
+
+let owner_check ~random = random
+
+let restricted_check () ~random ~rights = Crypto.one_way (Int64.logxor random (pad rights))
+
+let restrict_offline () ~owner ~rights =
+  if not (Rights.equal owner.Capability.rights owner_rights) then
+    invalid_arg "Sparse.restrict_offline: need the owner capability";
+  if Rights.equal rights owner_rights then
+    invalid_arg "Sparse.restrict_offline: restricted rights must be narrower";
+  (* the owner's check field IS the object random *)
+  let random = owner.Capability.check in
+  Capability.v ~port:owner.Capability.port ~obj:owner.Capability.obj ~rights
+    ~check:(restricted_check () ~random ~rights)
+
+let verify () ~random ~cap =
+  if Rights.equal cap.Capability.rights owner_rights then Int64.equal cap.Capability.check random
+  else Int64.equal cap.Capability.check (restricted_check () ~random ~rights:cap.Capability.rights)

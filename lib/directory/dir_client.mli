@@ -1,0 +1,45 @@
+(** Client stubs for the directory service, including client-side path
+    resolution ("/"-separated walks over directory capabilities).
+
+    Stubs raise {!Amoeba_rpc.Status.Error} on non-[Ok] replies. *)
+
+type t
+
+val connect :
+  ?model:Amoeba_rpc.Net_model.t -> Amoeba_rpc.Transport.t -> Amoeba_cap.Port.t -> t
+
+val get_root : t -> Amoeba_cap.Capability.t
+
+val make_dir : t -> Amoeba_cap.Capability.t
+
+val lookup : t -> Amoeba_cap.Capability.t -> string -> Amoeba_cap.Capability.t
+
+val enter : t -> Amoeba_cap.Capability.t -> string -> Amoeba_cap.Capability.t -> unit
+
+val replace :
+  t -> Amoeba_cap.Capability.t -> string -> Amoeba_cap.Capability.t -> Amoeba_cap.Capability.t option
+(** Returns the displaced newest version, if the name was bound. *)
+
+val remove_name : t -> Amoeba_cap.Capability.t -> string -> unit
+
+val list : t -> Amoeba_cap.Capability.t -> (string * Amoeba_cap.Capability.t) list
+
+val delete_dir : t -> Amoeba_cap.Capability.t -> unit
+
+val versions : t -> Amoeba_cap.Capability.t -> string -> Amoeba_cap.Capability.t list
+
+val restrict : t -> Amoeba_cap.Capability.t -> Amoeba_cap.Rights.t -> Amoeba_cap.Capability.t
+
+val checkpoint : t -> Amoeba_cap.Capability.t
+
+val resolve : t -> Amoeba_cap.Capability.t -> string -> Amoeba_cap.Capability.t
+(** [resolve t dir "a/b/c"] resolves the whole path server-side in one
+    RPC; empty components are ignored, so absolute-looking paths work. *)
+
+val resolve_stepwise : t -> Amoeba_cap.Capability.t -> string -> Amoeba_cap.Capability.t
+(** The naive client-side walk, one lookup RPC per component; kept for
+    comparison (the WAN benchmark shows why the one-RPC form exists). *)
+
+val mkdir_path : t -> Amoeba_cap.Capability.t -> string -> Amoeba_cap.Capability.t
+(** Create (or reuse) each directory along the path, returning the last
+    one. *)

@@ -1,0 +1,148 @@
+module Message = Amoeba_rpc.Message
+module Status = Amoeba_rpc.Status
+module Cap = Amoeba_cap.Capability
+
+let cmd_make_dir = 1
+
+let cmd_lookup = 2
+
+let cmd_enter = 3
+
+let cmd_replace = 4
+
+let cmd_remove_name = 5
+
+let cmd_list = 6
+
+let cmd_delete_dir = 7
+
+let cmd_versions = 8
+
+let cmd_restrict = 9
+
+let cmd_checkpoint = 10
+
+let cmd_get_root = 11
+
+let cmd_resolve = 12
+
+let encode_listing rows =
+  let buf = Buffer.create 128 in
+  let add_row (name, cap) =
+    Buffer.add_char buf (Char.chr ((String.length name lsr 8) land 0xff));
+    Buffer.add_char buf (Char.chr (String.length name land 0xff));
+    Buffer.add_string buf name;
+    Buffer.add_bytes buf (Cap.to_bytes cap)
+  in
+  List.iter add_row rows;
+  Buffer.to_bytes buf
+
+let decode_listing data =
+  let len = Bytes.length data in
+  let rec go pos acc =
+    if pos >= len then List.rev acc
+    else begin
+      let n = (Char.code (Bytes.get data pos) lsl 8) lor Char.code (Bytes.get data (pos + 1)) in
+      let name = Bytes.sub_string data (pos + 2) n in
+      let cap = Cap.read data (pos + 2 + n) in
+      go (pos + 2 + n + Cap.wire_size) ((name, cap) :: acc)
+    end
+  in
+  go 0 []
+
+let encode_caps caps =
+  let buf = Bytes.create (List.length caps * Cap.wire_size) in
+  List.iteri (fun i cap -> Cap.write cap buf (i * Cap.wire_size)) caps;
+  buf
+
+let decode_caps data =
+  let count = Bytes.length data / Cap.wire_size in
+  let rec go i acc = if i < 0 then acc else go (i - 1) (Cap.read data (i * Cap.wire_size) :: acc) in
+  go (count - 1) []
+
+(* Body layout for enter/replace: target capability followed by the name. *)
+let encode_named_cap cap name =
+  let buf = Bytes.create (Cap.wire_size + String.length name) in
+  Cap.write cap buf 0;
+  Bytes.blit_string name 0 buf Cap.wire_size (String.length name);
+  buf
+
+let decode_named_cap body =
+  if Bytes.length body < Cap.wire_size then None
+  else
+    let cap = Cap.read body 0 in
+    let name = Bytes.sub_string body Cap.wire_size (Bytes.length body - Cap.wire_size) in
+    Some (cap, name)
+
+let reply_of_result ~encode = function
+  | Ok v -> encode v
+  | Error status -> Message.error status
+
+let with_cap request k =
+  match request.Message.cap with
+  | None -> Message.error Status.Bad_request
+  | Some cap -> k cap
+
+let name_of request = Bytes.to_string request.Message.body
+
+let dispatch server request =
+  let command = request.Message.command in
+  let ok_unit () = Message.reply ~status:Status.Ok () in
+  if command = cmd_make_dir then Message.reply ~status:Status.Ok ~cap:(Dir_server.make_dir server) ()
+  else if command = cmd_get_root then Message.reply ~status:Status.Ok ~cap:(Dir_server.root server) ()
+  else if command = cmd_lookup then
+    with_cap request (fun cap ->
+        reply_of_result
+          ~encode:(fun found -> Message.reply ~status:Status.Ok ~cap:found ())
+          (Dir_server.lookup server cap (name_of request)))
+  else if command = cmd_enter then
+    with_cap request (fun cap ->
+        match decode_named_cap request.Message.body with
+        | None -> Message.error Status.Bad_request
+        | Some (target, name) ->
+          reply_of_result ~encode:ok_unit (Dir_server.enter server cap name target))
+  else if command = cmd_replace then
+    with_cap request (fun cap ->
+        match decode_named_cap request.Message.body with
+        | None -> Message.error Status.Bad_request
+        | Some (target, name) ->
+          reply_of_result
+            ~encode:(fun previous ->
+              match previous with
+              | Some old -> Message.reply ~status:Status.Ok ~arg0:1 ~cap:old ()
+              | None -> Message.reply ~status:Status.Ok ~arg0:0 ())
+            (Dir_server.replace server cap name target))
+  else if command = cmd_remove_name then
+    with_cap request (fun cap ->
+        reply_of_result ~encode:ok_unit (Dir_server.remove_name server cap (name_of request)))
+  else if command = cmd_list then
+    with_cap request (fun cap ->
+        reply_of_result
+          ~encode:(fun rows -> Message.reply ~status:Status.Ok ~body:(encode_listing rows) ())
+          (Dir_server.list server cap))
+  else if command = cmd_delete_dir then
+    with_cap request (fun cap ->
+        reply_of_result ~encode:ok_unit (Dir_server.delete_dir server cap))
+  else if command = cmd_versions then
+    with_cap request (fun cap ->
+        reply_of_result
+          ~encode:(fun caps -> Message.reply ~status:Status.Ok ~body:(encode_caps caps) ())
+          (Dir_server.versions server cap (name_of request)))
+  else if command = cmd_restrict then
+    with_cap request (fun cap ->
+        reply_of_result
+          ~encode:(fun narrowed -> Message.reply ~status:Status.Ok ~cap:narrowed ())
+          (Dir_server.restrict server cap (Amoeba_cap.Rights.of_int request.Message.arg0)))
+  else if command = cmd_resolve then
+    with_cap request (fun cap ->
+        reply_of_result
+          ~encode:(fun found -> Message.reply ~status:Status.Ok ~cap:found ())
+          (Dir_server.resolve server cap (name_of request)))
+  else if command = cmd_checkpoint then
+    reply_of_result
+      ~encode:(fun cap -> Message.reply ~status:Status.Ok ~cap ())
+      (Dir_server.checkpoint server)
+  else Message.error Status.Bad_request
+
+let serve server transport =
+  Amoeba_rpc.Transport.register transport (Dir_server.port server) (dispatch server)

@@ -1,0 +1,45 @@
+(** Directory service wire protocol.
+
+    The directory capability travels in the header capability slot;
+    names and secondary capabilities travel in the body ([target-cap ++
+    name] for enter/replace). *)
+
+val cmd_make_dir : int
+
+val cmd_lookup : int
+
+val cmd_enter : int
+
+val cmd_replace : int
+
+val cmd_remove_name : int
+
+val cmd_list : int
+
+val cmd_delete_dir : int
+
+val cmd_versions : int
+
+val cmd_restrict : int
+
+val cmd_checkpoint : int
+
+val cmd_get_root : int
+
+val cmd_resolve : int
+
+val encode_named_cap : Amoeba_cap.Capability.t -> string -> bytes
+(** Body layout of enter/replace requests: target capability followed by
+    the name. *)
+
+val encode_listing : (string * Amoeba_cap.Capability.t) list -> bytes
+
+val decode_listing : bytes -> (string * Amoeba_cap.Capability.t) list
+
+val encode_caps : Amoeba_cap.Capability.t list -> bytes
+
+val decode_caps : bytes -> Amoeba_cap.Capability.t list
+
+val dispatch : Dir_server.t -> Amoeba_rpc.Message.t -> Amoeba_rpc.Message.t
+
+val serve : Dir_server.t -> Amoeba_rpc.Transport.t -> unit

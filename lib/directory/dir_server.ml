@@ -1,0 +1,386 @@
+module Status = Amoeba_rpc.Status
+module Cap = Amoeba_cap.Capability
+
+type config = { cpu_request_us : int; max_versions : int; p_factor : int }
+
+let default_config = { cpu_request_us = 1_000; max_versions = 3; p_factor = 2 }
+
+type binding = { name : string; versions : Cap.t list (* newest first, non-empty *) }
+
+type dir = {
+  random : int64;
+  mutable rows : binding list; (* sorted by name *)
+  mutable file : Cap.t option; (* the Bullet file persisting this directory *)
+}
+
+type t = {
+  config : config;
+  store : Bullet_core.Client.t;
+  sealer : Amoeba_cap.Sealer.t;
+  seed : int64;
+  service_port : Amoeba_cap.Port.t;
+  clock : Amoeba_sim.Clock.t;
+  dirs : (int, dir) Hashtbl.t;
+  stats : Amoeba_sim.Stats.t;
+  mutable next_obj : int;
+  mutable root_obj : int;
+  mutable checkpoint_file : Cap.t option;
+}
+
+(* ---- serialisation ---- *)
+
+let add_u16 buf v =
+  Buffer.add_char buf (Char.chr ((v lsr 8) land 0xff));
+  Buffer.add_char buf (Char.chr (v land 0xff))
+
+let add_u32 buf v =
+  for i = 3 downto 0 do
+    Buffer.add_char buf (Char.chr ((v lsr (8 * i)) land 0xff))
+  done
+
+let add_u64 buf v =
+  for i = 7 downto 0 do
+    Buffer.add_char buf (Char.chr (Int64.to_int (Int64.shift_right_logical v (8 * i)) land 0xff))
+  done
+
+let add_cap buf cap =
+  let raw = Cap.to_bytes cap in
+  Buffer.add_bytes buf raw
+
+type reader = { data : bytes; mutable pos : int }
+
+let read_u16 r =
+  let v = (Char.code (Bytes.get r.data r.pos) lsl 8) lor Char.code (Bytes.get r.data (r.pos + 1)) in
+  r.pos <- r.pos + 2;
+  v
+
+let read_u32 r =
+  let v = ref 0 in
+  for _ = 1 to 4 do
+    v := (!v lsl 8) lor Char.code (Bytes.get r.data r.pos);
+    r.pos <- r.pos + 1
+  done;
+  !v
+
+let read_u64 r =
+  let v = ref 0L in
+  for _ = 1 to 8 do
+    v := Int64.logor (Int64.shift_left !v 8) (Int64.of_int (Char.code (Bytes.get r.data r.pos)));
+    r.pos <- r.pos + 1
+  done;
+  !v
+
+let read_cap r =
+  let cap = Cap.read r.data r.pos in
+  r.pos <- r.pos + Cap.wire_size;
+  cap
+
+let encode_rows rows =
+  let buf = Buffer.create 256 in
+  add_u32 buf (List.length rows);
+  let encode_binding b =
+    add_u16 buf (String.length b.name);
+    Buffer.add_string buf b.name;
+    add_u16 buf (List.length b.versions);
+    List.iter (add_cap buf) b.versions
+  in
+  List.iter encode_binding rows;
+  Buffer.to_bytes buf
+
+let decode_rows data =
+  let r = { data; pos = 0 } in
+  let count = read_u32 r in
+  let decode_binding () =
+    let len = read_u16 r in
+    let name = Bytes.sub_string r.data r.pos len in
+    r.pos <- r.pos + len;
+    let nvers = read_u16 r in
+    (* explicit recursion: the reader is stateful, order matters *)
+    let rec caps n = if n = 0 then [] else let c = read_cap r in c :: caps (n - 1) in
+    { name; versions = caps nvers }
+  in
+  let rec bindings n = if n = 0 then [] else let b = decode_binding () in b :: bindings (n - 1) in
+  bindings count
+
+(* ---- persistence through the Bullet store ---- *)
+
+let charge_cpu t = Amoeba_sim.Clock.advance t.clock t.config.cpu_request_us
+
+(* Every directory mutation creates a fresh immutable Bullet file and
+   deletes the previous one: the paper's versioned-update in miniature. *)
+let persist t dir =
+  let data = encode_rows dir.rows in
+  let fresh = Bullet_core.Client.create t.store ~p_factor:t.config.p_factor data in
+  (match dir.file with
+  | Some old -> ( try Bullet_core.Client.delete t.store old with Status.Error _ -> ())
+  | None -> ());
+  dir.file <- Some fresh
+
+let bullet_delete_quietly t cap =
+  if Amoeba_cap.Port.equal cap.Cap.port (Bullet_core.Client.port t.store) then
+    try Bullet_core.Client.delete t.store cap with Status.Error _ -> ()
+
+(* ---- directory objects ---- *)
+
+let seal_cap t ~obj ~random ~rights =
+  Cap.v ~port:t.service_port ~obj ~rights ~check:(Amoeba_cap.Sealer.seal t.sealer ~random ~rights)
+
+(* Per-object protection randoms are derived deterministically from
+   (seed, obj) so that replicated directory servers (Dir_pair) mint
+   identical capabilities no matter how their histories interleave. *)
+let random_for ~seed obj =
+  Int64.logand
+    (Amoeba_cap.Crypto.one_way (Int64.add seed (Int64.of_int (obj * 2 + 1))))
+    0xFFFF_FFFF_FFFFL
+
+let fresh_dir t =
+  let obj = t.next_obj in
+  t.next_obj <- obj + 1;
+  let dir = { random = random_for ~seed:t.seed obj; rows = []; file = None } in
+  Hashtbl.replace t.dirs obj dir;
+  persist t dir;
+  (obj, dir)
+
+let create ?(config = default_config) ?(seed = 0x444952535256L) ~store () =
+  let t =
+    {
+      config;
+      store;
+      sealer = Amoeba_cap.Sealer.of_passphrase (Printf.sprintf "dir-%Ld" seed);
+      seed;
+      service_port = Amoeba_cap.Port.random (Amoeba_sim.Prng.create ~seed:(Int64.add seed 7L));
+      clock = Amoeba_rpc.Transport.clock (Bullet_core.Client.transport store);
+      dirs = Hashtbl.create 64;
+      stats = Amoeba_sim.Stats.create "directory";
+      next_obj = 1;
+      root_obj = 0;
+      checkpoint_file = None;
+    }
+  in
+  let obj, _dir = fresh_dir t in
+  t.root_obj <- obj;
+  t
+
+let port t = t.service_port
+
+let stats t = t.stats
+
+let root_cap_of t obj =
+  let dir = Hashtbl.find t.dirs obj in
+  seal_cap t ~obj ~random:dir.random ~rights:Amoeba_cap.Rights.all
+
+let root t = root_cap_of t t.root_obj
+
+let make_dir t =
+  charge_cpu t;
+  Amoeba_sim.Stats.incr t.stats "make_dir";
+  let obj, dir = fresh_dir t in
+  seal_cap t ~obj ~random:dir.random ~rights:Amoeba_cap.Rights.all
+
+let verify t cap ~need =
+  if not (Amoeba_cap.Port.equal cap.Cap.port t.service_port) then Error Status.No_such_object
+  else
+    match Hashtbl.find_opt t.dirs cap.Cap.obj with
+    | None -> Error Status.No_such_object
+    | Some dir ->
+      if not (Amoeba_cap.Sealer.verify t.sealer ~random:dir.random ~cap) then
+        Error Status.Bad_capability
+      else if not (Amoeba_cap.Rights.subset need cap.Cap.rights) then Error Status.Bad_capability
+      else Ok (cap.Cap.obj, dir)
+
+let ( let* ) = Result.bind
+
+let find_binding dir name = List.find_opt (fun b -> b.name = name) dir.rows
+
+let lookup t cap name =
+  charge_cpu t;
+  Amoeba_sim.Stats.incr t.stats "lookups";
+  let* _obj, dir = verify t cap ~need:Amoeba_cap.Rights.read in
+  match find_binding dir name with
+  | Some { versions = newest :: _; _ } -> Ok newest
+  | Some { versions = []; _ } | None -> Error Status.Not_found
+
+let versions t cap name =
+  charge_cpu t;
+  let* _obj, dir = verify t cap ~need:Amoeba_cap.Rights.read in
+  match find_binding dir name with
+  | Some b -> Ok b.versions
+  | None -> Error Status.Not_found
+
+let resolve t cap path =
+  charge_cpu t;
+  Amoeba_sim.Stats.incr t.stats "resolves";
+  let components = List.filter (fun c -> c <> "") (String.split_on_char '/' path) in
+  let step acc name =
+    let* current = acc in
+    let* _obj, dir = verify t current ~need:Amoeba_cap.Rights.read in
+    match find_binding dir name with
+    | Some { versions = newest :: _; _ } -> Ok newest
+    | Some { versions = []; _ } | None -> Error Status.Not_found
+  in
+  List.fold_left step (Ok cap) components
+
+let insert_sorted dir binding =
+  let rec go = function
+    | [] -> [ binding ]
+    | b :: rest -> if binding.name < b.name then binding :: b :: rest else b :: go rest
+  in
+  dir.rows <- go dir.rows
+
+let enter t cap name target =
+  charge_cpu t;
+  Amoeba_sim.Stats.incr t.stats "enters";
+  let* _obj, dir = verify t cap ~need:Amoeba_cap.Rights.modify in
+  if name = "" then Error Status.Bad_request
+  else
+    match find_binding dir name with
+    | Some _ -> Error Status.Exists
+    | None ->
+      insert_sorted dir { name; versions = [ target ] };
+      persist t dir;
+      Ok ()
+
+let replace t cap name target =
+  charge_cpu t;
+  Amoeba_sim.Stats.incr t.stats "replaces";
+  let* _obj, dir = verify t cap ~need:Amoeba_cap.Rights.modify in
+  if name = "" then Error Status.Bad_request
+  else begin
+    let previous, retained, trimmed =
+      match find_binding dir name with
+      | None -> (None, [ target ], [])
+      | Some b ->
+        let stacked = target :: b.versions in
+        let rec take n = function
+          | [] -> ([], [])
+          | v :: rest ->
+            if n = 0 then ([], v :: rest)
+            else
+              let keep, drop = take (n - 1) rest in
+              (v :: keep, drop)
+        in
+        let keep, drop = take t.config.max_versions stacked in
+        let previous = match b.versions with v :: _ -> Some v | [] -> None in
+        (previous, keep, drop)
+    in
+    dir.rows <- List.filter (fun b -> b.name <> name) dir.rows;
+    insert_sorted dir { name; versions = retained };
+    persist t dir;
+    List.iter (bullet_delete_quietly t) trimmed;
+    Ok previous
+  end
+
+let remove_name t cap name =
+  charge_cpu t;
+  Amoeba_sim.Stats.incr t.stats "removes";
+  let* _obj, dir = verify t cap ~need:Amoeba_cap.Rights.modify in
+  match find_binding dir name with
+  | None -> Error Status.Not_found
+  | Some _ ->
+    dir.rows <- List.filter (fun b -> b.name <> name) dir.rows;
+    persist t dir;
+    Ok ()
+
+let list t cap =
+  charge_cpu t;
+  let* _obj, dir = verify t cap ~need:Amoeba_cap.Rights.read in
+  let newest b = match b.versions with v :: _ -> Some (b.name, v) | [] -> None in
+  Ok (List.filter_map newest dir.rows)
+
+let delete_dir t cap =
+  charge_cpu t;
+  let* obj, dir = verify t cap ~need:Amoeba_cap.Rights.delete in
+  if obj = t.root_obj then Error Status.Bad_request
+  else if dir.rows <> [] then Error Status.Bad_request
+  else begin
+    (match dir.file with Some f -> bullet_delete_quietly t f | None -> ());
+    Hashtbl.remove t.dirs obj;
+    Ok ()
+  end
+
+let restrict t cap rights =
+  charge_cpu t;
+  let* _obj, dir = verify t cap ~need:Amoeba_cap.Rights.none in
+  match Amoeba_cap.Sealer.restrict t.sealer ~random:dir.random ~cap ~rights with
+  | None -> Error Status.Bad_capability
+  | Some narrowed -> Ok narrowed
+
+let repersist t =
+  (* After a cross-store restore the dir files still live on the peer's
+     Bullet server; rewrite each through our own store. The old files
+     belong to the peer and are left alone (persist only deletes files
+     on its own store). *)
+  Hashtbl.iter
+    (fun _obj dir ->
+      dir.file <- None;
+      persist t dir)
+    t.dirs
+
+(* ---- checkpoint / restore ---- *)
+
+let checkpoint t =
+  charge_cpu t;
+  let buf = Buffer.create 256 in
+  add_u32 buf t.next_obj;
+  add_u32 buf t.root_obj;
+  add_u32 buf (Hashtbl.length t.dirs);
+  let encode_dir obj dir =
+    add_u32 buf obj;
+    add_u64 buf dir.random;
+    match dir.file with
+    | Some cap ->
+      Buffer.add_char buf '\001';
+      add_cap buf cap
+    | None -> Buffer.add_char buf '\000'
+  in
+  Hashtbl.iter encode_dir t.dirs;
+  match Bullet_core.Client.create t.store ~p_factor:t.config.p_factor (Buffer.to_bytes buf) with
+  | fresh ->
+    (match t.checkpoint_file with Some old -> bullet_delete_quietly t old | None -> ());
+    t.checkpoint_file <- Some fresh;
+    Ok fresh
+  | exception Status.Error e -> Error e
+
+let restore ?(config = default_config) ?(seed = 0x444952535256L) ?from ~store checkpoint_cap =
+  let from = Option.value from ~default:store in
+  match Bullet_core.Client.read from checkpoint_cap with
+  | exception Status.Error e -> Error e
+  | data ->
+    let r = { data; pos = 0 } in
+    let next_obj = read_u32 r in
+    let root_obj = read_u32 r in
+    let count = read_u32 r in
+    let t =
+      {
+        config;
+        store;
+        sealer = Amoeba_cap.Sealer.of_passphrase (Printf.sprintf "dir-%Ld" seed);
+        seed;
+        service_port = Amoeba_cap.Port.random (Amoeba_sim.Prng.create ~seed:(Int64.add seed 7L));
+        clock = Amoeba_rpc.Transport.clock (Bullet_core.Client.transport store);
+        dirs = Hashtbl.create 64;
+        stats = Amoeba_sim.Stats.create "directory";
+        next_obj;
+        root_obj;
+        checkpoint_file = Some checkpoint_cap;
+      }
+    in
+    let restore_dir () =
+      let obj = read_u32 r in
+      let random = read_u64 r in
+      let has_file = Bytes.get r.data r.pos <> '\000' in
+      r.pos <- r.pos + 1;
+      let file = if has_file then Some (read_cap r) else None in
+      let rows =
+        match file with
+        | None -> []
+        | Some cap -> decode_rows (Bullet_core.Client.read from cap)
+      in
+      Hashtbl.replace t.dirs obj { random; rows; file }
+    in
+    (try
+       for _ = 1 to count do
+         restore_dir ()
+       done;
+       Ok t
+     with Status.Error e -> Error e)

@@ -1,0 +1,122 @@
+(** The Amoeba directory server.
+
+    "Directories are two-column tables, the first column containing
+    names, and the second containing the corresponding capabilities.
+    Directories are objects themselves, and can be addressed by
+    capabilities." (paper §2.1)
+
+    This server provides naming and versioning for Bullet files (and any
+    other capability). Each directory is persisted {e as a Bullet file}:
+    every mutation serialises the directory and creates a {e new}
+    immutable file, then deletes the old one — the paper's version
+    mechanism in action, and the reason client caching of immutable files
+    is trivially consistent ("checking if a cached copy of a file is
+    still current is simply done by looking up its capability in the
+    directory service").
+
+    Each name holds a stack of versions (newest first, as in the Cedar
+    file system the paper cites); installing a version beyond the
+    configured depth deletes the oldest from the Bullet server. *)
+
+type t
+
+type config = {
+  cpu_request_us : int;  (** per-request CPU *)
+  max_versions : int;  (** versions retained per name (≥ 1) *)
+  p_factor : int;  (** paranoia factor for directory file writes *)
+}
+
+val default_config : config
+(** 1 ms CPU, 3 versions, P-FACTOR 2. *)
+
+val create : ?config:config -> ?seed:int64 -> store:Bullet_core.Client.t -> unit -> t
+(** A directory server backed by the given Bullet service. The root
+    directory is created immediately. *)
+
+val port : t -> Amoeba_cap.Port.t
+
+val root : t -> Amoeba_cap.Capability.t
+(** Capability for the root directory, with all rights. *)
+
+val stats : t -> Amoeba_sim.Stats.t
+
+(** {1 Operations} *)
+
+val make_dir : t -> Amoeba_cap.Capability.t
+(** Create a fresh, empty directory object (not yet named anywhere). *)
+
+val lookup :
+  t -> Amoeba_cap.Capability.t -> string -> (Amoeba_cap.Capability.t, Amoeba_rpc.Status.t) result
+(** Newest version bound to the name; needs the read right. *)
+
+val enter :
+  t ->
+  Amoeba_cap.Capability.t ->
+  string ->
+  Amoeba_cap.Capability.t ->
+  (unit, Amoeba_rpc.Status.t) result
+(** Bind a name. Fails with [Exists] if already bound (use {!replace} to
+    install a new version); needs the modify right. *)
+
+val replace :
+  t ->
+  Amoeba_cap.Capability.t ->
+  string ->
+  Amoeba_cap.Capability.t ->
+  (Amoeba_cap.Capability.t option, Amoeba_rpc.Status.t) result
+(** Atomically install a new version of a binding, returning the previous
+    newest version (if any). Retains up to [max_versions]; older Bullet
+    files are deleted. The binding need not exist yet. *)
+
+val versions :
+  t -> Amoeba_cap.Capability.t -> string -> (Amoeba_cap.Capability.t list, Amoeba_rpc.Status.t) result
+(** All retained versions, newest first. *)
+
+val resolve :
+  t -> Amoeba_cap.Capability.t -> string -> (Amoeba_cap.Capability.t, Amoeba_rpc.Status.t) result
+(** Walk a "/"-separated path server-side in one call — one RPC instead
+    of one per component, which matters when the directory server sits
+    across a gateway. Empty components are ignored; intermediate
+    components must name directories of this server. *)
+
+val remove_name :
+  t -> Amoeba_cap.Capability.t -> string -> (unit, Amoeba_rpc.Status.t) result
+(** Drop a binding (all versions). The named objects themselves are not
+    deleted — capabilities may be shared. *)
+
+val list : t -> Amoeba_cap.Capability.t -> ((string * Amoeba_cap.Capability.t) list, Amoeba_rpc.Status.t) result
+(** Current bindings, name-sorted, newest version of each. *)
+
+val delete_dir : t -> Amoeba_cap.Capability.t -> (unit, Amoeba_rpc.Status.t) result
+(** Delete an (empty) directory object; [Bad_request] if non-empty. *)
+
+val restrict :
+  t ->
+  Amoeba_cap.Capability.t ->
+  Amoeba_cap.Rights.t ->
+  (Amoeba_cap.Capability.t, Amoeba_rpc.Status.t) result
+
+(** {1 Persistence} *)
+
+val checkpoint : t -> (Amoeba_cap.Capability.t, Amoeba_rpc.Status.t) result
+(** Serialise the server's directory table to a new Bullet file and
+    return its capability; give it to {!restore} after a restart. Each
+    checkpoint deletes the previous checkpoint file. *)
+
+val restore :
+  ?config:config ->
+  ?seed:int64 ->
+  ?from:Bullet_core.Client.t ->
+  store:Bullet_core.Client.t ->
+  Amoeba_cap.Capability.t ->
+  (t, Amoeba_rpc.Status.t) result
+(** Rebuild a directory server from a checkpoint capability. The [seed]
+    must match the original server's so capability seals verify. The
+    checkpoint and directory files are read through [from] (default
+    [store]); future persistence goes through [store] — this is how a
+    replica is rebuilt from its peer's storage (see {!Dir_pair}). *)
+
+val repersist : t -> unit
+(** Rewrite every directory as a fresh Bullet file through this server's
+    own store; used after a cross-store {!restore} so the replica no
+    longer depends on its peer's files. *)

@@ -1,0 +1,116 @@
+type t = {
+  device_id : string;
+  geometry : Geometry.t;
+  clock : Amoeba_sim.Clock.t;
+  storage : Bytes.t;
+  stats : Amoeba_sim.Stats.t;
+  bad_sectors : (int, unit) Hashtbl.t;
+  mutable head : int;
+  mutable failed : bool;
+}
+
+exception Failure of string
+
+let create ~id ~geometry ~clock =
+  {
+    device_id = id;
+    geometry;
+    clock;
+    storage = Bytes.make (Geometry.capacity_bytes geometry) '\000';
+    stats = Amoeba_sim.Stats.create (Printf.sprintf "disk:%s" id);
+    bad_sectors = Hashtbl.create 7;
+    head = 0;
+    failed = false;
+  }
+
+let id t = t.device_id
+
+let geometry t = t.geometry
+
+let clock t = t.clock
+
+let capacity_bytes t = Geometry.capacity_bytes t.geometry
+
+let check_range t ~sector ~count ~op =
+  if count <= 0 || sector < 0 || sector + count > t.geometry.Geometry.sector_count then
+    invalid_arg
+      (Printf.sprintf "Block_device.%s: range [%d, %d) out of bounds on %s" op sector
+         (sector + count) t.device_id)
+
+let check_health t ~sector ~count ~op =
+  if t.failed then raise (Failure (Printf.sprintf "%s: drive failed during %s" t.device_id op));
+  for s = sector to sector + count - 1 do
+    if Hashtbl.mem t.bad_sectors s then
+      raise (Failure (Printf.sprintf "%s: bad sector %d during %s" t.device_id s op))
+  done
+
+let charge t ~sector ~count ~write =
+  let sequential = sector = t.head in
+  let bytes = count * t.geometry.Geometry.sector_bytes in
+  Amoeba_sim.Clock.advance t.clock (Geometry.access_us t.geometry ~sequential ~write bytes);
+  if not sequential then Amoeba_sim.Stats.incr t.stats "seeks";
+  t.head <- sector + count
+
+let read t ~sector ~count =
+  check_range t ~sector ~count ~op:"read";
+  check_health t ~sector ~count ~op:"read";
+  charge t ~sector ~count ~write:false;
+  Amoeba_sim.Stats.incr t.stats "reads";
+  Amoeba_sim.Stats.add t.stats "sectors_read" count;
+  let sector_bytes = t.geometry.Geometry.sector_bytes in
+  Bytes.sub t.storage (sector * sector_bytes) (count * sector_bytes)
+
+let write t ~sector data =
+  let sector_bytes = t.geometry.Geometry.sector_bytes in
+  let len = Bytes.length data in
+  if len = 0 || len mod sector_bytes <> 0 then
+    invalid_arg "Block_device.write: data must be a positive multiple of the sector size";
+  let count = len / sector_bytes in
+  check_range t ~sector ~count ~op:"write";
+  check_health t ~sector ~count ~op:"write";
+  charge t ~sector ~count ~write:true;
+  Amoeba_sim.Stats.incr t.stats "writes";
+  Amoeba_sim.Stats.add t.stats "sectors_written" count;
+  Bytes.blit data 0 t.storage (sector * sector_bytes) len
+
+let fail t = t.failed <- true
+
+let repair t = t.failed <- false
+
+let is_failed t = t.failed
+
+let set_bad_sector t sector = Hashtbl.replace t.bad_sectors sector ()
+
+let clear_bad_sector t sector = Hashtbl.remove t.bad_sectors sector
+
+let copy_from ~src ~dst =
+  if capacity_bytes src <> capacity_bytes dst then
+    invalid_arg "Block_device.copy_from: drives differ in capacity";
+  if src.failed then raise (Failure (src.device_id ^ ": drive failed during copy"));
+  if dst.failed then raise (Failure (dst.device_id ^ ": drive failed during copy"));
+  let bytes = capacity_bytes src in
+  (* One sequential pass over each drive: the reads and writes overlap in
+     practice, so charge the slower of the two plus one seek each. *)
+  let pass g ~write = Geometry.access_us g ~sequential:false ~write bytes in
+  Amoeba_sim.Clock.advance src.clock
+    (max (pass src.geometry ~write:false) (pass dst.geometry ~write:true));
+  Bytes.blit src.storage 0 dst.storage 0 bytes;
+  Amoeba_sim.Stats.incr src.stats "full_copies_out";
+  Amoeba_sim.Stats.incr dst.stats "full_copies_in";
+  src.head <- 0;
+  dst.head <- 0
+
+let stats t = t.stats
+
+let peek t ~sector ~count =
+  check_range t ~sector ~count ~op:"peek";
+  let sector_bytes = t.geometry.Geometry.sector_bytes in
+  Bytes.sub t.storage (sector * sector_bytes) (count * sector_bytes)
+
+let poke t ~sector data =
+  let sector_bytes = t.geometry.Geometry.sector_bytes in
+  let len = Bytes.length data in
+  if len = 0 || len mod sector_bytes <> 0 then
+    invalid_arg "Block_device.poke: data must be a positive multiple of the sector size";
+  check_range t ~sector ~count:(len / sector_bytes) ~op:"poke";
+  Bytes.blit data 0 t.storage (sector * sector_bytes) len

@@ -1,0 +1,67 @@
+(** A simulated sector-addressed disk drive.
+
+    Reads and writes operate on whole sectors, charge virtual time to the
+    clock according to the drive {!Geometry.t}, track the head position
+    (so sequential access is cheap and scattered access pays seeks), and
+    accrue per-operation statistics. Drives can be failed and repaired to
+    exercise the Bullet server's mirroring and recovery paths, and single
+    sectors can be marked bad to exercise the startup consistency scan. *)
+
+type t
+
+exception Failure of string
+(** Raised when accessing a failed drive or a bad sector; carries the
+    drive id and the failing sector. *)
+
+val create : id:string -> geometry:Geometry.t -> clock:Amoeba_sim.Clock.t -> t
+(** A fresh, zero-filled drive. *)
+
+val id : t -> string
+
+val geometry : t -> Geometry.t
+
+val clock : t -> Amoeba_sim.Clock.t
+(** The simulation clock this drive charges time to. *)
+
+val capacity_bytes : t -> int
+
+val read : t -> sector:int -> count:int -> bytes
+(** [read t ~sector ~count] returns [count] sectors starting at [sector],
+    charging access time. Raises {!Failure} if the drive is failed or the
+    range covers a bad sector, [Invalid_argument] if out of range. *)
+
+val write : t -> sector:int -> bytes -> unit
+(** [write t ~sector data] writes [data] — whose length must be a positive
+    multiple of the sector size — starting at [sector], charging access
+    time. Same exceptions as {!read}. *)
+
+val fail : t -> unit
+(** Take the drive offline: every subsequent access raises {!Failure}. *)
+
+val repair : t -> unit
+(** Bring a failed drive back online. Its contents are whatever they were
+    at failure time; recovery (copying from a replica) is the caller's
+    job. *)
+
+val is_failed : t -> bool
+
+val set_bad_sector : t -> int -> unit
+(** Mark one sector as unreadable/unwritable. *)
+
+val clear_bad_sector : t -> int -> unit
+
+val copy_from : src:t -> dst:t -> unit
+(** Whole-disk copy, the paper's recovery mechanism ("Recovery is simply
+    done by copying the complete disk"). Charges one sequential read of
+    [src] and one sequential write of [dst]. The drives must have equal
+    capacity. *)
+
+val stats : t -> Amoeba_sim.Stats.t
+(** Counters: [reads], [writes], [sectors_read], [sectors_written],
+    [seeks] (non-sequential accesses). *)
+
+val peek : t -> sector:int -> count:int -> bytes
+(** Read without charging time or stats; for tests and image inspection. *)
+
+val poke : t -> sector:int -> bytes -> unit
+(** Write without charging time or stats; for tests and image setup. *)

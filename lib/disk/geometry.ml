@@ -1,0 +1,31 @@
+type t = {
+  sector_bytes : int;
+  sector_count : int;
+  avg_seek_us : int;
+  rotation_us : int;
+  media_rate : int;
+  controller_us : int;
+}
+
+let v1989_800mb =
+  {
+    sector_bytes = 512;
+    sector_count = 1_638_400; (* 800 MiB *)
+    avg_seek_us = 18_000;
+    rotation_us = 16_667; (* 3600 RPM *)
+    media_rate = 1_200_000;
+    controller_us = 500;
+  }
+
+let small ~sectors = { v1989_800mb with sector_count = sectors }
+
+let capacity_bytes g = g.sector_bytes * g.sector_count
+
+let transfer_us g bytes = bytes * 1_000_000 / g.media_rate
+
+let access_us g ~sequential ~write bytes =
+  let positioning = if sequential then 0 else g.avg_seek_us + (g.rotation_us / 2) in
+  let write_penalty = if write then g.rotation_us / 2 else 0 in
+  g.controller_us + positioning + write_penalty + transfer_us g bytes
+
+let sectors_for g bytes = (bytes + g.sector_bytes - 1) / g.sector_bytes

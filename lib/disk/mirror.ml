@@ -1,0 +1,84 @@
+type pending = { target : Block_device.t; at_sector : int; data : bytes }
+
+type t = {
+  drives : Block_device.t list;
+  clock : Amoeba_sim.Clock.t;
+  pending : pending Queue.t;
+}
+
+exception No_live_drive
+
+let create drives =
+  match drives with
+  | [] -> invalid_arg "Mirror.create: empty drive list"
+  | first :: rest ->
+    let geometry = Block_device.geometry first in
+    let same_geometry d = Block_device.geometry d = geometry in
+    if not (List.for_all same_geometry rest) then
+      invalid_arg "Mirror.create: drives must share a geometry";
+    { drives; clock = Block_device.clock first; pending = Queue.create () }
+
+let drives t = t.drives
+
+let geometry t =
+  match t.drives with
+  | d :: _ -> Block_device.geometry d
+  | [] -> assert false
+
+let live t = List.filter (fun d -> not (Block_device.is_failed d)) t.drives
+
+let live_count t = List.length (live t)
+
+let primary t = match live t with d :: _ -> d | [] -> raise No_live_drive
+
+let drain t =
+  let apply { target; at_sector; data } =
+    if not (Block_device.is_failed target) then
+      Amoeba_sim.Clock.unobserved t.clock (fun () ->
+          Block_device.write target ~sector:at_sector data)
+  in
+  Queue.iter apply t.pending;
+  Queue.clear t.pending
+
+let crash t = Queue.clear t.pending
+
+let pending_count t = Queue.length t.pending
+
+let rec read_from ~sector ~count = function
+  | [] -> raise No_live_drive
+  | drive :: others -> (
+    try Block_device.read drive ~sector ~count
+    with Block_device.Failure _ -> read_from ~sector ~count others)
+
+let read t ~sector ~count =
+  drain t;
+  read_from ~sector ~count (live t)
+
+let write t ~sync ~sector data =
+  drain t;
+  match live t with
+  | [] -> raise No_live_drive
+  | targets ->
+    let sync = max 0 (min sync (List.length targets)) in
+    let rec split i = function
+      | [] -> ([], [])
+      | d :: rest ->
+        let front, back = split (i + 1) rest in
+        if i < sync then (d :: front, back) else (front, d :: back)
+    in
+    let foreground, background = split 0 targets in
+    let write_to d () = Block_device.write d ~sector data in
+    let (_ : unit list) = Amoeba_sim.Clock.parallel t.clock (List.map write_to foreground) in
+    let enqueue d = Queue.add { target = d; at_sector = sector; data = Bytes.copy data } t.pending in
+    List.iter enqueue background
+
+let recover t =
+  drain t;
+  let src = primary t in
+  let fix drive =
+    if Block_device.is_failed drive then begin
+      Block_device.repair drive;
+      Block_device.copy_from ~src ~dst:drive
+    end
+  in
+  List.iter fix t.drives

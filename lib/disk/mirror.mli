@@ -1,0 +1,60 @@
+(** A set of identical replica drives.
+
+    The Bullet server keeps N identical disks (the paper's configuration
+    has two): reads go to the primary (first live drive), writes go to all
+    live drives. The caller's P-FACTOR chooses how many replica writes are
+    on the critical path — the rest complete in the background
+    ({!Amoeba_sim.Clock.unobserved}), matching the paper's semantics where
+    [BULLET.CREATE] replies once N disks hold the file but the server
+    writes through to every disk regardless. *)
+
+type t
+
+exception No_live_drive
+(** Raised when every drive in the set has failed. *)
+
+val create : Block_device.t list -> t
+(** A replica set over the given drives (all must share a geometry).
+    Raises [Invalid_argument] on an empty list or mismatched
+    geometries. *)
+
+val drives : t -> Block_device.t list
+
+val geometry : t -> Geometry.t
+
+val live_count : t -> int
+(** Number of drives currently online. *)
+
+val primary : t -> Block_device.t
+(** The first live drive — the one reads are served from.
+    Raises {!No_live_drive}. *)
+
+val read : t -> sector:int -> count:int -> bytes
+(** Read from the primary. If the primary fails mid-read the next live
+    drive is tried — the paper's "if the main disk fails, the file server
+    can proceed uninterruptedly by using the other disk". *)
+
+val write : t -> sync:int -> sector:int -> bytes -> unit
+(** [write t ~sync ~sector data] writes to every live drive. The [sync]
+    first writes (clamped to the live count) proceed in parallel on the
+    critical path; the remainder are {e pending} — they are applied (off
+    the measured path) before the next mirror operation, which models
+    write-behind completing shortly after the reply. [sync = 0] therefore
+    returns in zero disk time, and a {!crash} before the writes drain
+    loses them — the paper's P-FACTOR 0 risk. Raises {!No_live_drive} if
+    no drive is live. *)
+
+val drain : t -> unit
+(** Apply all pending background writes now (off the measured path).
+    Pending writes aimed at a failed drive are discarded. *)
+
+val crash : t -> unit
+(** Discard all pending background writes, as a server crash would. The
+    drives themselves keep whatever was synchronously written. *)
+
+val pending_count : t -> int
+
+val recover : t -> unit
+(** Repair every failed drive and copy the primary's contents onto it —
+    the paper's whole-disk-copy recovery. Raises {!No_live_drive} if there
+    is no live drive to copy from. *)

@@ -1,0 +1,760 @@
+module Clock = Amoeba_sim.Clock
+module Prng = Amoeba_sim.Prng
+module Geometry = Amoeba_disk.Geometry
+module Dev = Amoeba_disk.Block_device
+module Mirror = Amoeba_disk.Mirror
+module Server = Bullet_core.Server
+module Client = Bullet_core.Client
+module Nfs = Nfs_baseline.Nfs_server
+module Nfs_client = Nfs_baseline.Nfs_client
+module Status = Amoeba_rpc.Status
+
+type row = { size : int; read_us : int; write_us : int }
+
+let bandwidth_kbs ~size ~us =
+  if us = 0 then 0. else float_of_int size /. 1024. /. (float_of_int us /. 1_000_000.)
+
+let paper_sizes = Workload.Sizes.paper_sweep
+
+(* ---- testbeds ---- *)
+
+(* 64 MB drives keep the simulated images small; every timing parameter
+   (seek, rotation, media rate) is the 1989 drive, so per-operation costs
+   match the paper's 800 MB drives. *)
+let testbed_sectors = 131_072
+
+type bullet_bed = {
+  b_clock : Clock.t;
+  b_server : Server.t;
+  b_client : Client.t;
+  b_mirror : Mirror.t;
+}
+
+let make_bullet_bed ?(sectors = testbed_sectors) ?(config = Server.default_config) () =
+  let clock = Clock.create () in
+  let geometry = Geometry.small ~sectors in
+  let d1 = Dev.create ~id:"bullet-1" ~geometry ~clock in
+  let d2 = Dev.create ~id:"bullet-2" ~geometry ~clock in
+  let mirror = Mirror.create [ d1; d2 ] in
+  Server.format mirror ~max_files:2048;
+  let server, _report = Result.get_ok (Server.start ~config mirror) in
+  let transport = Amoeba_rpc.Transport.create ~clock in
+  Bullet_core.Proto.serve server transport;
+  let client = Client.connect transport (Server.port server) in
+  { b_clock = clock; b_server = server; b_client = client; b_mirror = mirror }
+
+type nfs_bed = { n_clock : Clock.t; n_server : Nfs.t; n_client : Nfs_client.t }
+
+let make_nfs_bed ?(sectors = testbed_sectors) () =
+  let clock = Clock.create () in
+  let geometry = Geometry.small ~sectors in
+  let dev = Dev.create ~id:"nfs-1" ~geometry ~clock in
+  Nfs.format dev ~max_files:2048;
+  let server = Result.get_ok (Nfs.mount dev) in
+  let transport = Amoeba_rpc.Transport.create ~clock in
+  Nfs_baseline.Nfs_proto.serve server transport;
+  let client = Nfs_client.connect transport (Nfs.port server) in
+  { n_clock = clock; n_server = server; n_client = client }
+
+let time clock f =
+  let _, us = Clock.elapsed clock f in
+  us
+
+(* ---- Fig. 2: the Bullet server ---- *)
+
+let fig2_bullet ?(sizes = paper_sizes) () =
+  let bed = make_bullet_bed () in
+  let run size =
+    let data = Bytes.make size 'b' in
+    (* Read test: "In all cases the test file will be completely in
+       memory" — create first, then measure the SIZE+READ pair. *)
+    let cap = Client.create bed.b_client ~p_factor:2 data in
+    let read_us = time bed.b_clock (fun () -> ignore (Client.read bed.b_client cap)) in
+    Client.delete bed.b_client cap;
+    (* Create+delete test, "the file is written to both disks". *)
+    let write_us =
+      time bed.b_clock (fun () ->
+          let cap = Client.create bed.b_client ~p_factor:2 data in
+          Client.delete bed.b_client cap)
+    in
+    { size; read_us; write_us }
+  in
+  List.map run sizes
+
+(* ---- Fig. 3: SUN NFS ---- *)
+
+let fig3_nfs ?(sizes = paper_sizes) () =
+  let bed = make_nfs_bed () in
+  let run size =
+    let data = Bytes.make size 'n' in
+    (* Write test: "consecutively executing creat, write, and close". *)
+    let fh = ref None in
+    let write_us =
+      time bed.n_clock (fun () ->
+          let handle = Nfs_client.create bed.n_client in
+          Nfs_client.write_file bed.n_client handle data;
+          fh := Some handle)
+    in
+    let handle = Option.get !fh in
+    (* The production server's cache has turned over by the time the read
+       test runs; metadata stays hot. *)
+    Nfs.age_cache bed.n_server;
+    (* Read test: "an lseek followed by a read system call" per block;
+       client caching disabled with lockf. *)
+    let read_us =
+      time bed.n_clock (fun () -> ignore (Nfs_client.read_file bed.n_client handle ~size))
+    in
+    Nfs_client.remove bed.n_client handle;
+    { size; read_us; write_us }
+  in
+  List.map run sizes
+
+(* ---- comparison (§4 prose) ---- *)
+
+type comparison = {
+  size : int;
+  read_ratio : float;
+  bullet_write_kbs : float;
+  nfs_write_kbs : float;
+  nfs_read_kbs : float;
+  write_ratio : float;
+}
+
+let compare_servers ?(sizes = paper_sizes) () =
+  let bullet = fig2_bullet ~sizes () in
+  let nfs = fig3_nfs ~sizes () in
+  let combine (b : row) (n : row) =
+    let bullet_write_kbs = bandwidth_kbs ~size:b.size ~us:b.write_us in
+    let nfs_write_kbs = bandwidth_kbs ~size:n.size ~us:n.write_us in
+    {
+      size = b.size;
+      read_ratio = float_of_int n.read_us /. float_of_int b.read_us;
+      bullet_write_kbs;
+      nfs_write_kbs;
+      nfs_read_kbs = bandwidth_kbs ~size:n.size ~us:n.read_us;
+      write_ratio = (if nfs_write_kbs = 0. then 0. else bullet_write_kbs /. nfs_write_kbs);
+    }
+  in
+  List.map2 combine bullet nfs
+
+(* ---- P-FACTOR ---- *)
+
+let pfactor_sweep ?(size = 65_536) () =
+  let bed = make_bullet_bed () in
+  let data = Bytes.make size 'p' in
+  let run p =
+    let cap = ref None in
+    let us = time bed.b_clock (fun () -> cap := Some (Client.create bed.b_client ~p_factor:p data)) in
+    (match !cap with Some c -> Client.delete bed.b_client c | None -> ());
+    (p, us)
+  in
+  List.map run [ 0; 1; 2 ]
+
+(* ---- fragmentation and the 3 a.m. compaction ---- *)
+
+type frag_report = {
+  files_written : int;
+  disk_utilisation : float;
+  fragmentation_before : float;
+  largest_hole_before : int;
+  compaction_moved_blocks : int;
+  compaction_us : int;
+  fragmentation_after : float;
+}
+
+let fragmentation_experiment ?(churn_ops = 1_500) ?(seed = 0xF4A6L) () =
+  (* A deliberately small disk (8 MB) so the fill phases reach real
+     allocation pressure — the paper's trade-off in miniature: "buying,
+     say, an 800 MB disk to store 500 MB worth of files". *)
+  let bed = make_bullet_bed ~sectors:16_384 () in
+  let server = bed.b_server in
+  let prng = Prng.create ~seed in
+  let live = ref [] in
+  let written = ref 0 in
+  let sample_size () = min 200_000 (4_096 + (8 * Workload.Sizes.sample prng)) in
+  let create_one () =
+    match Server.create server (Bytes.make (sample_size ()) 'f') with
+    | Ok cap ->
+      incr written;
+      live := cap :: !live;
+      true
+    | Error _ -> false
+  in
+  (* phase 1: fill until the first allocation failure *)
+  let rec fill budget = if budget > 0 && create_one () then fill (budget - 1) in
+  fill churn_ops;
+  (* phase 2: punch holes — delete roughly every third file *)
+  let keep, doomed = List.partition (fun _ -> Prng.int prng 3 <> 0) !live in
+  List.iter (fun cap -> ignore (Server.delete server cap)) doomed;
+  live := keep;
+  (* phase 3: refill; first-fit reuses what holes it can *)
+  fill (churn_ops / 4);
+  let data = float_of_int (Server.data_blocks server) in
+  let used = data -. float_of_int (Server.free_blocks server) in
+  let fragmentation_before = Server.disk_fragmentation server in
+  let largest_hole_before = Server.largest_hole_blocks server in
+  let moved = ref 0 in
+  let compaction_us = time bed.b_clock (fun () -> moved := Server.compact_disk server) in
+  {
+    files_written = !written;
+    disk_utilisation = used /. data;
+    fragmentation_before;
+    largest_hole_before;
+    compaction_moved_blocks = !moved;
+    compaction_us;
+    fragmentation_after = Server.disk_fragmentation server;
+  }
+
+(* ---- cache behaviour ---- *)
+
+type cache_report = {
+  hit_us : int;
+  miss_us : int;
+  cold_us : int;
+  hit_rate_working_set : float;
+  hit_rate_thrash : float;
+}
+
+let cache_experiment () =
+  (* 2 MB cache so misses are easy to force *)
+  let config = { Server.default_config with Server.cache_bytes = 2 * 1024 * 1024 } in
+  let bed = make_bullet_bed ~config () in
+  let client = bed.b_client in
+  let subject = Client.create client (Bytes.make 262_144 'c') in
+  let hit_us = time bed.b_clock (fun () -> ignore (Client.read client subject)) in
+  (* flood the cache to evict the subject *)
+  let rec flood n = if n > 0 then (ignore (Client.create client (Bytes.make 262_144 'x')); flood (n - 1)) in
+  flood 10;
+  let miss_us = time bed.b_clock (fun () -> ignore (Client.read client subject)) in
+  (* cold: fresh server incarnation, empty cache *)
+  Server.crash bed.b_server;
+  let server2, _ = Result.get_ok (Server.start ~config bed.b_mirror) in
+  let transport2 = Amoeba_rpc.Transport.create ~clock:bed.b_clock in
+  Bullet_core.Proto.serve server2 transport2;
+  let client2 = Client.connect transport2 (Server.port server2) in
+  let cold_us = time bed.b_clock (fun () -> ignore (Client.read client2 subject)) in
+  (* LRU hit rates: 64 KB files, working set inside / beyond the cache *)
+  let hit_rate file_count =
+    let stats = Server.stats server2 in
+    let files =
+      let rec make n acc =
+        if n = 0 then acc else make (n - 1) (Client.create client2 (Bytes.make 65_536 'w') :: acc)
+      in
+      make file_count []
+    in
+    let h0 = Amoeba_sim.Stats.count stats "cache_hits" in
+    let m0 = Amoeba_sim.Stats.count stats "cache_misses" in
+    for _ = 1 to 3 do
+      List.iter (fun cap -> ignore (Client.read client2 cap)) files
+    done;
+    let hits = Amoeba_sim.Stats.count stats "cache_hits" - h0 in
+    let misses = Amoeba_sim.Stats.count stats "cache_misses" - m0 in
+    List.iter (fun cap -> Client.delete client2 cap) files;
+    float_of_int hits /. float_of_int (hits + misses)
+  in
+  let hit_rate_working_set = hit_rate 16 (* 1 MB inside the 2 MB cache *) in
+  let hit_rate_thrash = hit_rate 64 (* 4 MB: twice the cache *) in
+  { hit_us; miss_us; cold_us; hit_rate_working_set; hit_rate_thrash }
+
+(* ---- allocation-policy ablation ---- *)
+
+type ablation_report = {
+  first_fit_frag : float;
+  best_fit_frag : float;
+  first_fit_failures : int;
+  best_fit_failures : int;
+}
+
+let churn_run ~policy ~churn_ops =
+  let config = { Server.default_config with Server.alloc_policy = policy } in
+  let bed = make_bullet_bed ~sectors:16_384 ~config () in
+  let server = bed.b_server in
+  let prng = Prng.create ~seed:0xAB1AL in
+  let live = ref [] in
+  let failures = ref 0 in
+  for _ = 1 to churn_ops do
+    if !live = [] || Prng.int prng 100 < 55 then begin
+      let size = min 200_000 (Workload.Sizes.sample prng) in
+      match Server.create server (Bytes.make size 'a') with
+      | Ok cap -> live := cap :: !live
+      | Error _ -> incr failures
+    end
+    else begin
+      let idx = Prng.int prng (List.length !live) in
+      let cap = List.nth !live idx in
+      live := List.filteri (fun i _ -> i <> idx) !live;
+      ignore (Server.delete server cap)
+    end
+  done;
+  (Server.disk_fragmentation server, !failures)
+
+let allocation_ablation ?(churn_ops = 1_500) () =
+  let first_fit_frag, first_fit_failures =
+    churn_run ~policy:Bullet_core.Extent_alloc.First_fit ~churn_ops
+  in
+  let best_fit_frag, best_fit_failures =
+    churn_run ~policy:Bullet_core.Extent_alloc.Best_fit ~churn_ops
+  in
+  { first_fit_frag; best_fit_frag; first_fit_failures; best_fit_failures }
+
+(* ---- whole-trace replay ---- *)
+
+type trace_report = {
+  ops : int;
+  bullet_total_us : int;
+  nfs_total_us : int;
+  speedup : float;
+  bullet_p50_ms : float;
+  bullet_p99_ms : float;
+  nfs_p50_ms : float;
+  nfs_p99_ms : float;
+}
+
+let trace_replay ?(ops = 400) ?(seed = 0x7ACEL) ?mix () =
+  let trace =
+    Workload.Trace.generate ?mix ~prng:(Prng.create ~seed) ~warmup_files:20 ~ops ()
+  in
+  (* cap sizes so every file fits both servers comfortably *)
+  let clamp n = min n 500_000 in
+  let bullet_lat = Amoeba_sim.Stats.create "trace-bullet" in
+  let nfs_lat = Amoeba_sim.Stats.create "trace-nfs" in
+  (* Bullet interpretation: immutable files, updates create new versions *)
+  let bullet_us =
+    let bed = make_bullet_bed () in
+    let client = bed.b_client in
+    let live = ref [||] in
+    let push cap size = live := Array.append !live [| (cap, size) |] in
+    let drop idx = live := Array.of_list (List.filteri (fun i _ -> i <> idx) (Array.to_list !live)) in
+    let interpret op =
+      match (op : Workload.Trace.op) with
+      | Create { size } ->
+        let size = clamp size in
+        push (Client.create client (Bytes.make size 'z')) size
+      | Read_whole { victim } ->
+        let cap, _ = !live.(victim) in
+        ignore (Client.read client cap)
+      | Read_part { victim; frac_pos; len } ->
+        let cap, size = !live.(victim) in
+        let pos = int_of_float (frac_pos *. float_of_int (max 0 (size - len))) in
+        let len = min len (size - pos) in
+        if len > 0 then ignore (Client.read_range client cap ~pos ~len)
+      | Rewrite { victim; size } ->
+        let old, _ = !live.(victim) in
+        let size = clamp size in
+        let fresh = Client.create client (Bytes.make size 'r') in
+        Client.delete client old;
+        !live.(victim) <- (fresh, size)
+      | Update { victim; frac_pos; len } ->
+        let old, size = !live.(victim) in
+        let pos = int_of_float (frac_pos *. float_of_int size) in
+        let fresh = Client.modify client old ~pos (Bytes.make len 'u') in
+        Client.delete client old;
+        !live.(victim) <- (fresh, max size (pos + len))
+      | Delete { victim } ->
+        let cap, _ = !live.(victim) in
+        Client.delete client cap;
+        drop victim
+    in
+    let timed op =
+      let us = time bed.b_clock (fun () -> interpret op) in
+      Amoeba_sim.Stats.observe bullet_lat "op_ms" (float_of_int us /. 1000.)
+    in
+    time bed.b_clock (fun () -> List.iter timed trace)
+  in
+  (* NFS interpretation: update in place, rewrite = remove + recreate *)
+  let nfs_us =
+    let bed = make_nfs_bed () in
+    let client = bed.n_client in
+    let live = ref [||] in
+    let push fh size = live := Array.append !live [| (fh, size) |] in
+    let drop idx = live := Array.of_list (List.filteri (fun i _ -> i <> idx) (Array.to_list !live)) in
+    let interpret op =
+      match (op : Workload.Trace.op) with
+      | Create { size } ->
+        let size = clamp size in
+        let fh = Nfs_client.create client in
+        Nfs_client.write_file client fh (Bytes.make size 'z');
+        push fh size
+      | Read_whole { victim } ->
+        let fh, size = !live.(victim) in
+        ignore (Nfs_client.read_file client fh ~size)
+      | Read_part { victim; frac_pos; len } ->
+        let fh, size = !live.(victim) in
+        let len = min len Nfs_client.block_bytes in
+        let pos = int_of_float (frac_pos *. float_of_int (max 0 (size - len))) in
+        let len = min len (size - pos) in
+        if len > 0 then ignore (Nfs_client.read_at client fh ~off:pos ~len)
+      | Rewrite { victim; size } ->
+        let old, _ = !live.(victim) in
+        Nfs_client.remove client old;
+        let size = clamp size in
+        let fh = Nfs_client.create client in
+        Nfs_client.write_file client fh (Bytes.make size 'r');
+        !live.(victim) <- (fh, size)
+      | Update { victim; frac_pos; len } ->
+        let fh, size = !live.(victim) in
+        let len = min len Nfs_client.block_bytes in
+        let pos = int_of_float (frac_pos *. float_of_int size) in
+        Nfs_client.write_at client fh ~off:pos (Bytes.make len 'u');
+        !live.(victim) <- (fh, max size (pos + len))
+      | Delete { victim } ->
+        let fh, _ = !live.(victim) in
+        Nfs_client.remove client fh;
+        drop victim
+    in
+    let timed op =
+      let us = time bed.n_clock (fun () -> interpret op) in
+      Amoeba_sim.Stats.observe nfs_lat "op_ms" (float_of_int us /. 1000.)
+    in
+    time bed.n_clock (fun () -> List.iter timed trace)
+  in
+  {
+    ops = List.length trace;
+    bullet_total_us = bullet_us;
+    nfs_total_us = nfs_us;
+    speedup = float_of_int nfs_us /. float_of_int bullet_us;
+    bullet_p50_ms = Amoeba_sim.Stats.percentile bullet_lat "op_ms" 0.5;
+    bullet_p99_ms = Amoeba_sim.Stats.percentile bullet_lat "op_ms" 0.99;
+    nfs_p50_ms = Amoeba_sim.Stats.percentile nfs_lat "op_ms" 0.5;
+    nfs_p99_ms = Amoeba_sim.Stats.percentile nfs_lat "op_ms" 0.99;
+  }
+
+let mix_sweep ?(ops = 250) () =
+  let base = Workload.Trace.bsd_mix in
+  let with_updates fraction =
+    (* shift probability mass from whole-file reads into small updates *)
+    {
+      base with
+      Workload.Trace.p_update = fraction;
+      p_read_whole = Float.max 0.05 (base.Workload.Trace.p_read_whole -. fraction);
+    }
+  in
+  let run fraction =
+    let report = trace_replay ~ops ~mix:(with_updates fraction) () in
+    (fraction, report.speedup)
+  in
+  List.map run [ 0.05; 0.2; 0.4; 0.6; 0.8 ]
+
+(* ---- the append problem (§2) ---- *)
+
+type append_report = { appends : int; log_server_us : int; modify_us : int; naive_us : int }
+
+let append_ablation ?(appends = 50) ?(record_bytes = 120) ?(base_bytes = 65_536) () =
+  let record = Bytes.make record_bytes 'l' in
+  (* via the log server *)
+  let log_server_us =
+    let bed = make_bullet_bed () in
+    let log = Log_server.Log_store.create ~store:bed.b_client () in
+    let cap = Log_server.Log_store.create_log log in
+    (match Log_server.Log_store.append log cap (Bytes.make base_bytes 'b') with
+    | Ok _ -> ()
+    | Error _ -> ());
+    (match Log_server.Log_store.sync log cap with Ok () -> () | Error _ -> ());
+    time bed.b_clock (fun () ->
+        for _ = 1 to appends do
+          ignore (Log_server.Log_store.append log cap record)
+        done;
+        ignore (Log_server.Log_store.sync log cap))
+  in
+  (* via BULLET.MODIFY: server-side copy, only the record on the wire *)
+  let modify_us =
+    let bed = make_bullet_bed () in
+    let cap = ref (Client.create bed.b_client (Bytes.make base_bytes 'b')) in
+    time bed.b_clock (fun () ->
+        for _ = 1 to appends do
+          let fresh = Client.append bed.b_client !cap record in
+          Client.delete bed.b_client !cap;
+          cap := fresh
+        done)
+  in
+  (* naive: the client reads the whole file, appends locally, re-creates *)
+  let naive_us =
+    let bed = make_bullet_bed () in
+    let cap = ref (Client.create bed.b_client (Bytes.make base_bytes 'b')) in
+    time bed.b_clock (fun () ->
+        for _ = 1 to appends do
+          let contents = Client.read bed.b_client !cap in
+          let bigger = Bytes.cat contents record in
+          let fresh = Client.create bed.b_client bigger in
+          Client.delete bed.b_client !cap;
+          cap := fresh
+        done)
+  in
+  { appends; log_server_us; modify_us; naive_us }
+
+(* ---- immediate files (reference [1]) ---- *)
+
+type immediate_report = {
+  plain_write_us : int;
+  immediate_write_us : int;
+  plain_read_us : int;
+  immediate_read_us : int;
+  bullet_read_us : int;
+}
+
+let immediate_ablation () =
+  let measure config =
+    let clock = Clock.create () in
+    let geometry = Geometry.small ~sectors:testbed_sectors in
+    let dev = Dev.create ~id:"imm" ~geometry ~clock in
+    Nfs.format dev ~max_files:2048;
+    let server = Result.get_ok (Nfs.mount ~config dev) in
+    let transport = Amoeba_rpc.Transport.create ~clock in
+    Nfs_baseline.Nfs_proto.serve server transport;
+    let client = Nfs_client.connect transport (Nfs.port server) in
+    let data = Bytes.make 60 'i' in
+    let fh = ref None in
+    let write_us =
+      time clock (fun () ->
+          let handle = Nfs_client.create client in
+          Nfs_client.write_file client handle data;
+          fh := Some handle)
+    in
+    Nfs.age_cache server;
+    let handle = Option.get !fh in
+    let read_us = time clock (fun () -> ignore (Nfs_client.read_file client handle ~size:60)) in
+    (write_us, read_us)
+  in
+  let plain_write_us, plain_read_us = measure Nfs.default_config in
+  let immediate_write_us, immediate_read_us =
+    measure { Nfs.default_config with Nfs.immediate_files = true }
+  in
+  let bullet_read_us =
+    let bed = make_bullet_bed () in
+    let cap = Client.create bed.b_client (Bytes.make 60 'b') in
+    time bed.b_clock (fun () -> ignore (Client.read bed.b_client cap))
+  in
+  { plain_write_us; immediate_write_us; plain_read_us; immediate_read_us; bullet_read_us }
+
+(* ---- geographic scalability (paper 2.1) ---- *)
+
+type geo_report = {
+  file_bytes : int;
+  local_read_us : int;
+  regional_read_us : int;
+  wide_read_us : int;
+  nearest_pick : string;
+  publish_local_us : int;
+  publish_replicated_us : int;
+}
+
+let geo_experiment ?(file_bytes = 65_536) () =
+  let fed = Amoeba_wan.Federation.create ~home_region:"nl" () in
+  Amoeba_wan.Federation.add_site fed ~name:"cwi" ~region:"nl";
+  Amoeba_wan.Federation.add_site fed ~name:"tromso" ~region:"no";
+  let clock = Amoeba_wan.Federation.clock fed in
+  let data = Bytes.make file_bytes 'g' in
+  let publish_local_us =
+    time clock (fun () ->
+        ignore (Amoeba_wan.Federation.publish fed ~from:"home" ~name:"plain" data))
+  in
+  let publish_replicated_us =
+    time clock (fun () ->
+        ignore
+          (Amoeba_wan.Federation.publish fed ~from:"home" ~name:"mirrored"
+             ~replicate_to:[ "tromso" ] data))
+  in
+  let read_via replica from =
+    time clock (fun () ->
+        ignore (Amoeba_wan.Federation.fetch_from_replica fed ~from "mirrored" ~replica))
+  in
+  (* warm both replica caches so the comparison isolates the wire *)
+  ignore (Amoeba_wan.Federation.fetch_from_replica fed ~from:"home" "mirrored" ~replica:"home");
+  ignore (Amoeba_wan.Federation.fetch_from_replica fed ~from:"tromso" "mirrored" ~replica:"tromso");
+  let local_read_us = read_via "home" "home" in
+  let regional_read_us = read_via "home" "cwi" in
+  let wide_read_us = read_via "home" "tromso" in
+  let _, nearest_pick = Amoeba_wan.Federation.fetch fed ~from:"tromso" "mirrored" in
+  {
+    file_bytes;
+    local_read_us;
+    regional_read_us;
+    wide_read_us;
+    nearest_pick;
+    publish_local_us;
+    publish_replicated_us;
+  }
+
+(* ---- naming: server-side resolve vs component-wise lookups ---- *)
+
+type naming_report = {
+  depth : int;
+  local_resolve_us : int;
+  local_stepwise_us : int;
+  wide_resolve_us : int;
+  wide_stepwise_us : int;
+}
+
+let naming_experiment ?(depth = 5) () =
+  let bed = make_bullet_bed () in
+  let dirs = Amoeba_dir.Dir_server.create ~store:bed.b_client () in
+  let transport = Bullet_core.Client.transport bed.b_client in
+  Amoeba_dir.Dir_proto.serve dirs transport;
+  let local =
+    Amoeba_dir.Dir_client.connect transport (Amoeba_dir.Dir_server.port dirs)
+  in
+  let wide =
+    Amoeba_dir.Dir_client.connect
+      ~model:(Amoeba_wan.Link.model Amoeba_wan.Link.Wide)
+      transport (Amoeba_dir.Dir_server.port dirs)
+  in
+  let root = Amoeba_dir.Dir_client.get_root local in
+  let path = String.concat "/" (List.init depth (Printf.sprintf "d%d")) in
+  let leaf_dir = Amoeba_dir.Dir_client.mkdir_path local root path in
+  Amoeba_dir.Dir_client.enter local leaf_dir "leaf"
+    (Client.create bed.b_client (Bytes.of_string "x"));
+  let full_path = path ^ "/leaf" in
+  let timed client resolve =
+    time bed.b_clock (fun () ->
+        ignore
+          (if resolve then Amoeba_dir.Dir_client.resolve client root full_path
+           else Amoeba_dir.Dir_client.resolve_stepwise client root full_path))
+  in
+  {
+    depth = depth + 1;
+    local_resolve_us = timed local true;
+    local_stepwise_us = timed local false;
+    wide_resolve_us = timed wide true;
+    wide_stepwise_us = timed wide false;
+  }
+
+(* ---- quantitative scalability (closed-loop pool processors) ---- *)
+
+type scale_point = {
+  clients : int;
+  throughput_per_sec : float;
+  mean_response_ms : float;
+  utilisation : float;
+}
+
+type scale_report = {
+  bullet_service_us : int;
+  nfs_service_us : int;
+  bullet_knee : float;
+  nfs_knee : float;
+  bullet_points : scale_point list;
+  nfs_points : scale_point list;
+}
+
+let scale_experiment ?(client_counts = [ 1; 2; 4; 8; 16; 32; 64; 128 ]) ?(think_ms = 100) () =
+  let size = 4_096 in
+  (* measured server-side demand: what actually queues at the one
+     dedicated server machine *)
+  let bullet_service_us =
+    let bed = make_bullet_bed () in
+    let cap =
+      match Server.create bed.b_server (Bytes.make size 's') with
+      | Ok cap -> cap
+      | Error e -> failwith (Status.to_string e)
+    in
+    (* warm, then measure the direct (no-wire) server path *)
+    ignore (Server.read bed.b_server cap);
+    time bed.b_clock (fun () -> ignore (Server.read bed.b_server cap))
+  in
+  let nfs_service_us =
+    let bed = make_nfs_bed () in
+    let fh = match Nfs.create bed.n_server with Ok fh -> fh | Error e -> failwith (Status.to_string e) in
+    (match Nfs.write bed.n_server fh ~off:0 (Bytes.make size 's') with
+    | Ok () -> ()
+    | Error e -> failwith (Status.to_string e));
+    Nfs.age_cache bed.n_server;
+    time bed.n_clock (fun () -> ignore (Nfs.read bed.n_server fh ~off:0 ~len:size))
+  in
+  let wire model =
+    Amoeba_rpc.Net_model.transaction_us model
+      ~request_bytes:Amoeba_rpc.Message.header_bytes
+      ~reply_bytes:(Amoeba_rpc.Message.header_bytes + size)
+  in
+  let bullet_wire = wire Amoeba_rpc.Net_model.amoeba in
+  let nfs_wire = wire Amoeba_rpc.Net_model.sunos_nfs in
+  let think_us = think_ms * 1000 in
+  let points ~server_us ~wire_us =
+    let run clients =
+      let report =
+        Amoeba_pool.Closed_loop.run
+          {
+            Amoeba_pool.Closed_loop.clients;
+            think_us;
+            server_us;
+            wire_us;
+            requests_per_client = 50;
+          }
+      in
+      {
+        clients;
+        throughput_per_sec = report.Amoeba_pool.Closed_loop.throughput_per_sec;
+        mean_response_ms = report.Amoeba_pool.Closed_loop.mean_response_ms;
+        utilisation = report.Amoeba_pool.Closed_loop.server_utilisation;
+      }
+    in
+    List.map run client_counts
+  in
+  {
+    bullet_service_us;
+    nfs_service_us;
+    bullet_knee =
+      Amoeba_pool.Closed_loop.saturation_clients ~server_us:bullet_service_us ~think_us
+        ~wire_us:bullet_wire;
+    nfs_knee =
+      Amoeba_pool.Closed_loop.saturation_clients ~server_us:nfs_service_us ~think_us
+        ~wire_us:nfs_wire;
+    bullet_points = points ~server_us:bullet_service_us ~wire_us:bullet_wire;
+    nfs_points = points ~server_us:nfs_service_us ~wire_us:nfs_wire;
+  }
+
+(* ---- cache-size sweep ---- *)
+
+type cache_sweep_point = { cache_mb : int; hit_rate : float; mean_read_ms : float }
+
+let cache_size_sweep ?(working_set_mb = 4) ?(cache_mbs = [ 1; 2; 4; 8 ]) () =
+  let file_bytes = 65_536 in
+  let file_count = working_set_mb * 1024 * 1024 / file_bytes in
+  let run cache_mb =
+    let config = { Server.default_config with Server.cache_bytes = cache_mb * 1024 * 1024 } in
+    let bed = make_bullet_bed ~config () in
+    let rec make n acc =
+      if n = 0 then acc
+      else make (n - 1) (Client.create bed.b_client (Bytes.make file_bytes 'w') :: acc)
+    in
+    let files = make file_count [] in
+    let stats = Server.stats bed.b_server in
+    let h0 = Amoeba_sim.Stats.count stats "cache_hits" in
+    let m0 = Amoeba_sim.Stats.count stats "cache_misses" in
+    let reads = ref 0 in
+    let total_us =
+      time bed.b_clock (fun () ->
+          for _ = 1 to 3 do
+            List.iter
+              (fun cap ->
+                incr reads;
+                ignore (Client.read bed.b_client cap))
+              files
+          done)
+    in
+    let hits = Amoeba_sim.Stats.count stats "cache_hits" - h0 in
+    let misses = Amoeba_sim.Stats.count stats "cache_misses" - m0 in
+    {
+      cache_mb;
+      hit_rate = float_of_int hits /. float_of_int (max 1 (hits + misses));
+      mean_read_ms = float_of_int total_us /. float_of_int !reads /. 1000.;
+    }
+  in
+  List.map run cache_mbs
+
+(* ---- P-FACTOR x size matrix ---- *)
+
+let pfactor_matrix ?(sizes = [ 4_096; 65_536; 1_048_576 ]) () =
+  let bed = make_bullet_bed () in
+  let row size =
+    let data = Bytes.make size 'p' in
+    let cell p =
+      let cap = ref None in
+      let us =
+        time bed.b_clock (fun () -> cap := Some (Client.create bed.b_client ~p_factor:p data))
+      in
+      (match !cap with Some c -> Client.delete bed.b_client c | None -> ());
+      (p, us)
+    in
+    (size, List.map cell [ 0; 1; 2 ])
+  in
+  List.map row sizes

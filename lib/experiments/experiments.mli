@@ -1,0 +1,204 @@
+(** The paper's evaluation, as reusable experiment drivers.
+
+    Each driver builds a fresh simulated 1989 testbed (16.7 MHz servers,
+    10 Mbit/s Ethernet, late-80s drives), runs one of the paper's
+    measurements, and returns the data. The benchmark executable prints
+    them in the paper's table format; the integration tests assert the
+    paper's quantitative claims on them. Virtual time makes every number
+    deterministic. *)
+
+type row = {
+  size : int;  (** file size in bytes *)
+  read_us : int;  (** read delay, µs *)
+  write_us : int;  (** Bullet: CREATE+DELETE delay; NFS: CREATE delay *)
+}
+
+val bandwidth_kbs : size:int -> us:int -> float
+(** KB/s given a transfer size and delay. *)
+
+val paper_sizes : int list
+(** The Fig. 2/Fig. 3 rows. *)
+
+(** {1 Main tables} *)
+
+val fig2_bullet : ?sizes:int list -> unit -> row list
+(** The paper's Fig. 2: Bullet READ (file fully in server cache, as the
+    paper states) and CREATE+DELETE with the file written to both disks. *)
+
+val fig3_nfs : ?sizes:int list -> unit -> row list
+(** The paper's Fig. 3: SUN NFS READ and CREATE, client caching disabled
+    ([lockf]), one data disk, 3 MB server buffer cache aged between the
+    create and read phases (normally loaded server). *)
+
+type comparison = {
+  size : int;
+  read_ratio : float;  (** NFS read delay / Bullet read delay (claim: 3–6×) *)
+  bullet_write_kbs : float;
+  nfs_write_kbs : float;
+  nfs_read_kbs : float;
+  write_ratio : float;  (** Bullet/NFS write bandwidth (claim: ~10× at 1 MB) *)
+}
+
+val compare_servers : ?sizes:int list -> unit -> comparison list
+(** Fig. 2 vs Fig. 3, aligned by size — the §4 prose claims. *)
+
+(** {1 Secondary experiments} *)
+
+val pfactor_sweep : ?size:int -> unit -> (int * int) list
+(** [(p_factor, create_delay_us)] for P-FACTOR 0, 1, 2 (claim C5). *)
+
+type frag_report = {
+  files_written : int;
+  disk_utilisation : float;  (** fraction of the data area holding files *)
+  fragmentation_before : float;
+  largest_hole_before : int;
+  compaction_moved_blocks : int;
+  compaction_us : int;
+  fragmentation_after : float;
+}
+
+val fragmentation_experiment : ?churn_ops:int -> ?seed:int64 -> unit -> frag_report
+(** Drive a create/delete churn against a small disk until allocation
+    pressure shows, then run the 3 a.m. compaction (paper §3's trade-off:
+    an 800 MB disk storing ~500 MB of files). *)
+
+type cache_report = {
+  hit_us : int;
+  miss_us : int;
+  cold_us : int;  (** read straight after restart (inode table in RAM, file on disk) *)
+  hit_rate_working_set : float;  (** LRU hit rate when the working set fits *)
+  hit_rate_thrash : float;  (** and when it exceeds the cache *)
+}
+
+val cache_experiment : unit -> cache_report
+
+type ablation_report = {
+  first_fit_frag : float;
+  best_fit_frag : float;
+  first_fit_failures : int;  (** creates refused under churn *)
+  best_fit_failures : int;
+}
+
+val allocation_ablation : ?churn_ops:int -> unit -> ablation_report
+(** First-fit (the paper's choice) vs best-fit under identical churn. *)
+
+type trace_report = {
+  ops : int;
+  bullet_total_us : int;
+  nfs_total_us : int;
+  speedup : float;
+  bullet_p50_ms : float;  (** median per-operation latency *)
+  bullet_p99_ms : float;
+  nfs_p50_ms : float;
+  nfs_p99_ms : float;
+}
+
+val trace_replay : ?ops:int -> ?seed:int64 -> ?mix:Workload.Trace.mix -> unit -> trace_report
+(** Replay the same BSD-style trace (1984 size distribution, 75 %
+    whole-file reads by default) against both servers end to end. *)
+
+val mix_sweep : ?ops:int -> unit -> (float * float) list
+(** [(update_fraction, bullet_speedup)] as the workload shifts from the
+    read-dominated BSD mix toward small in-place updates — the regime
+    where immutability pays a whole-file copy per update and the
+    baseline merely rewrites one block. Honest about where the design
+    loses: the speedup falls toward (and can cross) 1 as updates
+    dominate, which is exactly why §2 concedes logs and databases to
+    other mechanisms. *)
+
+type append_report = {
+  appends : int;
+  log_server_us : int;  (** via the log server *)
+  modify_us : int;  (** via BULLET.MODIFY (server-side copy) *)
+  naive_us : int;  (** read + whole-file re-create from the client *)
+}
+
+val append_ablation : ?appends:int -> ?record_bytes:int -> ?base_bytes:int -> unit -> append_report
+(** The log-file problem of §2: three ways to append under the immutable
+    model. *)
+
+type immediate_report = {
+  plain_write_us : int;  (** 60 B create+write, stock baseline *)
+  immediate_write_us : int;  (** same with inode-inline small files *)
+  plain_read_us : int;  (** 60 B read, aged cache *)
+  immediate_read_us : int;
+  bullet_read_us : int;  (** Bullet, same file size, for scale *)
+}
+
+val immediate_ablation : unit -> immediate_report
+(** ABL3 — reference [1]'s "immediate files" retrofitted onto the block
+    baseline: small-file operations touch only the inode. Narrows the
+    small-file gap; leaves the large-file gap untouched (that one is the
+    Bullet design itself). *)
+
+type geo_report = {
+  file_bytes : int;
+  local_read_us : int;  (** replica at the reader's site *)
+  regional_read_us : int;  (** replica one gateway away *)
+  wide_read_us : int;  (** replica across the international line *)
+  nearest_pick : string;  (** which site [fetch] chose for the remote reader *)
+  publish_local_us : int;
+  publish_replicated_us : int;  (** publish + ship one replica abroad *)
+}
+
+val geo_experiment : ?file_bytes:int -> unit -> geo_report
+(** Geographic scalability (paper §2.1): a federation spanning
+    Amsterdam, a regional site and Norway; read one file from replicas
+    at each distance and show nearest-replica selection. *)
+
+type naming_report = {
+  depth : int;  (** path components resolved *)
+  local_resolve_us : int;  (** server-side walk, one RPC, same Ethernet *)
+  local_stepwise_us : int;  (** one lookup RPC per component *)
+  wide_resolve_us : int;  (** same, with the directory server abroad *)
+  wide_stepwise_us : int;
+}
+
+val naming_experiment : ?depth:int -> unit -> naming_report
+(** Path resolution cost: the directory server walks "a/b/.../leaf" in
+    one RPC vs the client looking up each component. On the local
+    Ethernet the difference is small; across a gateway it is the
+    difference between one and N wide-area round trips — why Amoeba
+    resolved paths server-side. *)
+
+type scale_point = {
+  clients : int;
+  throughput_per_sec : float;
+  mean_response_ms : float;
+  utilisation : float;
+}
+
+type scale_report = {
+  bullet_service_us : int;  (** measured per-request server demand (4 KB read) *)
+  nfs_service_us : int;
+  bullet_knee : float;  (** analytic saturation population *)
+  nfs_knee : float;
+  bullet_points : scale_point list;
+  nfs_points : scale_point list;
+}
+
+val scale_experiment : ?client_counts:int list -> ?think_ms:int -> unit -> scale_report
+(** Quantitative scalability (paper §2: "there may be thousands of
+    processors accessing files"): a closed loop of pool processors
+    reading 4 KB files. Server demands are measured on the real
+    implementations (Bullet: RAM-cache hit; NFS: per-block path on a
+    normally-loaded server); contention comes from discrete-event
+    simulation of the FIFO server queue. *)
+
+type cache_sweep_point = {
+  cache_mb : int;
+  hit_rate : float;
+  mean_read_ms : float;
+}
+
+val cache_size_sweep : ?working_set_mb:int -> ?cache_mbs:int list -> unit -> cache_sweep_point list
+(** Scan a fixed working set (64 KB files, three passes, LRU) under
+    different server cache sizes; the knee sits where the cache stops
+    covering the working set — the sizing argument behind "all of the
+    server's remaining memory will be used for file caching". *)
+
+val pfactor_matrix :
+  ?sizes:int list -> unit -> (int * (int * int) list) list
+(** [(size, [(p, create_us); ...]); ...] — how the P-FACTOR trade moves
+    with file size (the network term grows, the disk term is what p
+    removes). *)

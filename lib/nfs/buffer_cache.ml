@@ -1,0 +1,81 @@
+type slot = { data : bytes; mutable age : int }
+
+type t = {
+  device : Amoeba_disk.Block_device.t;
+  capacity : int; (* blocks *)
+  blocks : (int, slot) Hashtbl.t;
+  stats : Amoeba_sim.Stats.t;
+  sectors_per_block : int;
+  mutable tick : int;
+}
+
+let create ~capacity_bytes ~device =
+  let capacity = max 1 (capacity_bytes / Ufs_layout.fs_block_bytes) in
+  {
+    device;
+    capacity;
+    blocks = Hashtbl.create 512;
+    stats = Amoeba_sim.Stats.create "buffer_cache";
+    sectors_per_block = Ufs_layout.sectors_per_block (Amoeba_disk.Block_device.geometry device);
+    tick = 0;
+  }
+
+let capacity_blocks t = t.capacity
+
+let resident_blocks t = Hashtbl.length t.blocks
+
+let next_age t =
+  t.tick <- t.tick + 1;
+  t.tick
+
+let evict_lru t =
+  let victim = ref None in
+  let consider bno slot =
+    match !victim with
+    | None -> victim := Some (bno, slot.age)
+    | Some (_, age) -> if slot.age < age then victim := Some (bno, slot.age)
+  in
+  Hashtbl.iter consider t.blocks;
+  match !victim with
+  | None -> ()
+  | Some (bno, _) ->
+    Hashtbl.remove t.blocks bno;
+    Amoeba_sim.Stats.incr t.stats "evictions"
+
+let install t bno data =
+  while Hashtbl.length t.blocks >= t.capacity do
+    evict_lru t
+  done;
+  Hashtbl.replace t.blocks bno { data; age = next_age t }
+
+let read t bno =
+  match Hashtbl.find_opt t.blocks bno with
+  | Some slot ->
+    slot.age <- next_age t;
+    Amoeba_sim.Stats.incr t.stats "hits";
+    Bytes.copy slot.data
+  | None ->
+    Amoeba_sim.Stats.incr t.stats "misses";
+    let data =
+      Amoeba_disk.Block_device.read t.device ~sector:(bno * t.sectors_per_block)
+        ~count:t.sectors_per_block
+    in
+    install t bno (Bytes.copy data);
+    data
+
+let write_through t bno data =
+  if Bytes.length data <> Ufs_layout.fs_block_bytes then
+    invalid_arg "Buffer_cache.write_through: data must be one fs block";
+  install t bno (Bytes.copy data);
+  Amoeba_sim.Stats.incr t.stats "writes";
+  Amoeba_disk.Block_device.write t.device ~sector:(bno * t.sectors_per_block) data
+
+let invalidate t bno = Hashtbl.remove t.blocks bno
+
+let flush_all t = Hashtbl.reset t.blocks
+
+let flush_matching t predicate =
+  let victims = Hashtbl.fold (fun bno _ acc -> if predicate bno then bno :: acc else acc) t.blocks [] in
+  List.iter (Hashtbl.remove t.blocks) victims
+
+let stats t = t.stats

@@ -1,0 +1,23 @@
+(** Wire protocol of the baseline server.
+
+    File handles travel in the capability slot of the message (an NFS
+    handle is opaque bytes; here it is inode number + generation). Unlike
+    Bullet, data moves one 8 KB block per transaction. *)
+
+val cmd_create : int
+
+val cmd_write : int
+
+val cmd_read : int
+
+val cmd_getattr : int
+
+val cmd_remove : int
+
+val fh_to_cap : Amoeba_cap.Port.t -> Nfs_server.fhandle -> Amoeba_cap.Capability.t
+
+val fh_of_cap : Amoeba_cap.Capability.t -> Nfs_server.fhandle
+
+val dispatch : Nfs_server.t -> Amoeba_rpc.Message.t -> Amoeba_rpc.Message.t
+
+val serve : Nfs_server.t -> Amoeba_rpc.Transport.t -> unit

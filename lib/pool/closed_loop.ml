@@ -1,0 +1,86 @@
+type config = {
+  clients : int;
+  think_us : int;
+  server_us : int;
+  wire_us : int;
+  requests_per_client : int;
+}
+
+type report = {
+  simulated_us : int;
+  completed : int;
+  throughput_per_sec : float;
+  mean_response_ms : float;
+  p99_response_ms : float;
+  server_utilisation : float;
+}
+
+type event =
+  | Arrive of int  (** client finished thinking; request reaches the server queue *)
+  | Server_done  (** the request at the head of the queue completes service *)
+  | Reply_received of int  (** response crossed the wire back to the client *)
+
+let run config =
+  if config.clients <= 0 || config.requests_per_client <= 0 then
+    invalid_arg "Closed_loop.run: need clients and requests";
+  let queue = Event_queue.create () in
+  let stats = Amoeba_sim.Stats.create "closed_loop" in
+  (* per-client remaining requests; request start times *)
+  let remaining = Array.make config.clients config.requests_per_client in
+  let started = Array.make config.clients 0 in
+  let waiting : int Queue.t = Queue.create () in
+  let in_service = ref None in
+  let busy_us = ref 0 in
+  let completed = ref 0 in
+  let finish_time = ref 0 in
+  (* every client starts thinking at time 0; a tiny per-client skew
+     avoids a thundering herd of perfectly simultaneous arrivals *)
+  for c = 0 to config.clients - 1 do
+    Event_queue.push queue ~time:(config.think_us + (c mod 7)) (Arrive c)
+  done;
+  let start_service now =
+    match Queue.take_opt waiting with
+    | None -> in_service := None
+    | Some client ->
+      in_service := Some client;
+      busy_us := !busy_us + config.server_us;
+      Event_queue.push queue ~time:(now + config.server_us) Server_done
+  in
+  let rec loop now =
+    match Event_queue.pop queue with
+    | None -> now
+    | Some (at, event) ->
+      (match event with
+      | Arrive client ->
+        started.(client) <- at;
+        Queue.push client waiting;
+        if !in_service = None then start_service at
+      | Server_done ->
+        (match !in_service with
+        | None -> ()
+        | Some client -> Event_queue.push queue ~time:(at + config.wire_us) (Reply_received client));
+        start_service at
+      | Reply_received client ->
+        let response_us = at - started.(client) in
+        Amoeba_sim.Stats.observe stats "response_ms" (float_of_int response_us /. 1000.);
+        incr completed;
+        finish_time := at;
+        remaining.(client) <- remaining.(client) - 1;
+        if remaining.(client) > 0 then
+          Event_queue.push queue ~time:(at + config.think_us) (Arrive client));
+      loop at
+  in
+  let end_time = loop 0 in
+  let span = max 1 (max end_time !finish_time) in
+  let summary = Amoeba_sim.Stats.summary stats "response_ms" in
+  {
+    simulated_us = span;
+    completed = !completed;
+    throughput_per_sec = float_of_int !completed /. (float_of_int span /. 1e6);
+    mean_response_ms = summary.Amoeba_sim.Stats.mean;
+    p99_response_ms = Amoeba_sim.Stats.percentile stats "response_ms" 0.99;
+    server_utilisation = float_of_int !busy_us /. float_of_int span;
+  }
+
+let saturation_clients ~server_us ~think_us ~wire_us =
+  float_of_int (think_us + wire_us + server_us) /. float_of_int server_us

@@ -1,0 +1,39 @@
+(** Closed-loop multi-client simulation of a single-server service.
+
+    The paper's quantitative-scalability concern: "there may be
+    thousands of processors accessing files". The file server is one
+    dedicated machine, so under load it behaves as a FIFO queue; each
+    pool processor (client) cycles think → request → response. This
+    module runs that closed queueing network by discrete-event
+    simulation and reports throughput and response times.
+
+    Service demands come from the {e measured} per-operation costs of
+    the real server implementations (wire time overlaps at the network,
+    server time queues at the server), so the saturation points reflect
+    the systems under test, not free parameters. *)
+
+type config = {
+  clients : int;  (** pool processors in the loop *)
+  think_us : int;  (** per-client think time between requests *)
+  server_us : int;  (** service demand at the server per request (queues) *)
+  wire_us : int;  (** request+reply wire time (does not queue — the
+                      Ethernet has capacity to spare at these rates) *)
+  requests_per_client : int;
+}
+
+type report = {
+  simulated_us : int;  (** virtual time to complete the run *)
+  completed : int;
+  throughput_per_sec : float;
+  mean_response_ms : float;  (** request-to-reply, queueing included *)
+  p99_response_ms : float;
+  server_utilisation : float;  (** busy fraction of the server *)
+}
+
+val run : config -> report
+(** Deterministic (FIFO service, fixed think/service times). *)
+
+val saturation_clients : server_us:int -> think_us:int -> wire_us:int -> float
+(** The analytic knee of the closed loop:
+    [(think + wire + service) / service] — the client population beyond
+    which the server saturates. *)

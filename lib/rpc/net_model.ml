@@ -1,0 +1,15 @@
+type t = { latency_us : int; bytes_per_sec : int; packet_bytes : int; per_packet_us : int }
+
+let amoeba = { latency_us = 1_800; bytes_per_sec = 720_000; packet_bytes = 8_192; per_packet_us = 500 }
+
+let sunos_nfs =
+  { latency_us = 7_000; bytes_per_sec = 720_000; packet_bytes = 1_480; per_packet_us = 300 }
+
+let transmit_us t bytes =
+  if bytes <= 0 then 0
+  else
+    let packets = (bytes + t.packet_bytes - 1) / t.packet_bytes in
+    (bytes * 1_000_000 / t.bytes_per_sec) + (packets * t.per_packet_us)
+
+let transaction_us t ~request_bytes ~reply_bytes =
+  t.latency_us + transmit_us t request_bytes + transmit_us t reply_bytes

@@ -1,0 +1,33 @@
+(** Network cost model: a 10 Mbit/s Ethernet as seen through an RPC stack.
+
+    The paper measured "on a normally loaded Ethernet from a 16 MHz
+    processor"; the observable behaviour is that one RPC transaction costs
+    a fixed overhead (stubs, kernel, interrupts, both directions) plus
+    per-byte wire time plus per-fragment processing. Amoeba's stack is
+    lean (~1.4 ms null RPC, ~677 KB/s bulk); SunOS 3.5's RPC/UDP path is
+    several times heavier, which is part of why NFS loses even before the
+    disk is involved. Both calibrations live here so the benchmarks share
+    one wire. *)
+
+type t = {
+  latency_us : int;  (** fixed cost per transaction (request + reply) *)
+  bytes_per_sec : int;  (** effective one-way data rate *)
+  packet_bytes : int;  (** fragment size *)
+  per_packet_us : int;  (** per-fragment processing cost *)
+}
+
+val amoeba : t
+(** Amoeba 3.x RPC on 10 Mbit/s Ethernet between 16.7 MHz MC68020s;
+    calibrated so a null transaction is ≈2.5 ms and a 1 MB transfer
+    sustains ≈680 KB/s (the published Amoeba figures). *)
+
+val sunos_nfs : t
+(** SunOS 3.5 UDP RPC between a SUN 3/50 and a 3/180; heavier per-call
+    and per-fragment costs. *)
+
+val transmit_us : t -> int -> int
+(** [transmit_us model bytes] is the one-way time to move [bytes] of
+    payload (excludes the fixed per-transaction latency). *)
+
+val transaction_us : t -> request_bytes:int -> reply_bytes:int -> int
+(** Full wire cost of one RPC: fixed latency + both payloads. *)

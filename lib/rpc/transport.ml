@@ -1,0 +1,59 @@
+type service = Message.t -> Message.t
+
+module Port_table = Hashtbl.Make (struct
+  type t = Amoeba_cap.Port.t
+
+  let equal = Amoeba_cap.Port.equal
+
+  let hash = Amoeba_cap.Port.hash
+end)
+
+type t = {
+  clock : Amoeba_sim.Clock.t;
+  services : service Port_table.t;
+  stats : Amoeba_sim.Stats.t;
+}
+
+let create ~clock =
+  { clock; services = Port_table.create 16; stats = Amoeba_sim.Stats.create "transport" }
+
+let clock t = t.clock
+
+let register t port service =
+  if Port_table.mem t.services port then
+    invalid_arg
+      (Printf.sprintf "Transport.register: port %s already bound" (Amoeba_cap.Port.to_string port));
+  Port_table.replace t.services port service
+
+let unregister t port = Port_table.remove t.services port
+
+let lookup t port = Port_table.find_opt t.services port
+
+let log_src = Logs.Src.create "amoeba.rpc" ~doc:"Amoeba RPC transport"
+
+module Log = (val Logs.src_log log_src)
+
+let trans t ~model request =
+  Amoeba_sim.Stats.incr t.stats "transactions";
+  let request_bytes = Message.wire_bytes request in
+  Amoeba_sim.Stats.add t.stats "bytes_sent" request_bytes;
+  (* Fixed transaction latency plus the request payload on the wire. *)
+  Amoeba_sim.Clock.advance t.clock model.Net_model.latency_us;
+  Amoeba_sim.Clock.advance t.clock (Net_model.transmit_us model request_bytes);
+  let reply =
+    match Port_table.find_opt t.services request.Message.port with
+    | None ->
+      Amoeba_sim.Stats.incr t.stats "unbound_port";
+      Message.error Status.Server_failure
+    | Some service -> (
+      try service request
+      with e ->
+        Log.warn (fun m -> m "service on %a raised %s" Amoeba_cap.Port.pp request.Message.port (Printexc.to_string e));
+        Message.error Status.Server_failure)
+  in
+  let reply_bytes = Message.wire_bytes reply in
+  Amoeba_sim.Stats.add t.stats "bytes_received" reply_bytes;
+  Amoeba_sim.Clock.advance t.clock (Net_model.transmit_us model reply_bytes);
+  reply
+
+let stats t = t.stats

@@ -1,0 +1,37 @@
+(** The simulated network: a registry of services and a transaction
+    primitive.
+
+    [trans] is Amoeba's combined send-request/await-reply call. The
+    transport charges wire time for the request, hands the message to the
+    service registered on the destination port (which charges its own CPU
+    and disk time while handling it), then charges wire time for the
+    reply. All of this advances the shared virtual clock, so an
+    experiment's elapsed time is exactly the client-visible delay. *)
+
+type t
+
+type service = Message.t -> Message.t
+(** A request handler. Exceptions escaping a handler become
+    [Server_failure] replies. *)
+
+val create : clock:Amoeba_sim.Clock.t -> t
+
+val clock : t -> Amoeba_sim.Clock.t
+
+val register : t -> Amoeba_cap.Port.t -> service -> unit
+(** Publish a service on a port. Raises [Invalid_argument] if the port is
+    already bound. *)
+
+val unregister : t -> Amoeba_cap.Port.t -> unit
+(** Remove a service, e.g. to simulate a crashed server. *)
+
+val lookup : t -> Amoeba_cap.Port.t -> service option
+
+val trans : t -> model:Net_model.t -> Message.t -> Message.t
+(** One RPC transaction under the given wire-cost model. A request to an
+    unbound port returns a [Server_failure] reply after the fixed network
+    latency (the timeout path is not modelled further). *)
+
+val stats : t -> Amoeba_sim.Stats.t
+(** Counters: [transactions], [bytes_sent], [bytes_received],
+    [unbound_port]. *)

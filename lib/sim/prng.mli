@@ -1,0 +1,35 @@
+(** Deterministic pseudo-random numbers (SplitMix64).
+
+    Capability check fields, workload generation and fault injection all
+    need random numbers that are reproducible run-to-run; the stdlib
+    [Random] state is global and easily perturbed, so each component owns
+    a [Prng.t] seeded explicitly. *)
+
+type t
+(** A self-contained SplitMix64 generator state. *)
+
+val create : seed:int64 -> t
+(** A generator with the given seed; equal seeds yield equal streams. *)
+
+val next_int64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]. Raises [Invalid_argument]
+    if [bound <= 0]. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in t lo hi] is uniform in [\[lo, hi\]] inclusive. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val bool : t -> bool
+(** A fair coin flip. *)
+
+val bytes : t -> int -> bytes
+(** [bytes t n] is [n] random bytes. *)
+
+val split : t -> t
+(** An independent generator derived from [t]; advancing one does not
+    perturb the other. *)

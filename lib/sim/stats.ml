@@ -1,0 +1,143 @@
+(* tiny private xorshift for reservoir sampling, so Stats does not need
+   a Prng instance threaded in *)
+module Rng = struct
+  type t = { mutable state : int }
+
+  let create () = { state = 0x9E3779B9 }
+
+  let next t bound =
+    let x = t.state in
+    let x = x lxor (x lsl 13) in
+    let x = x lxor (x lsr 7) in
+    let x = x lxor (x lsl 17) in
+    t.state <- x land max_int;
+    t.state mod bound
+end
+
+type series = {
+  mutable s_count : int;
+  mutable s_sum : float;
+  mutable s_min : float;
+  mutable s_max : float;
+  mutable samples : float array; (* reservoir, grows to [reservoir_cap] *)
+  mutable sample_count : int; (* live entries in [samples] *)
+}
+
+type t = {
+  label : string;
+  counts : (string, int ref) Hashtbl.t;
+  series_table : (string, series) Hashtbl.t;
+  reservoir_rng : Rng.t;
+}
+
+type summary = {
+  count : int;
+  sum : float;
+  min : float;
+  max : float;
+  mean : float;
+}
+
+let reservoir_cap = 65_536
+
+let create label =
+  {
+    label;
+    counts = Hashtbl.create 16;
+    series_table = Hashtbl.create 16;
+    reservoir_rng = Rng.create ();
+  }
+
+let name t = t.label
+
+let counter t key =
+  match Hashtbl.find_opt t.counts key with
+  | Some cell -> cell
+  | None ->
+    let cell = ref 0 in
+    Hashtbl.add t.counts key cell;
+    cell
+
+let incr t key = Stdlib.incr (counter t key)
+
+let add t key n =
+  let cell = counter t key in
+  cell := !cell + n
+
+let count t key = match Hashtbl.find_opt t.counts key with Some c -> !c | None -> 0
+
+let series t key =
+  match Hashtbl.find_opt t.series_table key with
+  | Some s -> s
+  | None ->
+    let s =
+      {
+        s_count = 0;
+        s_sum = 0.;
+        s_min = infinity;
+        s_max = neg_infinity;
+        samples = Array.make 64 0.;
+        sample_count = 0;
+      }
+    in
+    Hashtbl.add t.series_table key s;
+    s
+
+let observe t key v =
+  let s = series t key in
+  s.s_count <- s.s_count + 1;
+  s.s_sum <- s.s_sum +. v;
+  if v < s.s_min then s.s_min <- v;
+  if v > s.s_max then s.s_max <- v;
+  if s.sample_count < reservoir_cap then begin
+    if s.sample_count = Array.length s.samples then begin
+      let bigger = Array.make (min reservoir_cap (2 * Array.length s.samples)) 0. in
+      Array.blit s.samples 0 bigger 0 s.sample_count;
+      s.samples <- bigger
+    end;
+    s.samples.(s.sample_count) <- v;
+    s.sample_count <- s.sample_count + 1
+  end
+  else begin
+    (* reservoir sampling: replace a random slot with probability cap/n *)
+    let slot = Rng.next t.reservoir_rng s.s_count in
+    if slot < reservoir_cap then s.samples.(slot) <- v
+  end
+
+let summary t key =
+  match Hashtbl.find_opt t.series_table key with
+  | None -> { count = 0; sum = 0.; min = 0.; max = 0.; mean = 0. }
+  | Some { s_count = 0; _ } -> { count = 0; sum = 0.; min = 0.; max = 0.; mean = 0. }
+  | Some s ->
+    {
+      count = s.s_count;
+      sum = s.s_sum;
+      min = s.s_min;
+      max = s.s_max;
+      mean = s.s_sum /. float_of_int s.s_count;
+    }
+
+let percentile t key q =
+  match Hashtbl.find_opt t.series_table key with
+  | None -> 0.
+  | Some s when s.sample_count = 0 -> 0.
+  | Some s ->
+    let sorted = Array.sub s.samples 0 s.sample_count in
+    Array.sort compare sorted;
+    let q = Float.max 0. (Float.min 1. q) in
+    let rank = int_of_float (q *. float_of_int (s.sample_count - 1)) in
+    sorted.(rank)
+
+let reset t =
+  Hashtbl.reset t.counts;
+  Hashtbl.reset t.series_table
+
+let counters t =
+  Hashtbl.fold (fun key cell acc -> (key, !cell) :: acc) t.counts []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>%s:" t.label;
+  let pp_counter (key, v) = Format.fprintf ppf "@,  %-24s %d" key v in
+  List.iter pp_counter (counters t);
+  Format.fprintf ppf "@]"

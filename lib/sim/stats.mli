@@ -1,0 +1,53 @@
+(** Operation counters and duration summaries.
+
+    Each simulated component (disk, network, server) keeps a [Stats.t] so
+    experiments can report how many physical operations an API call cost —
+    e.g. that a cached Bullet read performs zero disk transfers. *)
+
+type t
+(** A named collection of counters and samples. *)
+
+type summary = {
+  count : int;
+  sum : float;
+  min : float;
+  max : float;
+  mean : float;
+}
+(** Summary of an observed sample series; [min]/[max]/[mean] are 0 when
+    [count] is 0. *)
+
+val create : string -> t
+(** [create name] is an empty collection labelled [name] in reports. *)
+
+val name : t -> string
+
+val incr : t -> string -> unit
+(** Bump the named counter by one. *)
+
+val add : t -> string -> int -> unit
+(** Bump the named counter by [n]. *)
+
+val count : t -> string -> int
+(** Current value of the named counter (0 if never bumped). *)
+
+val observe : t -> string -> float -> unit
+(** Record one sample of the named series. *)
+
+val summary : t -> string -> summary
+(** Summarise the named series (all-zero summary if never observed). *)
+
+val percentile : t -> string -> float -> float
+(** [percentile t key q] for [q] in [\[0, 1\]] (nearest-rank over the
+    retained samples; series retain up to 65536 samples, after which new
+    observations replace random earlier ones — reservoir sampling).
+    Returns 0 for an empty series. *)
+
+val reset : t -> unit
+(** Clear all counters and samples. *)
+
+val counters : t -> (string * int) list
+(** All counters, sorted by name. *)
+
+val pp : Format.formatter -> t -> unit
+(** Render counters one per line, for debug output. *)

@@ -1,0 +1,205 @@
+module Status = Amoeba_rpc.Status
+module Cap = Amoeba_cap.Capability
+
+type t = {
+  bullet : Bullet_core.Client.t;
+  dirs : Amoeba_dir.Dir_client.t;
+  root : Cap.t;
+}
+
+type open_flag = O_RDONLY | O_WRONLY | O_RDWR | O_CREAT | O_TRUNC | O_APPEND
+
+type fd = {
+  parent : Cap.t; (* directory holding the binding *)
+  leaf : string;
+  mutable image : Bytes.t; (* whole-file RAM image *)
+  mutable offset : int;
+  mutable dirty : bool;
+  mutable closed : bool;
+  writable : bool;
+  append : bool;
+}
+
+type stat_info = { st_size : int; st_versions : int; st_is_dir : bool }
+
+exception Unix_error of string * string
+
+let error fn msg = raise (Unix_error (fn, msg))
+
+let mount ~bullet ~dirs ~root = { bullet; dirs; root }
+
+(* Split "a/b/c" into the parent directory capability and leaf name. *)
+let resolve_parent t path ~fn =
+  let parts = List.filter (fun c -> c <> "") (String.split_on_char '/' path) in
+  match List.rev parts with
+  | [] -> error fn "empty path"
+  | leaf :: rev_dirs ->
+    let walk dir name =
+      try Amoeba_dir.Dir_client.lookup t.dirs dir name
+      with Status.Error _ -> error fn ("ENOENT " ^ path)
+    in
+    (List.fold_left walk t.root (List.rev rev_dirs), leaf)
+
+let lookup_leaf t parent leaf =
+  match Amoeba_dir.Dir_client.lookup t.dirs parent leaf with
+  | cap -> Some cap
+  | exception Status.Error Status.Not_found -> None
+  | exception Status.Error e -> error "lookup" (Status.to_string e)
+
+let is_bullet_file t cap = Amoeba_cap.Port.equal cap.Cap.port (Bullet_core.Client.port t.bullet)
+
+let openfile t path flags =
+  let writable = List.exists (fun f -> f = O_WRONLY || f = O_RDWR) flags in
+  let parent, leaf = resolve_parent t path ~fn:"open" in
+  let existing = lookup_leaf t parent leaf in
+  let image =
+    match existing with
+    | Some cap ->
+      if not (is_bullet_file t cap) then error "open" ("EISDIR " ^ path)
+      else if List.mem O_TRUNC flags then Bytes.create 0
+      else Bullet_core.Client.read t.bullet cap
+    | None ->
+      if List.mem O_CREAT flags then Bytes.create 0 else error "open" ("ENOENT " ^ path)
+  in
+  {
+    parent;
+    leaf;
+    image;
+    offset = (if List.mem O_APPEND flags then Bytes.length image else 0);
+    dirty = (existing = None && List.mem O_CREAT flags) || (existing <> None && List.mem O_TRUNC flags && writable);
+    closed = false;
+    writable;
+    append = List.mem O_APPEND flags;
+  }
+
+let check_open fd fn = if fd.closed then error fn "EBADF"
+
+let read fd buf n =
+  check_open fd "read";
+  let available = max 0 (Bytes.length fd.image - fd.offset) in
+  let count = min n (min available (Bytes.length buf)) in
+  Bytes.blit fd.image fd.offset buf 0 count;
+  fd.offset <- fd.offset + count;
+  count
+
+let write fd data =
+  check_open fd "write";
+  if not fd.writable then error "write" "EBADF: not opened for writing";
+  if fd.append then fd.offset <- Bytes.length fd.image;
+  let len = Bytes.length data in
+  let needed = fd.offset + len in
+  if needed > Bytes.length fd.image then begin
+    let bigger = Bytes.make needed '\000' in
+    Bytes.blit fd.image 0 bigger 0 (Bytes.length fd.image);
+    fd.image <- bigger
+  end;
+  Bytes.blit data 0 fd.image fd.offset len;
+  fd.offset <- needed;
+  fd.dirty <- true;
+  len
+
+let lseek fd pos whence =
+  check_open fd "lseek";
+  let base =
+    match whence with `SET -> 0 | `CUR -> fd.offset | `END -> Bytes.length fd.image
+  in
+  let target = base + pos in
+  if target < 0 then error "lseek" "EINVAL: negative offset";
+  fd.offset <- target;
+  target
+
+let fsize fd =
+  check_open fd "fsize";
+  Bytes.length fd.image
+
+let close t fd =
+  check_open fd "close";
+  fd.closed <- true;
+  if fd.dirty then begin
+    (* Publish: new immutable file, then atomically swap the binding. *)
+    let fresh = Bullet_core.Client.create t.bullet fd.image in
+    let (_ : Cap.t option) = Amoeba_dir.Dir_client.replace t.dirs fd.parent fd.leaf fresh in
+    ()
+  end
+
+let unlink t path =
+  let parent, leaf = resolve_parent t path ~fn:"unlink" in
+  match Amoeba_dir.Dir_client.versions t.dirs parent leaf with
+  | exception Status.Error Status.Not_found -> error "unlink" ("ENOENT " ^ path)
+  | versions ->
+    Amoeba_dir.Dir_client.remove_name t.dirs parent leaf;
+    let delete_quietly cap =
+      if is_bullet_file t cap then
+        try Bullet_core.Client.delete t.bullet cap with Status.Error _ -> ()
+    in
+    List.iter delete_quietly versions
+
+let rename t from_path to_path =
+  let from_parent, from_leaf = resolve_parent t from_path ~fn:"rename" in
+  let to_parent, to_leaf = resolve_parent t to_path ~fn:"rename" in
+  match lookup_leaf t from_parent from_leaf with
+  | None -> error "rename" ("ENOENT " ^ from_path)
+  | Some cap ->
+    (* renaming a file onto itself is a successful no-op (POSIX) *)
+    if not (Cap.equal from_parent to_parent && from_leaf = to_leaf) then begin
+      let (_ : Cap.t option) = Amoeba_dir.Dir_client.replace t.dirs to_parent to_leaf cap in
+      Amoeba_dir.Dir_client.remove_name t.dirs from_parent from_leaf
+    end
+
+let mkdir t path =
+  let parent, leaf = resolve_parent t path ~fn:"mkdir" in
+  match lookup_leaf t parent leaf with
+  | Some _ -> error "mkdir" ("EEXIST " ^ path)
+  | None ->
+    let fresh = Amoeba_dir.Dir_client.make_dir t.dirs in
+    Amoeba_dir.Dir_client.enter t.dirs parent leaf fresh
+
+let dir_cap_of t path ~fn =
+  if List.filter (fun c -> c <> "") (String.split_on_char '/' path) = [] then t.root
+  else
+    let parent, leaf = resolve_parent t path ~fn in
+    match lookup_leaf t parent leaf with
+    | Some cap -> cap
+    | None -> error fn ("ENOENT " ^ path)
+
+let readdir t path =
+  let dir = dir_cap_of t path ~fn:"readdir" in
+  List.map fst (Amoeba_dir.Dir_client.list t.dirs dir)
+
+let stat t path =
+  let parent, leaf = resolve_parent t path ~fn:"stat" in
+  match lookup_leaf t parent leaf with
+  | None -> error "stat" ("ENOENT " ^ path)
+  | Some cap ->
+    if is_bullet_file t cap then
+      let size =
+        try Bullet_core.Client.size t.bullet cap
+        with Status.Error e -> error "stat" (Status.to_string e)
+      in
+      let versions =
+        try List.length (Amoeba_dir.Dir_client.versions t.dirs parent leaf)
+        with Status.Error _ -> 1
+      in
+      { st_size = size; st_versions = versions; st_is_dir = false }
+    else { st_size = 0; st_versions = 1; st_is_dir = true }
+
+let with_file t path flags f =
+  let fd = openfile t path flags in
+  match f fd with
+  | result ->
+    close t fd;
+    result
+  | exception e ->
+    if not fd.closed then close t fd;
+    raise e
+
+let read_whole t path =
+  with_file t path [ O_RDONLY ] (fun fd ->
+      let buf = Bytes.create (fsize fd) in
+      let (_ : int) = read fd buf (Bytes.length buf) in
+      Bytes.to_string buf)
+
+let write_whole t path contents =
+  with_file t path [ O_WRONLY; O_CREAT; O_TRUNC ] (fun fd ->
+      let (_ : int) = write fd (Bytes.of_string contents) in
+      ())

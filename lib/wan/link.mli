@@ -1,0 +1,20 @@
+(** Wide-area link models.
+
+    Amoeba in 1989 ran "in four different countries (The Netherlands,
+    England, Norway, and Germany)" behind gateways (paper §2.1, the
+    MANDIS project). RPC cost depends on where the two parties sit:
+    same Ethernet, same region (two LANs bridged by a gateway), or an
+    international leased line. *)
+
+type t =
+  | Local  (** same 10 Mbit/s Ethernet segment *)
+  | Regional  (** LAN–gateway–LAN within a metro area (VU ↔ CWI) *)
+  | Wide  (** international leased line, 64 kbit/s class *)
+
+val model : t -> Amoeba_rpc.Net_model.t
+(** The wire-cost model for one RPC across the link. [Local] is
+    {!Amoeba_rpc.Net_model.amoeba}. *)
+
+val classify : same_site:bool -> same_region:bool -> t
+
+val to_string : t -> string

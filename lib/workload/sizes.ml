@@ -1,0 +1,37 @@
+let paper_sweep = [ 1; 16; 256; 4096; 65536; 1048576 ]
+
+(* CDF knots fitted to Mullender & Tanenbaum (1984): median 1 KB, 99% of
+   files under 64 KB. *)
+let quantiles =
+  [
+    (0.00, 64);
+    (0.20, 256);
+    (0.50, 1_024);
+    (0.75, 4_096);
+    (0.90, 16_384);
+    (0.99, 65_536);
+    (1.00, 1_048_576);
+  ]
+
+let sample prng =
+  let u = Amoeba_sim.Prng.float prng 1.0 in
+  let interpolate (p_lo, s_lo) (p_hi, s_hi) =
+    (* log-uniform interpolation between the knots *)
+    let frac = if p_hi = p_lo then 0. else (u -. p_lo) /. (p_hi -. p_lo) in
+    let log_size =
+      log (float_of_int s_lo) +. (frac *. (log (float_of_int s_hi) -. log (float_of_int s_lo)))
+    in
+    max 1 (int_of_float (exp log_size))
+  in
+  let rec locate = function
+    | lo :: (hi :: rest_after) ->
+      let p_hi = fst hi in
+      if u <= p_hi || rest_after = [] then interpolate lo hi else locate (hi :: rest_after)
+    | [ _ ] | [] -> 1_024
+  in
+  locate quantiles
+
+let describe n =
+  if n >= 1_048_576 && n mod 1_048_576 = 0 then Printf.sprintf "%d MB" (n / 1_048_576)
+  else if n >= 1_024 && n mod 1_024 = 0 then Printf.sprintf "%d KB" (n / 1_024)
+  else Printf.sprintf "%d B" n

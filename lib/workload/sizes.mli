@@ -1,0 +1,23 @@
+(** File-size distributions.
+
+    The paper's motivation rests on the 1984 "Immediate Files"
+    measurements it cites: "the median file size in a UNIX system is
+    1 Kbyte and 99% of all files are less than 64 Kbytes". {!sample}
+    draws from a piecewise log-uniform distribution fitted to those
+    quantiles. *)
+
+val paper_sweep : int list
+(** The six file sizes of the paper's Fig. 2/Fig. 3 rows:
+    1 B, 16 B, 256 B, 4 KB, 64 KB, 1 MB (the numeric row labels in the
+    surviving scan are partially illegible; these reconstruct the
+    1-byte … 1-Mbyte span named in the prose). *)
+
+val sample : Amoeba_sim.Prng.t -> int
+(** One file size from the 1984 UNIX distribution (median ≈1 KB,
+    99th percentile ≈64 KB, max 1 MB). *)
+
+val quantiles : (float * int) list
+(** The fitted CDF knots [(probability, size_bytes)]. *)
+
+val describe : int -> string
+(** Human-readable size, e.g. ["64 KB"]. *)

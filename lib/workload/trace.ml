@@ -1,0 +1,64 @@
+type op =
+  | Create of { size : int }
+  | Read_whole of { victim : int }
+  | Read_part of { victim : int; frac_pos : float; len : int }
+  | Rewrite of { victim : int; size : int }
+  | Update of { victim : int; frac_pos : float; len : int }
+  | Delete of { victim : int }
+
+type mix = {
+  p_read_whole : float;
+  p_read_part : float;
+  p_rewrite : float;
+  p_update : float;
+  p_delete : float;
+}
+
+let bsd_mix =
+  { p_read_whole = 0.60; p_read_part = 0.15; p_rewrite = 0.10; p_update = 0.05; p_delete = 0.04 }
+
+let generate ?(mix = bsd_mix) ~prng ~warmup_files ~ops () =
+  let live = ref 0 in
+  let create () =
+    incr live;
+    Create { size = Sizes.sample prng }
+  in
+  let victim () = Amoeba_sim.Prng.int prng !live in
+  let small_len () = 16 + Amoeba_sim.Prng.int prng 496 in
+  let pick () =
+    if !live = 0 then create ()
+    else begin
+      let u = Amoeba_sim.Prng.float prng 1.0 in
+      let thresholds =
+        [
+          (mix.p_read_whole, `Read_whole);
+          (mix.p_read_part, `Read_part);
+          (mix.p_rewrite, `Rewrite);
+          (mix.p_update, `Update);
+          (mix.p_delete, `Delete);
+        ]
+      in
+      let rec classify acc = function
+        | [] -> `Create
+        | (p, tag) :: rest -> if u < acc +. p then tag else classify (acc +. p) rest
+      in
+      match classify 0.0 thresholds with
+      | `Read_whole -> Read_whole { victim = victim () }
+      | `Read_part ->
+        Read_part
+          { victim = victim (); frac_pos = Amoeba_sim.Prng.float prng 1.0; len = small_len () }
+      | `Rewrite -> Rewrite { victim = victim (); size = Sizes.sample prng }
+      | `Update ->
+        Update { victim = victim (); frac_pos = Amoeba_sim.Prng.float prng 1.0; len = small_len () }
+      | `Delete ->
+        let v = victim () in
+        decr live;
+        Delete { victim = v }
+      | `Create -> create ()
+    end
+  in
+  (* explicit recursion: [create] is stateful, evaluation order matters *)
+  let rec make_warmup n = if n = 0 then [] else let c = create () in c :: make_warmup (n - 1) in
+  let warmup = make_warmup warmup_files in
+  let rec body n acc = if n = 0 then List.rev acc else body (n - 1) (pick () :: acc) in
+  warmup @ body ops []

@@ -1,0 +1,39 @@
+(** Synthetic operation traces.
+
+    The paper justifies whole-file transfer with the BSD trace study it
+    cites: "most files (about 75%) are accessed in entirety". This
+    generator produces an operation stream over a working set of files
+    with that shape: whole-file reads dominate, followed by whole-file
+    (re)writes — which under the immutable model become create+replace —
+    plus small in-place updates and deletions. Consumers interpret the
+    abstract ops against whichever server they benchmark. *)
+
+type op =
+  | Create of { size : int }
+  | Read_whole of { victim : int }  (** index into currently-live files *)
+  | Read_part of { victim : int; frac_pos : float; len : int }
+  | Rewrite of { victim : int; size : int }  (** whole-file replacement *)
+  | Update of { victim : int; frac_pos : float; len : int }  (** small in-place delta *)
+  | Delete of { victim : int }
+
+type mix = {
+  p_read_whole : float;
+  p_read_part : float;
+  p_rewrite : float;
+  p_update : float;
+  p_delete : float;  (** remainder after the others is Create *)
+}
+
+val bsd_mix : mix
+(** ~60% whole reads, ~15% partial reads (75% of accesses are whole-file
+    as in the cited trace study), ~10% rewrites, ~5% small updates,
+    ~4% deletes, rest creates. *)
+
+val generate :
+  ?mix:mix -> prng:Amoeba_sim.Prng.t -> warmup_files:int -> ops:int -> unit -> op list
+(** A trace beginning with [warmup_files] creates, then [ops] operations
+    drawn from the mix. Victim indices are guaranteed valid if the
+    consumer replaces deleted slots (interpret [Delete] as
+    delete-then-forget, [Create] as append-to-set); the generator tracks
+    the live count symbolically. When the set is empty the op falls back
+    to Create. *)

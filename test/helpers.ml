@@ -1,0 +1,67 @@
+(* Shared fixtures for the test suites. *)
+
+let check_int = Alcotest.(check int)
+
+let check_bool = Alcotest.(check bool)
+
+let check_string = Alcotest.(check string)
+
+let check_bytes msg a b = Alcotest.(check string) msg (Bytes.to_string a) (Bytes.to_string b)
+
+(* A small rig: clock + two mirrored 8 MB drives. *)
+type rig = {
+  clock : Amoeba_sim.Clock.t;
+  drive1 : Amoeba_disk.Block_device.t;
+  drive2 : Amoeba_disk.Block_device.t;
+  mirror : Amoeba_disk.Mirror.t;
+}
+
+let make_rig ?(sectors = 16_384) () =
+  let clock = Amoeba_sim.Clock.create () in
+  let geometry = Amoeba_disk.Geometry.small ~sectors in
+  let drive1 = Amoeba_disk.Block_device.create ~id:"d1" ~geometry ~clock in
+  let drive2 = Amoeba_disk.Block_device.create ~id:"d2" ~geometry ~clock in
+  { clock; drive1; drive2; mirror = Amoeba_disk.Mirror.create [ drive1; drive2 ] }
+
+(* A booted Bullet server with a small cache, plus transport and client. *)
+type bullet_rig = {
+  rig : rig;
+  server : Bullet_core.Server.t;
+  transport : Amoeba_rpc.Transport.t;
+  client : Bullet_core.Client.t;
+}
+
+let small_bullet_config =
+  {
+    Bullet_core.Server.default_config with
+    Bullet_core.Server.cache_bytes = 512 * 1024;
+    max_cached_files = 64;
+  }
+
+let make_bullet ?(config = small_bullet_config) ?(sectors = 16_384) ?(max_files = 256) () =
+  let rig = make_rig ~sectors () in
+  Bullet_core.Server.format rig.mirror ~max_files;
+  let server, _report = Result.get_ok (Bullet_core.Server.start ~config rig.mirror) in
+  let transport = Amoeba_rpc.Transport.create ~clock:rig.clock in
+  Bullet_core.Proto.serve server transport;
+  let client = Bullet_core.Client.connect transport (Bullet_core.Server.port server) in
+  { rig; server; transport; client }
+
+let payload n = Bytes.init n (fun i -> Char.chr ((i * 7) land 0xff))
+
+let ok_exn = function
+  | Ok v -> v
+  | Error status -> Alcotest.failf "unexpected error: %s" (Amoeba_rpc.Status.to_string status)
+
+let expect_error expected = function
+  | Ok _ -> Alcotest.failf "expected %s, got Ok" (Amoeba_rpc.Status.to_string expected)
+  | Error status ->
+    Alcotest.(check string)
+      "status" (Amoeba_rpc.Status.to_string expected) (Amoeba_rpc.Status.to_string status)
+
+let qtest name ?(count = 200) arbitrary prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~name ~count arbitrary prop)
+
+let elapsed_ms clock f =
+  let result, us = Amoeba_sim.Clock.elapsed clock f in
+  (result, Amoeba_sim.Clock.to_ms us)

@@ -1,0 +1,27 @@
+let () =
+  Alcotest.run "bullet"
+    [
+      Test_sim.suite;
+      Test_disk.suite;
+      Test_capability.suite;
+      Test_rpc.suite;
+      Test_extent_alloc.suite;
+      Test_cache.suite;
+      Test_layout.suite;
+      Test_server.suite;
+      Test_proto.suite;
+      Test_nfs.suite;
+      Test_directory.suite;
+      Test_logsrv.suite;
+      Test_unix_emu.suite;
+      Test_workload.suite;
+      Test_wire.suite;
+      Test_wan.suite;
+      Test_fuzz.suite;
+      Test_dir_pair.suite;
+      Test_worm.suite;
+      Test_sparse.suite;
+      Test_pool.suite;
+      Test_tools.suite;
+      Test_claims.suite;
+    ]

@@ -1,0 +1,159 @@
+(* Tests for ports, rights, XTEA, capabilities and the sealer. *)
+
+open Helpers
+module Port = Amoeba_cap.Port
+module Rights = Amoeba_cap.Rights
+module Crypto = Amoeba_cap.Crypto
+module Cap = Amoeba_cap.Capability
+module Sealer = Amoeba_cap.Sealer
+module Prng = Amoeba_sim.Prng
+
+let test_port_roundtrip_string () =
+  let p = Port.of_int64 0x123456789ABCL in
+  check_string "hex" "123456789abc" (Port.to_string p);
+  check_bool "roundtrip" true (Port.equal p (Port.of_string (Port.to_string p)))
+
+let test_port_truncates_to_48_bits () =
+  let p = Port.of_int64 0xFFFF_1234_5678_9ABCL in
+  check_bool "masked" true (Port.equal p (Port.of_int64 0x1234_5678_9ABCL))
+
+let test_port_wire_roundtrip () =
+  let p = Port.of_int64 0xDEADBEEF42L in
+  let buf = Bytes.create 10 in
+  Port.write p buf 2;
+  check_bool "wire roundtrip" true (Port.equal p (Port.read buf 2))
+
+let test_port_of_string_rejects () =
+  (try
+     ignore (Port.of_string "xyz");
+     Alcotest.fail "expected Invalid_argument"
+   with Invalid_argument _ -> ())
+
+let test_rights_algebra () =
+  let rw = Rights.(union read modify) in
+  check_bool "read in rw" true (Rights.mem Rights.read rw);
+  check_bool "delete not in rw" false (Rights.mem Rights.delete rw);
+  check_bool "subset" true (Rights.subset Rights.read rw);
+  check_bool "not subset" false (Rights.subset Rights.all rw);
+  check_bool "none subset of anything" true (Rights.subset Rights.none Rights.none);
+  check_int "inter" (Rights.to_int Rights.read) (Rights.to_int (Rights.inter rw Rights.read))
+
+let test_rights_of_int_masks () = check_int "8 bits" 0xAB (Rights.to_int (Rights.of_int 0x1AB))
+
+let prop_xtea_roundtrip =
+  qtest "XTEA decrypt inverts encrypt" QCheck.(pair string int64) (fun (key_src, block) ->
+      let key = Crypto.key_of_string key_src in
+      Int64.equal block (Crypto.decrypt key (Crypto.encrypt key block)))
+
+let test_xtea_key_sensitivity () =
+  let k1 = Crypto.key_of_string "alpha" and k2 = Crypto.key_of_string "beta" in
+  check_bool "different keys, different ciphertext" false
+    (Int64.equal (Crypto.encrypt k1 42L) (Crypto.encrypt k2 42L))
+
+let test_xtea_not_identity () =
+  let k = Crypto.key_of_string "k" in
+  check_bool "encryption changes the block" false (Int64.equal 42L (Crypto.encrypt k 42L))
+
+let test_one_way_deterministic () =
+  check_bool "stable" true (Int64.equal (Crypto.one_way 99L) (Crypto.one_way 99L));
+  check_bool "distinct inputs" false (Int64.equal (Crypto.one_way 1L) (Crypto.one_way 2L))
+
+let prop_capability_wire_roundtrip =
+  qtest "capability wire roundtrip"
+    QCheck.(quad int64 (int_range 0 0xFFFFFF) (int_range 0 255) int64)
+    (fun (port, obj, rights, check) ->
+      let cap =
+        Cap.v ~port:(Port.of_int64 port) ~obj ~rights:(Rights.of_int rights) ~check
+      in
+      Cap.equal cap (Cap.of_bytes (Cap.to_bytes cap)))
+
+let prop_capability_string_roundtrip =
+  qtest "capability string roundtrip"
+    QCheck.(quad int64 (int_range 0 0xFFFFFF) (int_range 0 255) int64)
+    (fun (port, obj, rights, check) ->
+      let cap = Cap.v ~port:(Port.of_int64 port) ~obj ~rights:(Rights.of_int rights) ~check in
+      Cap.equal cap (Cap.of_string (Cap.to_string cap)))
+
+let make_sealed () =
+  let sealer = Sealer.of_passphrase "secret" in
+  let prng = Prng.create ~seed:11L in
+  let random = Sealer.fresh_random sealer prng in
+  let rights = Rights.(union read delete) in
+  let check = Sealer.seal sealer ~random ~rights in
+  let cap = Cap.v ~port:(Port.of_int64 77L) ~obj:5 ~rights ~check in
+  (sealer, random, cap)
+
+let test_sealer_verifies_genuine () =
+  let sealer, random, cap = make_sealed () in
+  check_bool "genuine" true (Sealer.verify sealer ~random ~cap)
+
+let test_sealer_rejects_widened_rights () =
+  let sealer, random, cap = make_sealed () in
+  let forged = { cap with Cap.rights = Rights.all } in
+  check_bool "widened rights rejected" false (Sealer.verify sealer ~random ~cap:forged)
+
+let test_sealer_rejects_tampered_check () =
+  let sealer, random, cap = make_sealed () in
+  let forged = { cap with Cap.check = Int64.add cap.Cap.check 1L } in
+  check_bool "tampered check rejected" false (Sealer.verify sealer ~random ~cap:forged)
+
+let test_sealer_rejects_wrong_random () =
+  let sealer, random, cap = make_sealed () in
+  ignore random;
+  check_bool "wrong object random" false (Sealer.verify sealer ~random:999L ~cap)
+
+let test_sealer_rejects_other_servers_seal () =
+  let _sealer, random, cap = make_sealed () in
+  let other = Sealer.of_passphrase "different" in
+  check_bool "foreign seal rejected" false (Sealer.verify other ~random ~cap)
+
+let test_restrict_narrows () =
+  let sealer, random, cap = make_sealed () in
+  match Sealer.restrict sealer ~random ~cap ~rights:Rights.read with
+  | None -> Alcotest.fail "restrict of genuine cap failed"
+  | Some narrowed ->
+    check_bool "narrowed verifies" true (Sealer.verify sealer ~random ~cap:narrowed);
+    check_int "only read left" (Rights.to_int Rights.read) (Rights.to_int narrowed.Cap.rights)
+
+let test_restrict_of_forgery_fails () =
+  let sealer, random, cap = make_sealed () in
+  let forged = { cap with Cap.rights = Rights.all } in
+  check_bool "forgery not re-sealable" true
+    (Sealer.restrict sealer ~random ~cap:forged ~rights:Rights.read = None)
+
+let prop_seal_verify =
+  qtest "seal/verify for arbitrary rights" QCheck.(pair int64 (int_range 0 255))
+    (fun (random, rights_bits) ->
+      let sealer = Sealer.of_passphrase "prop" in
+      let rights = Rights.of_int rights_bits in
+      let check = Sealer.seal sealer ~random ~rights in
+      let cap = Cap.v ~port:(Port.of_int64 1L) ~obj:1 ~rights ~check in
+      Sealer.verify sealer ~random:(Int64.logand random 0xFFFF_FFFF_FFFFL) ~cap
+      |> fun genuine ->
+      (* sealing uses only the low 48 bits of the random *)
+      genuine)
+
+let suite =
+  ( "capability",
+    [
+      Alcotest.test_case "port string roundtrip" `Quick test_port_roundtrip_string;
+      Alcotest.test_case "port truncates to 48 bits" `Quick test_port_truncates_to_48_bits;
+      Alcotest.test_case "port wire roundtrip" `Quick test_port_wire_roundtrip;
+      Alcotest.test_case "port rejects malformed string" `Quick test_port_of_string_rejects;
+      Alcotest.test_case "rights algebra" `Quick test_rights_algebra;
+      Alcotest.test_case "rights of_int masks to 8 bits" `Quick test_rights_of_int_masks;
+      prop_xtea_roundtrip;
+      Alcotest.test_case "xtea key sensitivity" `Quick test_xtea_key_sensitivity;
+      Alcotest.test_case "xtea is not identity" `Quick test_xtea_not_identity;
+      Alcotest.test_case "one-way function deterministic" `Quick test_one_way_deterministic;
+      prop_capability_wire_roundtrip;
+      prop_capability_string_roundtrip;
+      Alcotest.test_case "sealer verifies genuine cap" `Quick test_sealer_verifies_genuine;
+      Alcotest.test_case "sealer rejects widened rights" `Quick test_sealer_rejects_widened_rights;
+      Alcotest.test_case "sealer rejects tampered check" `Quick test_sealer_rejects_tampered_check;
+      Alcotest.test_case "sealer rejects wrong random" `Quick test_sealer_rejects_wrong_random;
+      Alcotest.test_case "sealer rejects foreign seal" `Quick test_sealer_rejects_other_servers_seal;
+      Alcotest.test_case "restrict narrows rights" `Quick test_restrict_narrows;
+      Alcotest.test_case "restrict refuses forgeries" `Quick test_restrict_of_forgery_fails;
+      prop_seal_verify;
+    ] )

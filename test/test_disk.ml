@@ -1,0 +1,255 @@
+(* Tests for the disk substrate: Geometry, Block_device, Mirror. *)
+
+open Helpers
+module Geometry = Amoeba_disk.Geometry
+module Dev = Amoeba_disk.Block_device
+module Mirror = Amoeba_disk.Mirror
+module Clock = Amoeba_sim.Clock
+module Stats = Amoeba_sim.Stats
+
+let geometry = Geometry.small ~sectors:1024
+
+let make_dev ?(id = "t") () =
+  let clock = Clock.create () in
+  (clock, Dev.create ~id ~geometry ~clock)
+
+(* ---- geometry ---- *)
+
+let test_capacity () = check_int "capacity" (1024 * 512) (Geometry.capacity_bytes geometry)
+
+let test_sectors_for () =
+  check_int "0 bytes" 0 (Geometry.sectors_for geometry 0);
+  check_int "1 byte" 1 (Geometry.sectors_for geometry 1);
+  check_int "512" 1 (Geometry.sectors_for geometry 512);
+  check_int "513" 2 (Geometry.sectors_for geometry 513)
+
+let test_sequential_cheaper () =
+  let seq = Geometry.access_us geometry ~sequential:true ~write:false 8192 in
+  let rand = Geometry.access_us geometry ~sequential:false ~write:false 8192 in
+  check_bool "sequential beats random" true (seq < rand);
+  check_int "difference is positioning" (geometry.Geometry.avg_seek_us + (geometry.Geometry.rotation_us / 2))
+    (rand - seq)
+
+let test_write_penalty () =
+  let r = Geometry.access_us geometry ~sequential:false ~write:false 512 in
+  let w = Geometry.access_us geometry ~sequential:false ~write:true 512 in
+  check_int "write adds half a rotation" (geometry.Geometry.rotation_us / 2) (w - r)
+
+let test_transfer_linear () =
+  let t1 = Geometry.transfer_us geometry 100_000 in
+  let t2 = Geometry.transfer_us geometry 200_000 in
+  check_int "linear in bytes" (2 * t1) t2
+
+(* ---- block device ---- *)
+
+let test_rw_roundtrip () =
+  let _clock, dev = make_dev () in
+  let data = payload 1024 in
+  Dev.write dev ~sector:10 data;
+  check_bytes "roundtrip" data (Dev.read dev ~sector:10 ~count:2)
+
+let test_fresh_device_zeroed () =
+  let _clock, dev = make_dev () in
+  check_bytes "zeros" (Bytes.make 512 '\000') (Dev.read dev ~sector:0 ~count:1)
+
+let test_write_requires_sector_multiple () =
+  let _clock, dev = make_dev () in
+  Alcotest.check_raises "odd size"
+    (Invalid_argument "Block_device.write: data must be a positive multiple of the sector size")
+    (fun () -> Dev.write dev ~sector:0 (Bytes.create 100))
+
+let test_out_of_range_rejected () =
+  let _clock, dev = make_dev () in
+  let boom () = ignore (Dev.read dev ~sector:1023 ~count:2) in
+  (try boom (); Alcotest.fail "expected Invalid_argument" with Invalid_argument _ -> ())
+
+let test_read_charges_time () =
+  let clock, dev = make_dev () in
+  let before = Clock.now clock in
+  let (_ : bytes) = Dev.read dev ~sector:100 ~count:16 in
+  check_bool "time advanced" true (Clock.now clock > before)
+
+let test_sequential_read_cheaper_on_device () =
+  let clock, dev = make_dev () in
+  let (_ : bytes) = Dev.read dev ~sector:0 ~count:8 in
+  let _, seq_time = Clock.elapsed clock (fun () -> ignore (Dev.read dev ~sector:8 ~count:8)) in
+  let _, rand_time = Clock.elapsed clock (fun () -> ignore (Dev.read dev ~sector:500 ~count:8)) in
+  check_bool "head position matters" true (seq_time < rand_time)
+
+let test_seek_stats () =
+  let _clock, dev = make_dev () in
+  let (_ : bytes) = Dev.read dev ~sector:100 ~count:1 in
+  let (_ : bytes) = Dev.read dev ~sector:101 ~count:1 in
+  let (_ : bytes) = Dev.read dev ~sector:500 ~count:1 in
+  check_int "two seeks (initial + jump)" 2 (Stats.count (Dev.stats dev) "seeks");
+  check_int "three reads" 3 (Stats.count (Dev.stats dev) "reads");
+  check_int "three sectors" 3 (Stats.count (Dev.stats dev) "sectors_read")
+
+let test_fail_and_repair () =
+  let _clock, dev = make_dev () in
+  Dev.fail dev;
+  check_bool "failed" true (Dev.is_failed dev);
+  (try
+     ignore (Dev.read dev ~sector:0 ~count:1);
+     Alcotest.fail "expected failure"
+   with Dev.Failure _ -> ());
+  Dev.repair dev;
+  check_bool "repaired" false (Dev.is_failed dev);
+  ignore (Dev.read dev ~sector:0 ~count:1)
+
+let test_bad_sector () =
+  let _clock, dev = make_dev () in
+  Dev.set_bad_sector dev 5;
+  ignore (Dev.read dev ~sector:4 ~count:1);
+  (try
+     ignore (Dev.read dev ~sector:4 ~count:2);
+     Alcotest.fail "expected bad-sector failure"
+   with Dev.Failure _ -> ());
+  Dev.clear_bad_sector dev 5;
+  ignore (Dev.read dev ~sector:4 ~count:2)
+
+let test_copy_from () =
+  let clock = Clock.create () in
+  let a = Dev.create ~id:"a" ~geometry ~clock in
+  let b = Dev.create ~id:"b" ~geometry ~clock in
+  Dev.poke a ~sector:37 (payload 512);
+  Dev.copy_from ~src:a ~dst:b;
+  check_bytes "copied" (payload 512) (Dev.peek b ~sector:37 ~count:1)
+
+let test_peek_poke_free () =
+  let clock, dev = make_dev () in
+  Dev.poke dev ~sector:3 (payload 512);
+  let (_ : bytes) = Dev.peek dev ~sector:3 ~count:1 in
+  check_int "no time charged" 0 (Clock.now clock)
+
+(* ---- mirror ---- *)
+
+let make_mirror () =
+  let rig = make_rig ~sectors:1024 () in
+  (rig.clock, rig.drive1, rig.drive2, rig.mirror)
+
+let test_mirror_writes_both () =
+  let _clock, d1, d2, m = make_mirror () in
+  Mirror.write m ~sync:2 ~sector:9 (payload 512);
+  check_bytes "drive1" (payload 512) (Dev.peek d1 ~sector:9 ~count:1);
+  check_bytes "drive2" (payload 512) (Dev.peek d2 ~sector:9 ~count:1)
+
+let test_mirror_sync_parallel_equals_one () =
+  (* Identical drives written in parallel: sync=2 costs the same as
+     sync=1 once pending writes are excluded. *)
+  let clock1, _, _, m1 = make_mirror () in
+  let _, t1 = Clock.elapsed clock1 (fun () -> Mirror.write m1 ~sync:1 ~sector:9 (payload 512)) in
+  let clock2, _, _, m2 = make_mirror () in
+  let _, t2 = Clock.elapsed clock2 (fun () -> Mirror.write m2 ~sync:2 ~sector:9 (payload 512)) in
+  check_int "parallel mirror write" t1 t2
+
+let test_mirror_sync_zero_costs_nothing () =
+  let clock, _, _, m = make_mirror () in
+  let _, t = Clock.elapsed clock (fun () -> Mirror.write m ~sync:0 ~sector:9 (payload 512)) in
+  check_int "p-factor 0 write is free" 0 t;
+  check_int "pending" 2 (Mirror.pending_count m)
+
+let test_mirror_pending_drains_before_read () =
+  let _clock, d1, _, m = make_mirror () in
+  Mirror.write m ~sync:0 ~sector:9 (payload 512);
+  check_bytes "drain before read" (payload 512) (Mirror.read m ~sector:9 ~count:1);
+  check_int "queue empty" 0 (Mirror.pending_count m);
+  check_bytes "applied to drive" (payload 512) (Dev.peek d1 ~sector:9 ~count:1)
+
+let test_mirror_crash_discards_pending () =
+  let _clock, d1, d2, m = make_mirror () in
+  Mirror.write m ~sync:0 ~sector:9 (payload 512);
+  Mirror.crash m;
+  check_bytes "drive1 untouched" (Bytes.make 512 '\000') (Dev.peek d1 ~sector:9 ~count:1);
+  check_bytes "drive2 untouched" (Bytes.make 512 '\000') (Dev.peek d2 ~sector:9 ~count:1)
+
+let test_mirror_sync_one_survives_crash_on_primary () =
+  let _clock, d1, d2, m = make_mirror () in
+  Mirror.write m ~sync:1 ~sector:9 (payload 512);
+  Mirror.crash m;
+  check_bytes "primary has data" (payload 512) (Dev.peek d1 ~sector:9 ~count:1);
+  check_bytes "replica lost it" (Bytes.make 512 '\000') (Dev.peek d2 ~sector:9 ~count:1)
+
+let test_mirror_read_failover () =
+  let _clock, d1, _, m = make_mirror () in
+  Mirror.write m ~sync:2 ~sector:9 (payload 512);
+  Dev.fail d1;
+  check_bytes "served from replica" (payload 512) (Mirror.read m ~sector:9 ~count:1);
+  check_int "one live drive" 1 (Mirror.live_count m)
+
+let test_mirror_no_live_drive () =
+  let _clock, d1, d2, m = make_mirror () in
+  Dev.fail d1;
+  Dev.fail d2;
+  (try
+     ignore (Mirror.read m ~sector:0 ~count:1);
+     Alcotest.fail "expected No_live_drive"
+   with Mirror.No_live_drive -> ())
+
+let test_mirror_sync_clamped () =
+  (* asking for more synchronous replicas than exist just means "all" *)
+  let _clock, d1, d2, m = make_mirror () in
+  Mirror.write m ~sync:99 ~sector:3 (payload 512);
+  check_int "no pending writes" 0 (Mirror.pending_count m);
+  check_bytes "both written" (payload 512) (Dev.peek d1 ~sector:3 ~count:1);
+  check_bytes "both written" (payload 512) (Dev.peek d2 ~sector:3 ~count:1)
+
+let test_mirror_recover () =
+  let _clock, d1, d2, m = make_mirror () in
+  Mirror.write m ~sync:2 ~sector:9 (payload 512);
+  Dev.fail d2;
+  Mirror.write m ~sync:1 ~sector:10 (payload 512);
+  Mirror.recover m;
+  check_bool "replica live again" false (Dev.is_failed d2);
+  check_bytes "replica caught up" (payload 512) (Dev.peek d2 ~sector:10 ~count:1);
+  ignore d1
+
+let test_mirror_write_skips_failed_drive () =
+  let _clock, d1, d2, m = make_mirror () in
+  Dev.fail d1;
+  Mirror.write m ~sync:2 ~sector:4 (payload 512);
+  check_bytes "live replica written" (payload 512) (Dev.peek d2 ~sector:4 ~count:1);
+  check_bytes "failed drive untouched" (Bytes.make 512 '\000') (Dev.peek d1 ~sector:4 ~count:1)
+
+let test_mirror_pending_to_failed_drive_dropped () =
+  let _clock, _, d2, m = make_mirror () in
+  Mirror.write m ~sync:1 ~sector:4 (payload 512);
+  Dev.fail d2;
+  Mirror.drain m;
+  Dev.repair d2;
+  check_bytes "write to failed drive dropped" (Bytes.make 512 '\000') (Dev.peek d2 ~sector:4 ~count:1)
+
+let suite =
+  ( "disk",
+    [
+      Alcotest.test_case "geometry capacity" `Quick test_capacity;
+      Alcotest.test_case "geometry sectors_for rounds up" `Quick test_sectors_for;
+      Alcotest.test_case "geometry sequential cheaper" `Quick test_sequential_cheaper;
+      Alcotest.test_case "geometry write penalty" `Quick test_write_penalty;
+      Alcotest.test_case "geometry transfer linear" `Quick test_transfer_linear;
+      Alcotest.test_case "device read/write roundtrip" `Quick test_rw_roundtrip;
+      Alcotest.test_case "device starts zeroed" `Quick test_fresh_device_zeroed;
+      Alcotest.test_case "device write wants whole sectors" `Quick test_write_requires_sector_multiple;
+      Alcotest.test_case "device range check" `Quick test_out_of_range_rejected;
+      Alcotest.test_case "device read charges time" `Quick test_read_charges_time;
+      Alcotest.test_case "device sequential cheaper" `Quick test_sequential_read_cheaper_on_device;
+      Alcotest.test_case "device seek statistics" `Quick test_seek_stats;
+      Alcotest.test_case "device fail and repair" `Quick test_fail_and_repair;
+      Alcotest.test_case "device bad sector" `Quick test_bad_sector;
+      Alcotest.test_case "device whole-disk copy" `Quick test_copy_from;
+      Alcotest.test_case "device peek/poke untimed" `Quick test_peek_poke_free;
+      Alcotest.test_case "mirror writes all drives" `Quick test_mirror_writes_both;
+      Alcotest.test_case "mirror parallel sync writes" `Quick test_mirror_sync_parallel_equals_one;
+      Alcotest.test_case "mirror sync=0 is free" `Quick test_mirror_sync_zero_costs_nothing;
+      Alcotest.test_case "mirror drains pending before read" `Quick test_mirror_pending_drains_before_read;
+      Alcotest.test_case "mirror crash discards pending" `Quick test_mirror_crash_discards_pending;
+      Alcotest.test_case "mirror sync=1 survives crash on primary" `Quick
+        test_mirror_sync_one_survives_crash_on_primary;
+      Alcotest.test_case "mirror read failover" `Quick test_mirror_read_failover;
+      Alcotest.test_case "mirror no live drive" `Quick test_mirror_no_live_drive;
+      Alcotest.test_case "mirror sync clamped to live drives" `Quick test_mirror_sync_clamped;
+      Alcotest.test_case "mirror recover copies disk" `Quick test_mirror_recover;
+      Alcotest.test_case "mirror write skips failed drive" `Quick test_mirror_write_skips_failed_drive;
+      Alcotest.test_case "mirror pending to failed drive dropped" `Quick
+        test_mirror_pending_to_failed_drive_dropped;
+    ] )

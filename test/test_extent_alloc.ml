@@ -1,0 +1,171 @@
+(* Tests for the contiguous-extent allocator. *)
+
+open Helpers
+module A = Bullet_core.Extent_alloc
+
+let make ?(policy = A.First_fit) ?(start = 0) ?(length = 100) () =
+  A.create ~policy ~start ~length ()
+
+let test_fresh_all_free () =
+  let a = make () in
+  check_int "free" 100 (A.free_total a);
+  check_int "used" 0 (A.used_total a);
+  check_int "largest" 100 (A.largest_free a);
+  check_int "one extent" 1 (A.fragment_count a)
+
+let test_alloc_first_fit_position () =
+  let a = make () in
+  check_bool "starts at 0" true (A.alloc a 10 = Some 0);
+  check_bool "continues at 10" true (A.alloc a 10 = Some 10)
+
+let test_alloc_exhaustion () =
+  let a = make () in
+  check_bool "whole range" true (A.alloc a 100 = Some 0);
+  check_bool "nothing left" true (A.alloc a 1 = None)
+
+let test_alloc_too_large () =
+  let a = make () in
+  check_bool "oversized" true (A.alloc a 101 = None);
+  check_int "free unchanged" 100 (A.free_total a)
+
+let test_alloc_zero_rejected () =
+  let a = make () in
+  (try
+     ignore (A.alloc a 0);
+     Alcotest.fail "expected Invalid_argument"
+   with Invalid_argument _ -> ())
+
+let test_free_coalesces_both_sides () =
+  let a = make () in
+  let s1 = Option.get (A.alloc a 30) in
+  let s2 = Option.get (A.alloc a 30) in
+  let s3 = Option.get (A.alloc a 30) in
+  A.free a ~start:s1 ~length:30;
+  A.free a ~start:s3 ~length:30;
+  (* the s3 hole coalesces with the tail: holes at 0 and 60..100 *)
+  check_int "two extents" 2 (A.fragment_count a);
+  A.free a ~start:s2 ~length:30;
+  check_int "coalesced to one" 1 (A.fragment_count a);
+  check_int "all free" 100 (A.free_total a)
+
+let test_first_fit_reuses_first_hole () =
+  let a = make () in
+  let s1 = Option.get (A.alloc a 20) in
+  let _s2 = Option.get (A.alloc a 20) in
+  let s3 = Option.get (A.alloc a 20) in
+  A.free a ~start:s1 ~length:20;
+  A.free a ~start:s3 ~length:20;
+  (* first-fit picks the earlier hole even though the later one is just
+     as good *)
+  check_bool "first hole" true (A.alloc a 10 = Some s1)
+
+let test_best_fit_picks_tightest () =
+  let a = make ~policy:A.Best_fit () in
+  let s1 = Option.get (A.alloc a 30) in
+  let _gap = Option.get (A.alloc a 10) in
+  let s2 = Option.get (A.alloc a 15) in
+  let _gap2 = Option.get (A.alloc a 10) in
+  A.free a ~start:s1 ~length:30;
+  A.free a ~start:s2 ~length:15;
+  (* holes: 30 at s1, 15 at s2, 35 tail; best fit for 12 is the 15-hole *)
+  check_bool "tightest hole" true (A.alloc a 12 = Some s2)
+
+let test_double_free_detected () =
+  let a = make () in
+  let s = Option.get (A.alloc a 10) in
+  A.free a ~start:s ~length:10;
+  (try
+     A.free a ~start:s ~length:10;
+     Alcotest.fail "expected Invalid_argument"
+   with Invalid_argument _ -> ())
+
+let test_free_outside_range_rejected () =
+  let a = make ~start:50 ~length:10 () in
+  (try
+     A.free a ~start:0 ~length:5;
+     Alcotest.fail "expected Invalid_argument"
+   with Invalid_argument _ -> ())
+
+let test_reserve () =
+  let a = make () in
+  A.reserve a ~start:20 ~length:10;
+  check_int "free reduced" 90 (A.free_total a);
+  (* allocation skips the reserved region *)
+  check_bool "first fit before hole" true (A.alloc a 20 = Some 0);
+  check_bool "next skips reserved" true (A.alloc a 20 = Some 30)
+
+let test_reserve_conflict_rejected () =
+  let a = make () in
+  A.reserve a ~start:20 ~length:10;
+  (try
+     A.reserve a ~start:25 ~length:10;
+     Alcotest.fail "expected Invalid_argument"
+   with Invalid_argument _ -> ())
+
+let test_fragmentation_metric () =
+  let a = make () in
+  Alcotest.(check (float 1e-9)) "single hole" 0.0 (A.fragmentation a);
+  let s1 = Option.get (A.alloc a 40) in
+  let _ = Option.get (A.alloc a 20) in
+  A.free a ~start:s1 ~length:40;
+  (* holes: 40 and 40 -> largest/total = 0.5 *)
+  Alcotest.(check (float 1e-9)) "two equal holes" 0.5 (A.fragmentation a)
+
+let test_iter_free_in_order () =
+  let a = make () in
+  let s1 = Option.get (A.alloc a 10) in
+  let _ = Option.get (A.alloc a 10) in
+  A.free a ~start:s1 ~length:10;
+  let seen = ref [] in
+  A.iter_free a (fun ~start ~length -> seen := (start, length) :: !seen);
+  check_bool "address order" true (List.rev !seen = [ (0, 10); (20, 80) ])
+
+(* Model-based property: replay random alloc/free sequences and check the
+   allocator against a reference set of allocated extents. *)
+let prop_model =
+  let gen = QCheck.(pair int64 (small_list (int_range 1 20))) in
+  qtest "random alloc/free keeps invariants" ~count:300 gen (fun (seed, sizes) ->
+      let prng = Amoeba_sim.Prng.create ~seed in
+      let a = make ~length:200 () in
+      let live = ref [] in
+      let step size =
+        if Amoeba_sim.Prng.bool prng || !live = [] then (
+          match A.alloc a size with
+          | Some start ->
+            (* no overlap with any live extent *)
+            let overlaps (s, n) = start < s + n && s < start + size in
+            if List.exists overlaps !live then raise Exit;
+            live := (start, size) :: !live
+          | None -> ())
+        else begin
+          let idx = Amoeba_sim.Prng.int prng (List.length !live) in
+          let (s, n) = List.nth !live idx in
+          live := List.filteri (fun i _ -> i <> idx) !live;
+          A.free a ~start:s ~length:n
+        end
+      in
+      match List.iter step sizes with
+      | () ->
+        let used = List.fold_left (fun acc (_, n) -> acc + n) 0 !live in
+        A.used_total a = used && A.free_total a = 200 - used
+      | exception Exit -> false)
+
+let suite =
+  ( "extent_alloc",
+    [
+      Alcotest.test_case "fresh allocator all free" `Quick test_fresh_all_free;
+      Alcotest.test_case "first-fit allocates from the front" `Quick test_alloc_first_fit_position;
+      Alcotest.test_case "exhaustion" `Quick test_alloc_exhaustion;
+      Alcotest.test_case "oversized request" `Quick test_alloc_too_large;
+      Alcotest.test_case "zero-size alloc rejected" `Quick test_alloc_zero_rejected;
+      Alcotest.test_case "free coalesces" `Quick test_free_coalesces_both_sides;
+      Alcotest.test_case "first-fit reuses first hole" `Quick test_first_fit_reuses_first_hole;
+      Alcotest.test_case "best-fit picks tightest hole" `Quick test_best_fit_picks_tightest;
+      Alcotest.test_case "double free detected" `Quick test_double_free_detected;
+      Alcotest.test_case "free outside range rejected" `Quick test_free_outside_range_rejected;
+      Alcotest.test_case "reserve carves free space" `Quick test_reserve;
+      Alcotest.test_case "conflicting reserve rejected" `Quick test_reserve_conflict_rejected;
+      Alcotest.test_case "fragmentation metric" `Quick test_fragmentation_metric;
+      Alcotest.test_case "iter_free address order" `Quick test_iter_free_in_order;
+      prop_model;
+    ] )

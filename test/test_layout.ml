@@ -1,0 +1,166 @@
+(* Tests for the Bullet on-disk format and the RAM inode table. *)
+
+open Helpers
+module Layout = Bullet_core.Layout
+module Inode_table = Bullet_core.Inode_table
+module Geometry = Amoeba_disk.Geometry
+module Dev = Amoeba_disk.Block_device
+module Mirror = Amoeba_disk.Mirror
+
+let prop_inode_roundtrip =
+  qtest "inode encode/decode roundtrip"
+    QCheck.(quad int64 (int_range 0 0xFFFF) (int_range 0 0xFFFFFF) (int_range 0 0xFFFFFF))
+    (fun (random, index, first_block, size_bytes) ->
+      let inode =
+        { Layout.random = Int64.logand random 0xFFFF_FFFF_FFFFL; index; first_block; size_bytes }
+      in
+      let buf = Bytes.create Layout.inode_bytes in
+      Layout.encode_inode inode buf 0;
+      Layout.decode_inode buf 0 = inode)
+
+let test_free_inode_is_zero () =
+  let buf = Bytes.make Layout.inode_bytes '\000' in
+  check_bool "all-zero decodes free" true (Layout.is_free (Layout.decode_inode buf 0))
+
+let test_descriptor_roundtrip () =
+  let d = { Layout.block_size = 512; control_size = 16; data_size = 1000 } in
+  let buf = Bytes.create 16 in
+  Layout.encode_descriptor d buf 0;
+  match Layout.decode_descriptor buf 0 with
+  | Ok d' -> check_bool "roundtrip" true (d = d')
+  | Error e -> Alcotest.fail e
+
+let test_descriptor_rejects_garbage () =
+  let buf = Bytes.make 16 'x' in
+  check_bool "bad magic" true (Result.is_error (Layout.decode_descriptor buf 0))
+
+let test_plan () =
+  let g = Geometry.small ~sectors:1024 in
+  let d = Layout.plan g ~max_files:100 in
+  check_bool "enough inodes" true (Layout.max_inode d >= 100);
+  check_int "partitions the disk" 1024 (d.Layout.control_size + d.Layout.data_size);
+  check_int "data starts after control" d.Layout.control_size (Layout.data_start d)
+
+let prop_plan_partitions =
+  Helpers.qtest "plan always partitions the drive"
+    QCheck.(pair (int_range 64 100_000) (int_range 1 5_000))
+    (fun (sectors, max_files) ->
+      QCheck.assume (sectors > (max_files / 32) + 8);
+      let g = Geometry.small ~sectors in
+      match Layout.plan g ~max_files with
+      | d ->
+        d.Layout.control_size + d.Layout.data_size = sectors
+        && Layout.max_inode d >= max_files
+        && Layout.data_start d = d.Layout.control_size
+      | exception Invalid_argument _ -> true)
+
+let test_inode_block () =
+  let g = Geometry.small ~sectors:1024 in
+  let d = Layout.plan g ~max_files:100 in
+  check_int "inode 0 in sector 0" 0 (Layout.inode_block d 0);
+  check_int "inode 31 in sector 0" 0 (Layout.inode_block d 31);
+  check_int "inode 32 in sector 1" 1 (Layout.inode_block d 32)
+
+(* ---- inode table ---- *)
+
+let make_table () =
+  let rig = make_rig ~sectors:1024 () in
+  let (_ : Layout.descriptor) = Inode_table.format rig.mirror ~max_files:63 in
+  let table, report = Result.get_ok (Inode_table.load rig.mirror) in
+  (rig, table, report)
+
+let test_fresh_table_empty () =
+  let _rig, table, report = make_table () in
+  check_int "no files" 0 report.Inode_table.files;
+  check_int "no repairs" 0 (List.length report.Inode_table.repaired);
+  check_int "no live inodes" 0 (Inode_table.live_count table);
+  check_bool "free inodes available" true (Inode_table.free_count table > 0)
+
+let test_load_rejects_unformatted () =
+  let rig = make_rig ~sectors:1024 () in
+  check_bool "unformatted rejected" true (Result.is_error (Inode_table.load rig.mirror))
+
+let sample_inode ~block ~size =
+  { Layout.random = 0xAAAAL; index = 0; first_block = block; size_bytes = size }
+
+let test_alloc_set_flush_persists () =
+  let rig, table, _ = make_table () in
+  let i = Option.get (Inode_table.alloc table) in
+  let desc = Inode_table.descriptor table in
+  Inode_table.set table i (sample_inode ~block:(Layout.data_start desc) ~size:1000);
+  Inode_table.flush table ~sync:2 i;
+  (* reload from disk: the inode must be there (index cleared) *)
+  let table', report = Result.get_ok (Inode_table.load rig.mirror) in
+  check_int "one file" 1 report.Inode_table.files;
+  let inode = Inode_table.get table' i in
+  check_int "size persisted" 1000 inode.Layout.size_bytes;
+  check_int "index cleared on load" 0 inode.Layout.index
+
+let test_free_returns_inode () =
+  let _rig, table, _ = make_table () in
+  let i = Option.get (Inode_table.alloc table) in
+  let before = Inode_table.free_count table in
+  Inode_table.free table i;
+  check_int "freed" (before + 1) (Inode_table.free_count table);
+  check_bool "content zeroed" true (Layout.is_free (Inode_table.get table i))
+
+let test_alloc_exhaustion () =
+  let _rig, table, _ = make_table () in
+  let rec drain n = match Inode_table.alloc table with Some _ -> drain (n + 1) | None -> n in
+  check_int "exactly max_inode allocations" (Inode_table.max_inode table) (drain 0)
+
+let test_scan_repairs_out_of_range () =
+  let rig, table, _ = make_table () in
+  let i = Option.get (Inode_table.alloc table) in
+  (* file pointing outside the data area *)
+  Inode_table.set table i (sample_inode ~block:0 ~size:1000);
+  Inode_table.flush table ~sync:2 i;
+  let _table', report = Result.get_ok (Inode_table.load rig.mirror) in
+  check_bool "repaired" true (List.mem i report.Inode_table.repaired);
+  check_int "no live files" 0 report.Inode_table.files
+
+let test_scan_repairs_overlap () =
+  let rig, table, _ = make_table () in
+  let desc = Inode_table.descriptor table in
+  let base = Layout.data_start desc in
+  let i1 = Option.get (Inode_table.alloc table) in
+  let i2 = Option.get (Inode_table.alloc table) in
+  (* two files overlapping on disk: the scan keeps the first, zeroes the
+     second *)
+  Inode_table.set table i1 (sample_inode ~block:base ~size:(4 * 512));
+  Inode_table.set table i2 (sample_inode ~block:(base + 2) ~size:512);
+  Inode_table.flush table ~sync:2 i1;
+  Inode_table.flush table ~sync:2 i2;
+  let _table', report = Result.get_ok (Inode_table.load rig.mirror) in
+  check_bool "overlap repaired" true (List.mem i2 report.Inode_table.repaired);
+  check_int "one survivor" 1 report.Inode_table.files
+
+let test_load_reads_from_replica_when_primary_dead () =
+  let rig, table, _ = make_table () in
+  let i = Option.get (Inode_table.alloc table) in
+  let desc = Inode_table.descriptor table in
+  Inode_table.set table i (sample_inode ~block:(Layout.data_start desc) ~size:77);
+  Inode_table.flush table ~sync:2 i;
+  Dev.fail rig.drive1;
+  let _table', report = Result.get_ok (Inode_table.load rig.mirror) in
+  check_int "file visible via replica" 1 report.Inode_table.files
+
+let suite =
+  ( "layout",
+    [
+      prop_inode_roundtrip;
+      Alcotest.test_case "free inode is all zeros" `Quick test_free_inode_is_zero;
+      Alcotest.test_case "descriptor roundtrip" `Quick test_descriptor_roundtrip;
+      Alcotest.test_case "descriptor rejects garbage" `Quick test_descriptor_rejects_garbage;
+      Alcotest.test_case "plan partitions the disk" `Quick test_plan;
+      prop_plan_partitions;
+      Alcotest.test_case "inode-to-block mapping" `Quick test_inode_block;
+      Alcotest.test_case "fresh table is empty" `Quick test_fresh_table_empty;
+      Alcotest.test_case "load rejects unformatted drive" `Quick test_load_rejects_unformatted;
+      Alcotest.test_case "alloc/set/flush persists" `Quick test_alloc_set_flush_persists;
+      Alcotest.test_case "free returns inode" `Quick test_free_returns_inode;
+      Alcotest.test_case "alloc exhaustion" `Quick test_alloc_exhaustion;
+      Alcotest.test_case "scan repairs out-of-range file" `Quick test_scan_repairs_out_of_range;
+      Alcotest.test_case "scan repairs overlapping files" `Quick test_scan_repairs_overlap;
+      Alcotest.test_case "load fails over to replica" `Quick test_load_reads_from_replica_when_primary_dead;
+    ] )

@@ -1,0 +1,147 @@
+(* Tests for the discrete-event substrate and the closed-loop scalability
+   model. *)
+
+open Helpers
+module Eq = Amoeba_pool.Event_queue
+module Loop = Amoeba_pool.Closed_loop
+
+let test_eq_orders_by_time () =
+  let q = Eq.create () in
+  Eq.push q ~time:30 "c";
+  Eq.push q ~time:10 "a";
+  Eq.push q ~time:20 "b";
+  let pops = List.init 3 (fun _ -> Eq.pop q) in
+  check_bool "time order" true
+    (pops = [ Some (10, "a"); Some (20, "b"); Some (30, "c") ]);
+  check_bool "drained" true (Eq.pop q = None)
+
+let test_eq_ties_fifo () =
+  let q = Eq.create () in
+  Eq.push q ~time:5 "first";
+  Eq.push q ~time:5 "second";
+  Eq.push q ~time:5 "third";
+  check_bool "insertion order on ties" true
+    (List.init 3 (fun _ -> Option.map snd (Eq.pop q)) = [ Some "first"; Some "second"; Some "third" ])
+
+let test_eq_interleaved_push_pop () =
+  let q = Eq.create () in
+  Eq.push q ~time:10 1;
+  Eq.push q ~time:5 2;
+  check_bool "pop min" true (Eq.pop q = Some (5, 2));
+  Eq.push q ~time:1 3;
+  check_bool "new min" true (Eq.pop q = Some (1, 3));
+  check_bool "rest" true (Eq.pop q = Some (10, 1))
+
+let test_eq_grows () =
+  let q = Eq.create () in
+  for i = 999 downto 0 do
+    Eq.push q ~time:i i
+  done;
+  check_int "size" 1000 (Eq.size q);
+  let sorted = ref true in
+  let last = ref (-1) in
+  for _ = 1 to 1000 do
+    match Eq.pop q with
+    | Some (t, _) ->
+      if t < !last then sorted := false;
+      last := t
+    | None -> sorted := false
+  done;
+  check_bool "heap order over 1000 events" true !sorted
+
+let test_eq_rejects_negative_time () =
+  let q = Eq.create () in
+  (try
+     Eq.push q ~time:(-1) ();
+     Alcotest.fail "expected Invalid_argument"
+   with Invalid_argument _ -> ())
+
+let prop_eq_sorts =
+  qtest "event queue pops any multiset sorted" QCheck.(small_list (int_range 0 10_000))
+    (fun times ->
+      let q = Eq.create () in
+      List.iter (fun t -> Eq.push q ~time:t t) times;
+      let rec drain acc = match Eq.pop q with Some (t, _) -> drain (t :: acc) | None -> List.rev acc in
+      drain [] = List.sort compare times)
+
+(* ---- closed loop ---- *)
+
+let base =
+  {
+    Loop.clients = 1;
+    think_us = 100_000;
+    server_us = 2_000;
+    wire_us = 10_000;
+    requests_per_client = 50;
+  }
+
+let test_single_client_cycle_time () =
+  let r = Loop.run base in
+  check_int "all completed" 50 r.Loop.completed;
+  (* one client: no queueing, response = service + wire *)
+  Alcotest.(check (float 0.1)) "response = service + wire" 12.0 r.Loop.mean_response_ms;
+  (* throughput ~ 1 / (think + response) *)
+  let expected = 1e6 /. float_of_int (100_000 + 12_000) in
+  check_bool "throughput near the cycle rate" true
+    (Float.abs (r.Loop.throughput_per_sec -. expected) /. expected < 0.05)
+
+let test_throughput_scales_then_saturates () =
+  let at n = Loop.run { base with Loop.clients = n } in
+  let t2 = (at 2).Loop.throughput_per_sec in
+  let t4 = (at 4).Loop.throughput_per_sec in
+  check_bool "doubling clients doubles throughput below the knee" true
+    (t4 > 1.8 *. t2);
+  (* far beyond the knee the server caps throughput at 1/service *)
+  let cap = 1e6 /. float_of_int base.Loop.server_us in
+  let t_sat = (at 200).Loop.throughput_per_sec in
+  check_bool "saturated at 1/service" true (t_sat < cap *. 1.02 && t_sat > cap *. 0.85)
+
+let test_response_grows_past_knee () =
+  let knee =
+    Loop.saturation_clients ~server_us:base.Loop.server_us ~think_us:base.Loop.think_us
+      ~wire_us:base.Loop.wire_us
+  in
+  let below = Loop.run { base with Loop.clients = max 1 (int_of_float knee / 2) } in
+  let above = Loop.run { base with Loop.clients = int_of_float knee * 4 } in
+  check_bool "queueing shows past the knee" true
+    (above.Loop.mean_response_ms > 3. *. below.Loop.mean_response_ms)
+
+let test_utilisation_bounded () =
+  let r = Loop.run { base with Loop.clients = 500 } in
+  check_bool "utilisation <= 1" true (r.Loop.server_utilisation <= 1.0);
+  check_bool "saturated server is busy" true (r.Loop.server_utilisation > 0.95)
+
+let test_deterministic () =
+  let a = Loop.run { base with Loop.clients = 17 } in
+  let b = Loop.run { base with Loop.clients = 17 } in
+  check_bool "same run, same numbers" true (a = b)
+
+let test_scale_experiment_shape () =
+  let r = Experiments.scale_experiment ~client_counts:[ 1; 64 ] () in
+  check_bool "bullet demand below nfs demand" true
+    (r.Experiments.bullet_service_us < r.Experiments.nfs_service_us);
+  check_bool "bullet knee much higher" true
+    (r.Experiments.bullet_knee > 5. *. r.Experiments.nfs_knee);
+  match (r.Experiments.bullet_points, r.Experiments.nfs_points) with
+  | [ _; b64 ], [ _; n64 ] ->
+    check_bool "at 64 clients bullet outruns nfs" true
+      (b64.Experiments.throughput_per_sec > 5. *. n64.Experiments.throughput_per_sec)
+  | _ -> Alcotest.fail "expected two points each"
+
+let suite =
+  ( "pool",
+    [
+      Alcotest.test_case "event queue orders by time" `Quick test_eq_orders_by_time;
+      Alcotest.test_case "event queue ties are FIFO" `Quick test_eq_ties_fifo;
+      Alcotest.test_case "event queue interleaved ops" `Quick test_eq_interleaved_push_pop;
+      Alcotest.test_case "event queue grows" `Quick test_eq_grows;
+      Alcotest.test_case "event queue rejects negative time" `Quick test_eq_rejects_negative_time;
+      prop_eq_sorts;
+      Alcotest.test_case "single client cycle time" `Quick test_single_client_cycle_time;
+      Alcotest.test_case "throughput scales then saturates" `Quick
+        test_throughput_scales_then_saturates;
+      Alcotest.test_case "response grows past the knee" `Quick test_response_grows_past_knee;
+      Alcotest.test_case "utilisation bounded" `Quick test_utilisation_bounded;
+      Alcotest.test_case "deterministic" `Quick test_deterministic;
+      Alcotest.test_case "scale experiment shape" `Slow test_scale_experiment_shape;
+    ] )

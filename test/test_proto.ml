@@ -1,0 +1,107 @@
+(* Tests for the Bullet wire protocol and client stubs. *)
+
+open Helpers
+module Client = Bullet_core.Client
+module Proto = Bullet_core.Proto
+module Server = Bullet_core.Server
+module Message = Amoeba_rpc.Message
+module Status = Amoeba_rpc.Status
+module Clock = Amoeba_sim.Clock
+
+let test_client_roundtrip () =
+  let b = make_bullet () in
+  let cap = Client.create b.client (payload 500) in
+  check_int "size" 500 (Client.size b.client cap);
+  check_bytes "read" (payload 500) (Client.read b.client cap);
+  Client.delete b.client cap;
+  (try
+     ignore (Client.read b.client cap);
+     Alcotest.fail "expected error"
+   with Status.Error Status.No_such_object -> ())
+
+let test_client_read_is_two_transactions () =
+  (* the paper: SIZE first, then READ *)
+  let b = make_bullet () in
+  let cap = Client.create b.client (payload 10) in
+  let stats = Amoeba_rpc.Transport.stats b.transport in
+  let before = Amoeba_sim.Stats.count stats "transactions" in
+  let (_ : bytes) = Client.read b.client cap in
+  check_int "two RPCs" (before + 2) (Amoeba_sim.Stats.count stats "transactions");
+  let before = Amoeba_sim.Stats.count stats "transactions" in
+  let (_ : bytes) = Client.read_now b.client cap in
+  check_int "one RPC when size known" (before + 1) (Amoeba_sim.Stats.count stats "transactions")
+
+let test_client_modify_append_truncate () =
+  let b = make_bullet () in
+  let cap = Client.create b.client (Bytes.of_string "base") in
+  let v2 = Client.append b.client cap (Bytes.of_string "+more") in
+  check_string "append" "base+more" (Bytes.to_string (Client.read b.client v2));
+  let v3 = Client.modify b.client v2 ~pos:0 (Bytes.of_string "BASE") in
+  check_string "modify" "BASE+more" (Bytes.to_string (Client.read b.client v3));
+  let v4 = Client.truncate b.client v3 4 in
+  check_string "truncate" "BASE" (Bytes.to_string (Client.read b.client v4));
+  check_string "original untouched" "base" (Bytes.to_string (Client.read b.client cap))
+
+let test_client_read_range () =
+  let b = make_bullet () in
+  let cap = Client.create b.client (Bytes.of_string "hello world") in
+  check_string "range" "lo wo" (Bytes.to_string (Client.read_range b.client cap ~pos:3 ~len:5))
+
+let test_client_restrict () =
+  let b = make_bullet () in
+  let cap = Client.create b.client (payload 10) in
+  let narrowed = Client.restrict b.client cap Amoeba_cap.Rights.read in
+  check_bytes "read with narrowed" (payload 10) (Client.read b.client narrowed);
+  (try
+     Client.delete b.client narrowed;
+     Alcotest.fail "expected Bad_capability"
+   with Status.Error Status.Bad_capability -> ())
+
+let test_unknown_command () =
+  let b = make_bullet () in
+  let reply =
+    Amoeba_rpc.Transport.trans b.transport ~model:Amoeba_rpc.Net_model.amoeba
+      (Message.request ~port:(Server.port b.server) ~command:999 ())
+  in
+  check_bool "bad request" true (reply.Message.status = Status.Bad_request)
+
+let test_missing_capability () =
+  let b = make_bullet () in
+  let reply =
+    Amoeba_rpc.Transport.trans b.transport ~model:Amoeba_rpc.Net_model.amoeba
+      (Message.request ~port:(Server.port b.server) ~command:Proto.cmd_read ())
+  in
+  check_bool "bad request" true (reply.Message.status = Status.Bad_request)
+
+let test_rpc_charges_more_for_bigger_files () =
+  let b = make_bullet () in
+  let small = Client.create b.client (payload 16) in
+  let large = Client.create b.client (payload 200_000) in
+  let _, t_small = Clock.elapsed b.rig.clock (fun () -> Client.read b.client small) in
+  let _, t_large = Clock.elapsed b.rig.clock (fun () -> Client.read b.client large) in
+  check_bool "wire time scales" true (t_large > 2 * t_small)
+
+let test_whole_file_in_one_reply () =
+  (* whole-file transfer: a 100 KB read is exactly two transactions (SIZE
+     + READ), not dozens of block RPCs *)
+  let b = make_bullet () in
+  let cap = Client.create b.client (payload 100_000) in
+  let stats = Amoeba_rpc.Transport.stats b.transport in
+  let before = Amoeba_sim.Stats.count stats "transactions" in
+  let (_ : bytes) = Client.read b.client cap in
+  check_int "two transactions regardless of size" (before + 2)
+    (Amoeba_sim.Stats.count stats "transactions")
+
+let suite =
+  ( "proto",
+    [
+      Alcotest.test_case "client roundtrip over RPC" `Quick test_client_roundtrip;
+      Alcotest.test_case "read = SIZE + READ" `Quick test_client_read_is_two_transactions;
+      Alcotest.test_case "client modify/append/truncate" `Quick test_client_modify_append_truncate;
+      Alcotest.test_case "client read_range" `Quick test_client_read_range;
+      Alcotest.test_case "client restrict" `Quick test_client_restrict;
+      Alcotest.test_case "unknown command" `Quick test_unknown_command;
+      Alcotest.test_case "missing capability" `Quick test_missing_capability;
+      Alcotest.test_case "wire time scales with file size" `Quick test_rpc_charges_more_for_bigger_files;
+      Alcotest.test_case "whole file in one reply" `Quick test_whole_file_in_one_reply;
+    ] )

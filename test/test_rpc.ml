@@ -1,0 +1,143 @@
+(* Tests for the RPC layer: net model, messages, transport. *)
+
+open Helpers
+module Net = Amoeba_rpc.Net_model
+module Message = Amoeba_rpc.Message
+module Status = Amoeba_rpc.Status
+module Transport = Amoeba_rpc.Transport
+module Clock = Amoeba_sim.Clock
+module Port = Amoeba_cap.Port
+
+let test_transmit_zero () = check_int "nothing to send" 0 (Net.transmit_us Net.amoeba 0)
+
+let test_transmit_monotone () =
+  check_bool "more bytes, more time" true
+    (Net.transmit_us Net.amoeba 100_000 > Net.transmit_us Net.amoeba 10_000)
+
+let test_transaction_includes_latency () =
+  let t = Net.transaction_us Net.amoeba ~request_bytes:0 ~reply_bytes:0 in
+  check_int "null transaction = fixed latency" Net.amoeba.Net.latency_us t
+
+let test_sunos_slower_than_amoeba () =
+  let a = Net.transaction_us Net.amoeba ~request_bytes:50 ~reply_bytes:50 in
+  let s = Net.transaction_us Net.sunos_nfs ~request_bytes:50 ~reply_bytes:50 in
+  check_bool "SunOS RPC heavier" true (s > a)
+
+let test_status_roundtrip () =
+  let all =
+    [
+      Status.Ok; Status.Bad_capability; Status.No_such_object; Status.No_space; Status.Not_found;
+      Status.Bad_request; Status.Exists; Status.Server_failure;
+    ]
+  in
+  List.iter (fun s -> check_bool (Status.to_string s) true (Status.of_int (Status.to_int s) = s)) all
+
+let test_status_check () =
+  Status.check Status.Ok;
+  (try
+     Status.check Status.No_space;
+     Alcotest.fail "expected raise"
+   with Status.Error Status.No_space -> ())
+
+let test_message_wire_bytes () =
+  let m = Message.request ~port:(Port.of_int64 1L) ~command:1 ~body:(Bytes.create 100) () in
+  check_int "header + body" (Message.header_bytes + 100) (Message.wire_bytes m)
+
+let make_transport () =
+  let clock = Clock.create () in
+  (clock, Transport.create ~clock)
+
+let echo_port = Port.of_int64 0xEC40L
+
+let register_echo transport =
+  Transport.register transport echo_port (fun request ->
+      Message.reply ~status:Status.Ok ~arg0:request.Message.arg0 ~body:request.Message.body ())
+
+let test_transport_roundtrip () =
+  let _clock, transport = make_transport () in
+  register_echo transport;
+  let reply =
+    Transport.trans transport ~model:Net.amoeba
+      (Message.request ~port:echo_port ~command:1 ~arg0:42 ~body:(payload 10) ())
+  in
+  check_bool "ok" true (reply.Message.status = Status.Ok);
+  check_int "arg echoed" 42 reply.Message.arg0;
+  check_bytes "body echoed" (payload 10) reply.Message.body
+
+let test_transport_charges_time () =
+  let clock, transport = make_transport () in
+  register_echo transport;
+  let _, t_small =
+    Clock.elapsed clock (fun () ->
+        Transport.trans transport ~model:Net.amoeba
+          (Message.request ~port:echo_port ~command:1 ()))
+  in
+  let _, t_large =
+    Clock.elapsed clock (fun () ->
+        Transport.trans transport ~model:Net.amoeba
+          (Message.request ~port:echo_port ~command:1 ~body:(Bytes.create 100_000) ()))
+  in
+  check_bool "payload costs wire time" true (t_large > t_small);
+  check_bool "even null RPC costs latency" true (t_small >= Net.amoeba.Net.latency_us)
+
+let test_transport_unbound_port () =
+  let _clock, transport = make_transport () in
+  let reply =
+    Transport.trans transport ~model:Net.amoeba
+      (Message.request ~port:(Port.of_int64 999L) ~command:1 ())
+  in
+  check_bool "server failure" true (reply.Message.status = Status.Server_failure)
+
+let test_transport_handler_exception_becomes_failure () =
+  let _clock, transport = make_transport () in
+  let crash_port = Port.of_int64 666L in
+  Transport.register transport crash_port (fun _ -> failwith "handler bug");
+  let reply =
+    Transport.trans transport ~model:Net.amoeba (Message.request ~port:crash_port ~command:1 ())
+  in
+  check_bool "mapped to failure" true (reply.Message.status = Status.Server_failure)
+
+let test_transport_double_register_rejected () =
+  let _clock, transport = make_transport () in
+  register_echo transport;
+  (try
+     register_echo transport;
+     Alcotest.fail "expected Invalid_argument"
+   with Invalid_argument _ -> ())
+
+let test_transport_unregister () =
+  let _clock, transport = make_transport () in
+  register_echo transport;
+  Transport.unregister transport echo_port;
+  let reply =
+    Transport.trans transport ~model:Net.amoeba (Message.request ~port:echo_port ~command:1 ())
+  in
+  check_bool "gone" true (reply.Message.status = Status.Server_failure)
+
+let test_transport_stats () =
+  let _clock, transport = make_transport () in
+  register_echo transport;
+  let (_ : Message.t) =
+    Transport.trans transport ~model:Net.amoeba (Message.request ~port:echo_port ~command:1 ())
+  in
+  check_int "transactions" 1 (Amoeba_sim.Stats.count (Transport.stats transport) "transactions")
+
+let suite =
+  ( "rpc",
+    [
+      Alcotest.test_case "transmit of zero bytes" `Quick test_transmit_zero;
+      Alcotest.test_case "transmit monotone in size" `Quick test_transmit_monotone;
+      Alcotest.test_case "null transaction costs latency" `Quick test_transaction_includes_latency;
+      Alcotest.test_case "sunos model heavier than amoeba" `Quick test_sunos_slower_than_amoeba;
+      Alcotest.test_case "status int roundtrip" `Quick test_status_roundtrip;
+      Alcotest.test_case "status check raises" `Quick test_status_check;
+      Alcotest.test_case "message wire size" `Quick test_message_wire_bytes;
+      Alcotest.test_case "transport roundtrip" `Quick test_transport_roundtrip;
+      Alcotest.test_case "transport charges wire time" `Quick test_transport_charges_time;
+      Alcotest.test_case "transport unbound port" `Quick test_transport_unbound_port;
+      Alcotest.test_case "handler exception becomes failure reply" `Quick
+        test_transport_handler_exception_becomes_failure;
+      Alcotest.test_case "double register rejected" `Quick test_transport_double_register_rejected;
+      Alcotest.test_case "unregister removes service" `Quick test_transport_unregister;
+      Alcotest.test_case "transport statistics" `Quick test_transport_stats;
+    ] )

@@ -1,0 +1,197 @@
+(* Tests for the simulation substrate: Clock, Prng, Stats. *)
+
+open Helpers
+module Clock = Amoeba_sim.Clock
+module Prng = Amoeba_sim.Prng
+module Stats = Amoeba_sim.Stats
+
+let test_clock_starts_at_zero () =
+  let clock = Clock.create () in
+  check_int "fresh clock" 0 (Clock.now clock)
+
+let test_clock_advance () =
+  let clock = Clock.create () in
+  Clock.advance clock 100;
+  Clock.advance clock 50;
+  check_int "accumulates" 150 (Clock.now clock)
+
+let test_clock_advance_negative_rejected () =
+  let clock = Clock.create () in
+  Alcotest.check_raises "negative" (Invalid_argument "Clock.advance: negative duration") (fun () ->
+      Clock.advance clock (-1))
+
+let test_clock_advance_to () =
+  let clock = Clock.create () in
+  Clock.advance clock 100;
+  Clock.advance_to clock 80;
+  check_int "never moves back" 100 (Clock.now clock);
+  Clock.advance_to clock 120;
+  check_int "moves forward" 120 (Clock.now clock)
+
+let test_clock_reset () =
+  let clock = Clock.create () in
+  Clock.advance clock 42;
+  Clock.reset clock;
+  check_int "reset" 0 (Clock.now clock)
+
+let test_clock_parallel_takes_max () =
+  let clock = Clock.create () in
+  Clock.advance clock 10;
+  let results =
+    Clock.parallel clock
+      [ (fun () -> Clock.advance clock 100; `A); (fun () -> Clock.advance clock 300; `B) ]
+  in
+  check_int "max of branches" 310 (Clock.now clock);
+  check_bool "results in order" true (results = [ `A; `B ])
+
+let test_clock_parallel_empty () =
+  let clock = Clock.create () in
+  Clock.advance clock 5;
+  let results = Clock.parallel clock [] in
+  check_bool "no thunks" true (results = []);
+  check_int "time unchanged" 5 (Clock.now clock)
+
+let test_clock_unobserved () =
+  let clock = Clock.create () in
+  Clock.advance clock 7;
+  let v = Clock.unobserved clock (fun () -> Clock.advance clock 1000; 99) in
+  check_int "result" 99 v;
+  check_int "time restored" 7 (Clock.now clock)
+
+let test_clock_unobserved_restores_on_raise () =
+  let clock = Clock.create () in
+  (try Clock.unobserved clock (fun () -> Clock.advance clock 1000; failwith "boom")
+   with Stdlib.Failure _ -> ());
+  check_int "time restored" 0 (Clock.now clock)
+
+let test_clock_elapsed () =
+  let clock = Clock.create () in
+  Clock.advance clock 3;
+  let v, dt = Clock.elapsed clock (fun () -> Clock.advance clock 500; "x") in
+  check_string "value" "x" v;
+  check_int "elapsed" 500 dt
+
+let test_clock_to_ms () =
+  Alcotest.(check (float 0.0001)) "us to ms" 12.345 (Clock.to_ms 12_345)
+
+let test_prng_deterministic () =
+  let a = Prng.create ~seed:42L and b = Prng.create ~seed:42L in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Prng.next_int64 a) (Prng.next_int64 b)
+  done
+
+let test_prng_seed_sensitivity () =
+  let a = Prng.create ~seed:1L and b = Prng.create ~seed:2L in
+  check_bool "different seeds differ" false (Prng.next_int64 a = Prng.next_int64 b)
+
+let test_prng_split_independent () =
+  (* Advancing the parent after the split must not change the child's
+     stream. *)
+  let rec take g n = if n = 0 then [] else let v = Prng.next_int64 g in v :: take g (n - 1) in
+  let a = Prng.create ~seed:7L in
+  let b = Prng.split a in
+  let undisturbed = take b 3 in
+  let a' = Prng.create ~seed:7L in
+  let b' = Prng.split a' in
+  let (_ : int64 list) = take a' 5 in
+  check_bool "split stream unaffected" true (undisturbed = take b' 3)
+
+let test_prng_int_zero_bound_rejected () =
+  let p = Prng.create ~seed:1L in
+  Alcotest.check_raises "bound 0" (Invalid_argument "Prng.int: bound must be positive") (fun () ->
+      ignore (Prng.int p 0))
+
+let test_prng_bytes_length () =
+  let p = Prng.create ~seed:9L in
+  check_int "bytes length" 33 (Bytes.length (Prng.bytes p 33))
+
+let prop_int_in_bounds =
+  qtest "Prng.int stays in [0, bound)" QCheck.(pair int64 (int_range 1 10_000)) (fun (seed, bound) ->
+      let p = Prng.create ~seed in
+      let v = Prng.int p bound in
+      v >= 0 && v < bound)
+
+let prop_int_in_range =
+  qtest "Prng.int_in stays in [lo, hi]"
+    QCheck.(triple int64 (int_range (-500) 500) (int_range 0 1000))
+    (fun (seed, lo, span) ->
+      let p = Prng.create ~seed in
+      let v = Prng.int_in p lo (lo + span) in
+      v >= lo && v <= lo + span)
+
+let prop_float_in_bounds =
+  qtest "Prng.float stays in [0, bound)" QCheck.(pair int64 (float_range 0.001 1e6))
+    (fun (seed, bound) ->
+      let p = Prng.create ~seed in
+      let v = Prng.float p bound in
+      v >= 0. && v < bound)
+
+let test_stats_counters () =
+  let s = Stats.create "test" in
+  Stats.incr s "a";
+  Stats.incr s "a";
+  Stats.add s "b" 5;
+  check_int "a" 2 (Stats.count s "a");
+  check_int "b" 5 (Stats.count s "b");
+  check_int "missing" 0 (Stats.count s "zzz")
+
+let test_stats_counters_sorted () =
+  let s = Stats.create "test" in
+  Stats.incr s "zeta";
+  Stats.incr s "alpha";
+  check_bool "sorted" true (List.map fst (Stats.counters s) = [ "alpha"; "zeta" ])
+
+let test_stats_summary () =
+  let s = Stats.create "test" in
+  Stats.observe s "lat" 1.0;
+  Stats.observe s "lat" 3.0;
+  Stats.observe s "lat" 2.0;
+  let sum = Stats.summary s "lat" in
+  check_int "count" 3 sum.Stats.count;
+  Alcotest.(check (float 1e-9)) "mean" 2.0 sum.Stats.mean;
+  Alcotest.(check (float 1e-9)) "min" 1.0 sum.Stats.min;
+  Alcotest.(check (float 1e-9)) "max" 3.0 sum.Stats.max
+
+let test_stats_empty_summary () =
+  let s = Stats.create "test" in
+  let sum = Stats.summary s "never" in
+  check_int "count" 0 sum.Stats.count;
+  Alcotest.(check (float 1e-9)) "mean" 0.0 sum.Stats.mean
+
+let test_stats_reset () =
+  let s = Stats.create "test" in
+  Stats.incr s "a";
+  Stats.observe s "x" 1.0;
+  Stats.reset s;
+  check_int "counter gone" 0 (Stats.count s "a");
+  check_int "series gone" 0 (Stats.summary s "x").Stats.count
+
+let suite =
+  ( "sim",
+    [
+      Alcotest.test_case "clock starts at zero" `Quick test_clock_starts_at_zero;
+      Alcotest.test_case "clock advance accumulates" `Quick test_clock_advance;
+      Alcotest.test_case "clock rejects negative advance" `Quick test_clock_advance_negative_rejected;
+      Alcotest.test_case "clock advance_to is monotone" `Quick test_clock_advance_to;
+      Alcotest.test_case "clock reset" `Quick test_clock_reset;
+      Alcotest.test_case "clock parallel takes max" `Quick test_clock_parallel_takes_max;
+      Alcotest.test_case "clock parallel of nothing" `Quick test_clock_parallel_empty;
+      Alcotest.test_case "clock unobserved restores time" `Quick test_clock_unobserved;
+      Alcotest.test_case "clock unobserved restores on raise" `Quick
+        test_clock_unobserved_restores_on_raise;
+      Alcotest.test_case "clock elapsed measures" `Quick test_clock_elapsed;
+      Alcotest.test_case "clock to_ms" `Quick test_clock_to_ms;
+      Alcotest.test_case "prng deterministic per seed" `Quick test_prng_deterministic;
+      Alcotest.test_case "prng seed sensitivity" `Quick test_prng_seed_sensitivity;
+      Alcotest.test_case "prng split independence" `Quick test_prng_split_independent;
+      Alcotest.test_case "prng rejects zero bound" `Quick test_prng_int_zero_bound_rejected;
+      Alcotest.test_case "prng bytes length" `Quick test_prng_bytes_length;
+      prop_int_in_bounds;
+      prop_int_in_range;
+      prop_float_in_bounds;
+      Alcotest.test_case "stats counters" `Quick test_stats_counters;
+      Alcotest.test_case "stats counters sorted" `Quick test_stats_counters_sorted;
+      Alcotest.test_case "stats summary" `Quick test_stats_summary;
+      Alcotest.test_case "stats empty summary" `Quick test_stats_empty_summary;
+      Alcotest.test_case "stats reset" `Quick test_stats_reset;
+    ] )

@@ -1,0 +1,138 @@
+(* Tests for the sparse-capability scheme (paper reference [12]) and the
+   mapped-file client path (paper §2.2), plus the stat RPC. *)
+
+open Helpers
+module Sparse = Amoeba_cap.Sparse
+module Cap = Amoeba_cap.Capability
+module Rights = Amoeba_cap.Rights
+module Port = Amoeba_cap.Port
+module Mapped = Bullet_core.Mapped
+module Client = Bullet_core.Client
+
+let scheme = Sparse.create ()
+
+let random = 0x1234_5678_9ABCL
+
+let owner =
+  Cap.v ~port:(Port.of_int64 5L) ~obj:9 ~rights:Sparse.owner_rights
+    ~check:(Sparse.owner_check ~random)
+
+let test_owner_verifies () = check_bool "owner ok" true (Sparse.verify scheme ~random ~cap:owner)
+
+let test_offline_restriction_verifies () =
+  let read_only = Sparse.restrict_offline scheme ~owner ~rights:Rights.read in
+  check_bool "derived without the server" true (Sparse.verify scheme ~random ~cap:read_only);
+  check_int "rights narrowed" (Rights.to_int Rights.read) (Rights.to_int read_only.Cap.rights)
+
+let test_cannot_widen_restricted () =
+  let read_only = Sparse.restrict_offline scheme ~owner ~rights:Rights.read in
+  (* flipping the rights bits without recomputing the check fails *)
+  let forged = { read_only with Cap.rights = Rights.(union read delete) } in
+  check_bool "widened forgery rejected" false (Sparse.verify scheme ~random ~cap:forged);
+  (* and pretending to be the owner with a restricted check fails too:
+     the owner check is the random itself, which F hides *)
+  let fake_owner = { read_only with Cap.rights = Sparse.owner_rights } in
+  check_bool "fake owner rejected" false (Sparse.verify scheme ~random ~cap:fake_owner)
+
+let test_restriction_requires_owner () =
+  let read_only = Sparse.restrict_offline scheme ~owner ~rights:Rights.read in
+  (try
+     ignore (Sparse.restrict_offline scheme ~owner:read_only ~rights:Rights.none);
+     Alcotest.fail "expected Invalid_argument"
+   with Invalid_argument _ -> ())
+
+let test_distinct_rights_distinct_checks () =
+  let a = Sparse.restrict_offline scheme ~owner ~rights:Rights.read in
+  let b = Sparse.restrict_offline scheme ~owner ~rights:Rights.delete in
+  check_bool "different rights, different checks" false (Int64.equal a.Cap.check b.Cap.check)
+
+let prop_sparse_roundtrip =
+  qtest "sparse verify accepts every honest restriction" QCheck.(pair int64 (int_range 0 254))
+    (fun (obj_random, rights_bits) ->
+      let rights = Rights.of_int rights_bits in
+      let owner =
+        Cap.v ~port:(Port.of_int64 1L) ~obj:1 ~rights:Sparse.owner_rights
+          ~check:(Sparse.owner_check ~random:obj_random)
+      in
+      let derived = Sparse.restrict_offline scheme ~owner ~rights in
+      Sparse.verify scheme ~random:obj_random ~cap:derived)
+
+(* ---- mapped files ---- *)
+
+let test_map_is_lazy () =
+  let b = make_bullet () in
+  let cap = Client.create b.client (payload 50_000) in
+  let stats = Amoeba_rpc.Transport.stats b.transport in
+  let before = Amoeba_sim.Stats.count stats "transactions" in
+  let mapping = Mapped.map b.client cap in
+  (* mapping costs exactly one SIZE transaction, no data *)
+  check_int "one RPC to map" (before + 1) (Amoeba_sim.Stats.count stats "transactions");
+  check_int "length known" 50_000 (Mapped.length mapping);
+  check_bool "nothing resident" false (Mapped.is_resident mapping)
+
+let test_first_touch_faults_whole_file () =
+  let b = make_bullet () in
+  let data = payload 50_000 in
+  let cap = Client.create b.client data in
+  let mapping = Mapped.map b.client cap in
+  let stats = Amoeba_rpc.Transport.stats b.transport in
+  let before = Amoeba_sim.Stats.count stats "transactions" in
+  check_bool "byte matches" true (Mapped.get mapping 17 = Bytes.get data 17);
+  check_int "one READ for the whole file" (before + 1) (Amoeba_sim.Stats.count stats "transactions");
+  (* subsequent touches are free *)
+  check_bytes "range" (Bytes.sub data 100 200) (Mapped.sub mapping ~pos:100 ~len:200);
+  check_int "no more RPCs" (before + 1) (Amoeba_sim.Stats.count stats "transactions");
+  check_bool "resident now" true (Mapped.is_resident mapping)
+
+let test_unmap_refaults () =
+  let b = make_bullet () in
+  let cap = Client.create b.client (payload 1000) in
+  let mapping = Mapped.map b.client cap in
+  let (_ : char) = Mapped.get mapping 0 in
+  Mapped.unmap mapping;
+  check_bool "dropped" false (Mapped.is_resident mapping);
+  let stats = Amoeba_rpc.Transport.stats b.transport in
+  let before = Amoeba_sim.Stats.count stats "transactions" in
+  let (_ : char) = Mapped.get mapping 0 in
+  check_int "faulted in again" (before + 1) (Amoeba_sim.Stats.count stats "transactions")
+
+let test_map_bounds () =
+  let b = make_bullet () in
+  let cap = Client.create b.client (payload 10) in
+  let mapping = Mapped.map b.client cap in
+  (try
+     ignore (Mapped.get mapping 10);
+     Alcotest.fail "expected Invalid_argument"
+   with Invalid_argument _ -> ())
+
+(* ---- stat RPC ---- *)
+
+let test_stat_rpc () =
+  let b = make_bullet () in
+  let before = Client.stat b.client in
+  check_int "empty server" 0 before.Client.live_files;
+  let cap = Client.create b.client (payload 10_000) in
+  let after = Client.stat b.client in
+  check_int "one file" 1 after.Client.live_files;
+  check_bool "blocks consumed" true (after.Client.free_blocks < before.Client.free_blocks);
+  check_bool "cache holds it" true (after.Client.cache_used >= 10_000);
+  Client.delete b.client cap;
+  let final = Client.stat b.client in
+  check_int "reclaimed" before.Client.free_blocks final.Client.free_blocks
+
+let suite =
+  ( "sparse",
+    [
+      Alcotest.test_case "owner capability verifies" `Quick test_owner_verifies;
+      Alcotest.test_case "offline restriction verifies" `Quick test_offline_restriction_verifies;
+      Alcotest.test_case "cannot widen a restricted cap" `Quick test_cannot_widen_restricted;
+      Alcotest.test_case "restriction requires the owner cap" `Quick test_restriction_requires_owner;
+      Alcotest.test_case "distinct rights, distinct checks" `Quick
+        test_distinct_rights_distinct_checks;
+      prop_sparse_roundtrip;
+      Alcotest.test_case "mapping is lazy" `Quick test_map_is_lazy;
+      Alcotest.test_case "first touch faults whole file" `Quick test_first_touch_faults_whole_file;
+      Alcotest.test_case "unmap refaults" `Quick test_unmap_refaults;
+      Alcotest.test_case "mapping bounds" `Quick test_map_bounds;
+      Alcotest.test_case "stat RPC" `Quick test_stat_rpc;
+    ] )

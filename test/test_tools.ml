@@ -1,0 +1,159 @@
+(* Integration tests for the command-line tools (mkbullet, bullet_fsck),
+   run as real subprocesses against image files. *)
+
+open Helpers
+
+let run command =
+  let ic = Unix.open_process_in (command ^ " 2>&1") in
+  let buf = Buffer.create 256 in
+  (try
+     while true do
+       Buffer.add_channel buf ic 1
+     done
+   with End_of_file -> ());
+  let status = Unix.close_process_in ic in
+  (status, Buffer.contents buf)
+
+let contains haystack needle =
+  let h = String.length haystack and n = String.length needle in
+  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+  n = 0 || go 0
+
+let in_temp_dir f =
+  let dir = Filename.temp_file "bullet_tools" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  let keep = Sys.getcwd () in
+  Sys.chdir dir;
+  Fun.protect
+    ~finally:(fun () ->
+      Sys.chdir keep;
+      ignore (Sys.command (Printf.sprintf "rm -rf %s" (Filename.quote dir))))
+    f
+
+(* the test binary runs in _build/default/test; the tools are siblings *)
+let tool name = Filename.concat (Filename.dirname Sys.executable_name) ("../bin/" ^ name ^ ".exe")
+
+let mkbullet args = run (Filename.quote (tool "mkbullet") ^ " " ^ args)
+
+let fsck args = run (Filename.quote (tool "bullet_fsck") ^ " " ^ args)
+
+let test_mkbullet_and_clean_fsck () =
+  in_temp_dir (fun () ->
+      let status, out = mkbullet "d1.img d2.img --size-mb 4 --max-files 63" in
+      check_bool "mkbullet ok" true (status = Unix.WEXITED 0);
+      check_bool "reports geometry" true (contains out "63 inodes");
+      let status, out = fsck "d1.img d2.img" in
+      check_bool "fsck ok" true (status = Unix.WEXITED 0);
+      check_bool "clean" true (contains out "consistency       clean");
+      check_bool "no files" true (contains out "live files        0"))
+
+let corrupt_inode_block path =
+  (* image header is 32 bytes; inode block 1 starts at 32 + 512 *)
+  let oc = open_out_gen [ Open_binary; Open_wronly ] 0o644 path in
+  seek_out oc (32 + 512);
+  output_bytes oc (payload 512);
+  close_out oc
+
+let test_fsck_repairs_corruption () =
+  in_temp_dir (fun () ->
+      let (_ : Unix.process_status * string) =
+        mkbullet "d1.img d2.img --size-mb 4 --max-files 63"
+      in
+      corrupt_inode_block "d1.img";
+      corrupt_inode_block "d2.img";
+      let status, out = fsck "d1.img d2.img --repair" in
+      check_bool "repair run ok" true (status = Unix.WEXITED 0);
+      check_bool "repairs reported" true (contains out "repaired");
+      check_bool "written back" true (contains out "repairs written back");
+      let _, out = fsck "d1.img d2.img" in
+      check_bool "clean afterwards" true (contains out "consistency       clean"))
+
+let test_fsck_rejects_garbage_file () =
+  in_temp_dir (fun () ->
+      let oc = open_out "junk.img" in
+      output_string oc "not an image";
+      close_out oc;
+      let status, out = fsck "junk.img" in
+      check_bool "nonzero exit" true (status <> Unix.WEXITED 0);
+      check_bool "explains" true (contains out "junk.img"))
+
+let test_fsck_compact () =
+  in_temp_dir (fun () ->
+      let (_ : Unix.process_status * string) =
+        mkbullet "d1.img d2.img --size-mb 4 --max-files 63"
+      in
+      let status, out = fsck "d1.img d2.img --compact" in
+      check_bool "compact ok" true (status = Unix.WEXITED 0);
+      check_bool "reports move" true (contains out "compaction");
+      check_bool "saved" true (contains out "images saved"))
+
+(* ---- the daemon, end to end over real TCP ---- *)
+
+let wait_for_port port =
+  let rec go attempts =
+    if attempts = 0 then false
+    else
+      match Amoeba_rpc.Tcp.connect ~port () with
+      | conn ->
+        Amoeba_rpc.Tcp.close conn;
+        true
+      | exception Unix.Unix_error _ ->
+        Unix.sleepf 0.1;
+        go (attempts - 1)
+  in
+  go 50
+
+let with_daemon data_dir port f =
+  let command =
+    Printf.sprintf "%s --port %d --data %s --size-mb 8 --max-files 128 > bulletd.log 2>&1"
+      (Filename.quote (tool "bulletd")) port (Filename.quote data_dir)
+  in
+  let pid =
+    Unix.create_process "/bin/sh" [| "/bin/sh"; "-c"; command |] Unix.stdin Unix.stdout Unix.stderr
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Unix.kill pid Sys.sigterm;
+      ignore (Unix.waitpid [] pid))
+    (fun () ->
+      check_bool "daemon came up" true (wait_for_port port);
+      f ())
+
+let ctl port args =
+  run (Printf.sprintf "%s %s --port %d" (Filename.quote (tool "bullet_ctl")) args port)
+
+let test_daemon_end_to_end () =
+  in_temp_dir (fun () ->
+      let port = 17_000 + (Unix.getpid () mod 2_000) in
+      let oc = open_out "hello.txt" in
+      output_string oc "hello daemon";
+      close_out oc;
+      with_daemon "data" port (fun () ->
+          let status, out = ctl port "store greeting hello.txt" in
+          check_bool "store ok" true (status = Unix.WEXITED 0);
+          check_bool "prints capability" true (contains out "greeting -> ");
+          let _, out = ctl port "fetch greeting" in
+          check_bool "fetch returns contents" true (contains out "hello daemon");
+          let _, out = ctl port "ls" in
+          check_bool "listed" true (contains out "greeting");
+          let _, out = ctl port "stat" in
+          check_bool "stat shows files" true (contains out "live files"));
+      (* restart on the same images: the name space survives *)
+      with_daemon "data" port (fun () ->
+          let status, out = ctl port "fetch greeting" in
+          check_bool "fetch after restart" true (status = Unix.WEXITED 0);
+          check_bool "contents survive restart" true (contains out "hello daemon");
+          let _, _ = ctl port "del greeting" in
+          let status, _ = ctl port "fetch greeting" in
+          check_bool "deleted" true (status <> Unix.WEXITED 0)))
+
+let suite =
+  ( "tools",
+    [
+      Alcotest.test_case "mkbullet then clean fsck" `Quick test_mkbullet_and_clean_fsck;
+      Alcotest.test_case "fsck repairs corruption" `Quick test_fsck_repairs_corruption;
+      Alcotest.test_case "fsck rejects garbage" `Quick test_fsck_rejects_garbage_file;
+      Alcotest.test_case "fsck --compact" `Quick test_fsck_compact;
+      Alcotest.test_case "bulletd end to end over TCP" `Slow test_daemon_end_to_end;
+    ] )

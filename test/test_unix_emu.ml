@@ -1,0 +1,207 @@
+(* Tests for the UNIX emulation layer. *)
+
+open Helpers
+module Fs = Unix_emu.Posix_fs
+module Dir = Amoeba_dir.Dir_server
+module Dir_client = Amoeba_dir.Dir_client
+module Server = Bullet_core.Server
+
+let make () =
+  let bullet = make_bullet () in
+  let dirs = Dir.create ~store:bullet.client () in
+  Amoeba_dir.Dir_proto.serve dirs bullet.transport;
+  let dclient = Dir_client.connect bullet.transport (Dir.port dirs) in
+  let fs = Fs.mount ~bullet:bullet.client ~dirs:dclient ~root:(Dir_client.get_root dclient) in
+  (bullet, fs)
+
+let test_write_read_whole () =
+  let _bullet, fs = make () in
+  Fs.write_whole fs "hello.txt" "hello world";
+  check_string "roundtrip" "hello world" (Fs.read_whole fs "hello.txt")
+
+let test_open_missing_fails () =
+  let _bullet, fs = make () in
+  (try
+     ignore (Fs.openfile fs "ghost" [ Fs.O_RDONLY ]);
+     Alcotest.fail "expected ENOENT"
+   with Fs.Unix_error ("open", _) -> ())
+
+let test_creat_semantics () =
+  let _bullet, fs = make () in
+  let fd = Fs.openfile fs "new" [ Fs.O_WRONLY; Fs.O_CREAT ] in
+  let (_ : int) = Fs.write fd (Bytes.of_string "data") in
+  Fs.close fs fd;
+  check_string "created" "data" (Fs.read_whole fs "new")
+
+let test_lseek_read () =
+  let _bullet, fs = make () in
+  Fs.write_whole fs "f" "0123456789";
+  Fs.with_file fs "f" [ Fs.O_RDONLY ] (fun fd ->
+      check_int "seek set" 4 (Fs.lseek fd 4 `SET);
+      let buf = Bytes.create 3 in
+      check_int "read 3" 3 (Fs.read fd buf 3);
+      check_string "window" "456" (Bytes.to_string buf);
+      check_int "seek cur" 8 (Fs.lseek fd 1 `CUR);
+      check_int "seek end" 10 (Fs.lseek fd 0 `END);
+      check_int "eof" 0 (Fs.read fd buf 3))
+
+let test_negative_seek_rejected () =
+  let _bullet, fs = make () in
+  Fs.write_whole fs "f" "abc";
+  Fs.with_file fs "f" [ Fs.O_RDONLY ] (fun fd ->
+      try
+        ignore (Fs.lseek fd (-1) `SET);
+        Alcotest.fail "expected EINVAL"
+      with Fs.Unix_error ("lseek", _) -> ())
+
+let test_sparse_write_via_seek () =
+  let _bullet, fs = make () in
+  Fs.with_file fs "sparse" [ Fs.O_WRONLY; Fs.O_CREAT ] (fun fd ->
+      let (_ : int) = Fs.lseek fd 5 `SET in
+      ignore (Fs.write fd (Bytes.of_string "end")));
+  check_string "zero filled" "\000\000\000\000\000end" (Fs.read_whole fs "sparse")
+
+let test_append_flag () =
+  let _bullet, fs = make () in
+  Fs.write_whole fs "log" "start";
+  Fs.with_file fs "log" [ Fs.O_WRONLY; Fs.O_APPEND ] (fun fd ->
+      ignore (Fs.write fd (Bytes.of_string "+more")));
+  check_string "appended" "start+more" (Fs.read_whole fs "log")
+
+let test_trunc_flag () =
+  let _bullet, fs = make () in
+  Fs.write_whole fs "f" "long old contents";
+  Fs.with_file fs "f" [ Fs.O_WRONLY; Fs.O_TRUNC ] (fun fd -> ignore (Fs.write fd (Bytes.of_string "new")));
+  check_string "truncated" "new" (Fs.read_whole fs "f")
+
+let test_write_on_readonly_fd_rejected () =
+  let _bullet, fs = make () in
+  Fs.write_whole fs "f" "x";
+  Fs.with_file fs "f" [ Fs.O_RDONLY ] (fun fd ->
+      try
+        ignore (Fs.write fd (Bytes.of_string "no"));
+        Alcotest.fail "expected EBADF"
+      with Fs.Unix_error ("write", _) -> ())
+
+let test_close_to_open_consistency () =
+  (* a written file becomes visible to others only at close *)
+  let _bullet, fs = make () in
+  Fs.write_whole fs "doc" "old";
+  let fd = Fs.openfile fs "doc" [ Fs.O_WRONLY; Fs.O_TRUNC ] in
+  let (_ : int) = Fs.write fd (Bytes.of_string "new") in
+  check_string "still old before close" "old" (Fs.read_whole fs "doc");
+  Fs.close fs fd;
+  check_string "new after close" "new" (Fs.read_whole fs "doc")
+
+let test_rewrite_keeps_versions () =
+  let _bullet, fs = make () in
+  Fs.write_whole fs "doc" "v1";
+  Fs.write_whole fs "doc" "v2";
+  Fs.write_whole fs "doc" "v3";
+  let info = Fs.stat fs "doc" in
+  check_int "current size" 2 info.Fs.st_size;
+  check_bool "old versions retained" true (info.Fs.st_versions > 1)
+
+let test_double_close_rejected () =
+  let _bullet, fs = make () in
+  Fs.write_whole fs "f" "x";
+  let fd = Fs.openfile fs "f" [ Fs.O_RDONLY ] in
+  Fs.close fs fd;
+  (try
+     Fs.close fs fd;
+     Alcotest.fail "expected EBADF"
+   with Fs.Unix_error ("close", _) -> ())
+
+let test_mkdir_readdir () =
+  let _bullet, fs = make () in
+  Fs.mkdir fs "sub";
+  Fs.write_whole fs "sub/a" "1";
+  Fs.write_whole fs "sub/b" "2";
+  check_bool "listing" true (Fs.readdir fs "sub" = [ "a"; "b" ]);
+  check_bool "root has sub" true (List.mem "sub" (Fs.readdir fs ""));
+  (try
+     Fs.mkdir fs "sub";
+     Alcotest.fail "expected EEXIST"
+   with Fs.Unix_error ("mkdir", _) -> ())
+
+let test_nested_paths () =
+  let _bullet, fs = make () in
+  Fs.mkdir fs "a";
+  Fs.mkdir fs "a/b";
+  Fs.write_whole fs "a/b/deep.txt" "treasure";
+  check_string "deep" "treasure" (Fs.read_whole fs "a/b/deep.txt");
+  let info = Fs.stat fs "a/b" in
+  check_bool "directory" true info.Fs.st_is_dir
+
+let test_unlink_deletes_versions () =
+  let bullet, fs = make () in
+  Fs.write_whole fs "f" "v1";
+  Fs.write_whole fs "f" "v2";
+  let live_with_file = Server.live_files bullet.server in
+  Fs.unlink fs "f";
+  (try
+     ignore (Fs.read_whole fs "f");
+     Alcotest.fail "expected ENOENT"
+   with Fs.Unix_error _ -> ());
+  check_bool "bullet files reclaimed" true (Server.live_files bullet.server < live_with_file)
+
+let test_rename () =
+  let _bullet, fs = make () in
+  Fs.write_whole fs "old" "stuff";
+  Fs.mkdir fs "dir";
+  Fs.rename fs "old" "dir/new";
+  check_string "moved" "stuff" (Fs.read_whole fs "dir/new");
+  (try
+     ignore (Fs.read_whole fs "old");
+     Alcotest.fail "expected ENOENT"
+   with Fs.Unix_error _ -> ())
+
+let test_stat_missing () =
+  let _bullet, fs = make () in
+  (try
+     ignore (Fs.stat fs "ghost");
+     Alcotest.fail "expected ENOENT"
+   with Fs.Unix_error ("stat", _) -> ())
+
+let test_open_directory_rejected () =
+  let _bullet, fs = make () in
+  Fs.mkdir fs "d";
+  let attempt flags =
+    try
+      ignore (Fs.openfile fs "d" flags);
+      Alcotest.fail "expected EISDIR"
+    with Fs.Unix_error ("open", _) -> ()
+  in
+  attempt [ Fs.O_RDONLY ];
+  (* O_TRUNC must not clobber a directory binding either *)
+  attempt [ Fs.O_WRONLY; Fs.O_TRUNC ]
+
+let test_large_file_through_emulation () =
+  let _bullet, fs = make () in
+  let big = String.init 100_000 (fun i -> Char.chr ((i * 13) land 0xff)) in
+  Fs.write_whole fs "big" big;
+  check_string "big roundtrip" big (Fs.read_whole fs "big")
+
+let suite =
+  ( "unix_emu",
+    [
+      Alcotest.test_case "write/read whole file" `Quick test_write_read_whole;
+      Alcotest.test_case "open missing fails" `Quick test_open_missing_fails;
+      Alcotest.test_case "creat semantics" `Quick test_creat_semantics;
+      Alcotest.test_case "lseek and read" `Quick test_lseek_read;
+      Alcotest.test_case "negative seek rejected" `Quick test_negative_seek_rejected;
+      Alcotest.test_case "sparse write via seek" `Quick test_sparse_write_via_seek;
+      Alcotest.test_case "O_APPEND" `Quick test_append_flag;
+      Alcotest.test_case "O_TRUNC" `Quick test_trunc_flag;
+      Alcotest.test_case "write on read-only fd rejected" `Quick test_write_on_readonly_fd_rejected;
+      Alcotest.test_case "close-to-open consistency" `Quick test_close_to_open_consistency;
+      Alcotest.test_case "rewrite keeps versions" `Quick test_rewrite_keeps_versions;
+      Alcotest.test_case "double close rejected" `Quick test_double_close_rejected;
+      Alcotest.test_case "mkdir and readdir" `Quick test_mkdir_readdir;
+      Alcotest.test_case "nested paths" `Quick test_nested_paths;
+      Alcotest.test_case "unlink deletes versions" `Quick test_unlink_deletes_versions;
+      Alcotest.test_case "rename" `Quick test_rename;
+      Alcotest.test_case "stat missing" `Quick test_stat_missing;
+      Alcotest.test_case "opening a directory rejected" `Quick test_open_directory_rejected;
+      Alcotest.test_case "large file through emulation" `Quick test_large_file_through_emulation;
+    ] )

@@ -1,0 +1,249 @@
+(* Tests for the binary frame codec, the TCP transport (real loopback
+   sockets) and drive-image persistence. *)
+
+open Helpers
+module Message = Amoeba_rpc.Message
+module Status = Amoeba_rpc.Status
+module Wire = Amoeba_rpc.Wire
+module Tcp = Amoeba_rpc.Tcp
+module Cap = Amoeba_cap.Capability
+module Port = Amoeba_cap.Port
+
+let sample_cap =
+  Cap.v ~port:(Port.of_int64 0xABCDEFL) ~obj:42 ~rights:(Amoeba_cap.Rights.of_int 0x81)
+    ~check:0x1122334455667788L
+
+let strip_prefix frame = Bytes.sub frame 4 (Bytes.length frame - 4)
+
+let roundtrip m = Wire.decode (strip_prefix (Wire.encode m))
+
+let messages_equal a b =
+  Port.equal a.Message.port b.Message.port
+  && a.Message.command = b.Message.command
+  && a.Message.status = b.Message.status
+  && (match (a.Message.cap, b.Message.cap) with
+     | Some x, Some y -> Cap.equal x y
+     | None, None -> true
+     | _ -> false)
+  && a.Message.arg0 = b.Message.arg0 && a.Message.arg1 = b.Message.arg1
+  && Bytes.equal a.Message.body b.Message.body
+
+let test_wire_roundtrip_request () =
+  let m =
+    Message.request ~port:(Port.of_int64 77L) ~command:3 ~cap:sample_cap ~arg0:123 ~arg1:(-4)
+      ~body:(payload 100) ()
+  in
+  match roundtrip m with
+  | Ok m' -> check_bool "roundtrip" true (messages_equal m m')
+  | Error e -> Alcotest.fail e
+
+let test_wire_roundtrip_reply_no_cap () =
+  let m = Message.reply ~status:Status.No_space ~arg0:7 () in
+  match roundtrip m with
+  | Ok m' -> check_bool "roundtrip" true (messages_equal m m')
+  | Error e -> Alcotest.fail e
+
+let test_wire_roundtrip_empty_body () =
+  let m = Message.request ~port:(Port.of_int64 1L) ~command:1 () in
+  match roundtrip m with
+  | Ok m' ->
+    check_int "no body" 0 (Bytes.length m'.Message.body);
+    check_bool "roundtrip" true (messages_equal m m')
+  | Error e -> Alcotest.fail e
+
+let test_wire_rejects_short_frame () =
+  check_bool "short" true (Result.is_error (Wire.decode (Bytes.create 10)))
+
+let prop_wire_roundtrip =
+  qtest "wire roundtrip for arbitrary messages"
+    QCheck.(
+      pair
+        (quad int64 (int_range 0 100) (int_range 0 1000) (int_range 0 1000))
+        (pair bool (string_of_size (QCheck.Gen.int_range 0 500))))
+    (fun ((port, command, arg0, arg1), (with_cap, body)) ->
+      let m =
+        Message.request ~port:(Port.of_int64 port) ~command
+          ?cap:(if with_cap then Some sample_cap else None)
+          ~arg0 ~arg1 ~body:(Bytes.of_string body) ()
+      in
+      match roundtrip m with Ok m' -> messages_equal m m' | Error _ -> false)
+
+(* ---- TCP over loopback, echo server in a thread ---- *)
+
+let test_tcp_echo () =
+  let server = Tcp.listen ~port:0 () in
+  let handler request =
+    Message.reply ~status:Status.Ok ~arg0:(request.Message.arg0 * 2) ~body:request.Message.body ()
+  in
+  let server_thread = Thread.create (fun () -> Tcp.serve_connections server ~handler 1) () in
+  let conn = Tcp.connect ~port:(Tcp.bound_port server) () in
+  let reply =
+    Tcp.trans conn (Message.request ~port:(Port.of_int64 9L) ~command:1 ~arg0:21 ~body:(payload 64) ())
+  in
+  check_int "doubled" 42 reply.Message.arg0;
+  check_bytes "body echoed" (payload 64) reply.Message.body;
+  (* several transactions on one connection *)
+  let reply2 = Tcp.trans conn (Message.request ~port:(Port.of_int64 9L) ~command:1 ~arg0:5 ()) in
+  check_int "second exchange" 10 reply2.Message.arg0;
+  Tcp.close conn;
+  Thread.join server_thread;
+  Tcp.shutdown server
+
+let test_tcp_handler_exception () =
+  let server = Tcp.listen ~port:0 () in
+  let handler _ = failwith "boom" in
+  let server_thread = Thread.create (fun () -> Tcp.serve_connections server ~handler 1) () in
+  let conn = Tcp.connect ~port:(Tcp.bound_port server) () in
+  let reply = Tcp.trans conn (Message.request ~port:(Port.of_int64 9L) ~command:1 ()) in
+  check_bool "failure reply" true (reply.Message.status = Status.Server_failure);
+  Tcp.close conn;
+  Thread.join server_thread;
+  Tcp.shutdown server
+
+let test_tcp_full_bullet_service () =
+  (* the daemon configuration: a real Bullet server behind real sockets *)
+  let b = make_bullet () in
+  let server = Tcp.listen ~port:0 () in
+  let handler = Bullet_core.Proto.dispatch b.server in
+  let server_thread = Thread.create (fun () -> Tcp.serve_connections server ~handler 1) () in
+  let conn = Tcp.connect ~port:(Tcp.bound_port server) () in
+  let create_reply =
+    Tcp.trans conn
+      (Message.request ~port:(Bullet_core.Server.port b.server) ~command:Bullet_core.Proto.cmd_create
+         ~arg0:2 ~body:(payload 5000) ())
+  in
+  check_bool "created" true (create_reply.Message.status = Status.Ok);
+  let cap = Option.get create_reply.Message.cap in
+  let read_reply =
+    Tcp.trans conn
+      (Message.request ~port:cap.Cap.port ~command:Bullet_core.Proto.cmd_read ~cap ())
+  in
+  check_bytes "read over TCP" (payload 5000) read_reply.Message.body;
+  Tcp.close conn;
+  Thread.join server_thread;
+  Tcp.shutdown server
+
+let test_tcp_concurrent_connections () =
+  (* serve_forever threads connections; two clients interleave requests *)
+  let server = Tcp.listen ~port:0 () in
+  let handler request =
+    Message.reply ~status:Status.Ok ~arg0:(request.Message.arg0 + 1) ()
+  in
+  let server_thread = Thread.create (fun () -> try Tcp.serve_forever server ~handler with _ -> ()) () in
+  let c1 = Tcp.connect ~port:(Tcp.bound_port server) () in
+  let c2 = Tcp.connect ~port:(Tcp.bound_port server) () in
+  let r1 = Tcp.trans c1 (Message.request ~port:(Port.of_int64 1L) ~command:1 ~arg0:10 ()) in
+  let r2 = Tcp.trans c2 (Message.request ~port:(Port.of_int64 1L) ~command:1 ~arg0:20 ()) in
+  let r1' = Tcp.trans c1 (Message.request ~port:(Port.of_int64 1L) ~command:1 ~arg0:30 ()) in
+  check_int "c1 first" 11 r1.Message.arg0;
+  check_int "c2 interleaved" 21 r2.Message.arg0;
+  check_int "c1 again" 31 r1'.Message.arg0;
+  Tcp.close c1;
+  Tcp.close c2;
+  Tcp.shutdown server;
+  (* closing a listening socket does not reliably wake a thread blocked
+     in accept(2); leave the acceptor to die with the process *)
+  ignore server_thread
+
+let test_tcp_survives_garbage_bytes () =
+  (* a client that speaks gibberish gets dropped; the server keeps
+     serving the next connection *)
+  let server = Tcp.listen ~port:0 () in
+  let handler _ = Message.reply ~status:Status.Ok ~arg0:7 () in
+  let server_thread = Thread.create (fun () -> Tcp.serve_connections server ~handler 2) () in
+  (* connection 1: a plausible length prefix followed by junk *)
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect sock (Unix.ADDR_INET (Unix.inet_addr_loopback, Tcp.bound_port server));
+  let junk = Bytes.of_string "\000\000\000\060this is definitely not an RPC frame, not even close.." in
+  let (_ : int) = Unix.write sock junk 0 (Bytes.length junk) in
+  (* the server replies Bad_request (junk decodes as a frame of garbage)
+     or closes; either way it must not die *)
+  Unix.close sock;
+  (* connection 2: a real client still gets service *)
+  let conn = Tcp.connect ~port:(Tcp.bound_port server) () in
+  let reply = Tcp.trans conn (Message.request ~port:(Port.of_int64 1L) ~command:1 ()) in
+  check_int "server survived the junk" 7 reply.Message.arg0;
+  Tcp.close conn;
+  Thread.join server_thread;
+  Tcp.shutdown server
+
+(* ---- image persistence ---- *)
+
+let test_image_save_load () =
+  let clock = Amoeba_sim.Clock.create () in
+  let geometry = Amoeba_disk.Geometry.small ~sectors:256 in
+  let device = Amoeba_disk.Block_device.create ~id:"img" ~geometry ~clock in
+  Amoeba_disk.Block_device.poke device ~sector:7 (payload 512);
+  let path = Filename.temp_file "bullet" ".img" in
+  Amoeba_disk.Image.save device path;
+  (match Amoeba_disk.Image.load ~id:"img2" ~clock path with
+  | Ok device2 ->
+    check_bytes "contents survive" (payload 512)
+      (Amoeba_disk.Block_device.peek device2 ~sector:7 ~count:1);
+    check_bool "geometry survives" true (Amoeba_disk.Block_device.geometry device2 = geometry)
+  | Error e -> Alcotest.fail e);
+  Sys.remove path
+
+let test_image_rejects_garbage () =
+  let clock = Amoeba_sim.Clock.create () in
+  let path = Filename.temp_file "bullet" ".img" in
+  let oc = open_out_bin path in
+  output_string oc "not an image at all";
+  close_out oc;
+  check_bool "garbage rejected" true (Result.is_error (Amoeba_disk.Image.load ~id:"x" ~clock path));
+  Sys.remove path
+
+let test_image_load_or_create () =
+  let clock = Amoeba_sim.Clock.create () in
+  let geometry = Amoeba_disk.Geometry.small ~sectors:64 in
+  let path = Filename.temp_file "bullet" ".img" in
+  Sys.remove path;
+  (match Amoeba_disk.Image.load_or_create ~id:"a" ~clock ~geometry path with
+  | Ok (_, `Created) -> ()
+  | Ok (_, `Loaded) -> Alcotest.fail "expected Created"
+  | Error e -> Alcotest.fail e);
+  let device = Amoeba_disk.Block_device.create ~id:"b" ~geometry ~clock in
+  Amoeba_disk.Image.save device path;
+  (match Amoeba_disk.Image.load_or_create ~id:"c" ~clock ~geometry path with
+  | Ok (_, `Loaded) -> ()
+  | Ok (_, `Created) -> Alcotest.fail "expected Loaded"
+  | Error e -> Alcotest.fail e);
+  Sys.remove path
+
+let test_image_roundtrips_bullet_state () =
+  (* store a file, image both drives, rebuild the world, read it back *)
+  let b = make_bullet () in
+  let cap = Bullet_core.Client.create b.client (payload 3000) in
+  Amoeba_disk.Mirror.drain b.rig.mirror;
+  let p1 = Filename.temp_file "d1" ".img" and p2 = Filename.temp_file "d2" ".img" in
+  Amoeba_disk.Image.save b.rig.drive1 p1;
+  Amoeba_disk.Image.save b.rig.drive2 p2;
+  let clock = Amoeba_sim.Clock.create () in
+  let d1 = Result.get_ok (Amoeba_disk.Image.load ~id:"r1" ~clock p1) in
+  let d2 = Result.get_ok (Amoeba_disk.Image.load ~id:"r2" ~clock p2) in
+  let mirror = Amoeba_disk.Mirror.create [ d1; d2 ] in
+  let server, _ =
+    Result.get_ok (Bullet_core.Server.start ~config:small_bullet_config mirror)
+  in
+  check_bytes "file survives re-imaging" (payload 3000) (ok_exn (Bullet_core.Server.read server cap));
+  Sys.remove p1;
+  Sys.remove p2
+
+let suite =
+  ( "wire",
+    [
+      Alcotest.test_case "frame roundtrip (request)" `Quick test_wire_roundtrip_request;
+      Alcotest.test_case "frame roundtrip (reply, no cap)" `Quick test_wire_roundtrip_reply_no_cap;
+      Alcotest.test_case "frame roundtrip (empty body)" `Quick test_wire_roundtrip_empty_body;
+      Alcotest.test_case "short frame rejected" `Quick test_wire_rejects_short_frame;
+      prop_wire_roundtrip;
+      Alcotest.test_case "tcp echo over loopback" `Quick test_tcp_echo;
+      Alcotest.test_case "tcp handler exception" `Quick test_tcp_handler_exception;
+      Alcotest.test_case "tcp full bullet service" `Quick test_tcp_full_bullet_service;
+      Alcotest.test_case "tcp concurrent connections" `Quick test_tcp_concurrent_connections;
+      Alcotest.test_case "tcp survives garbage bytes" `Quick test_tcp_survives_garbage_bytes;
+      Alcotest.test_case "image save/load" `Quick test_image_save_load;
+      Alcotest.test_case "image rejects garbage" `Quick test_image_rejects_garbage;
+      Alcotest.test_case "image load_or_create" `Quick test_image_load_or_create;
+      Alcotest.test_case "image roundtrips bullet state" `Quick test_image_roundtrips_bullet_state;
+    ] )

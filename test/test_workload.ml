@@ -1,0 +1,98 @@
+(* Tests for the workload generators. *)
+
+open Helpers
+module Sizes = Workload.Sizes
+module Trace = Workload.Trace
+module Prng = Amoeba_sim.Prng
+
+let test_paper_sweep () =
+  check_bool "six sizes, 1 B to 1 MB" true
+    (Sizes.paper_sweep = [ 1; 16; 256; 4096; 65536; 1048576 ])
+
+let test_describe () =
+  check_string "bytes" "16 B" (Sizes.describe 16);
+  check_string "kilobytes" "64 KB" (Sizes.describe 65536);
+  check_string "megabytes" "1 MB" (Sizes.describe 1048576)
+
+let sample_many n =
+  let prng = Prng.create ~seed:123L in
+  let rec go i acc = if i = 0 then acc else go (i - 1) (Sizes.sample prng :: acc) in
+  go n []
+
+let test_distribution_median_about_1kb () =
+  let samples = List.sort compare (sample_many 10_001) in
+  let median = List.nth samples 5_000 in
+  check_bool (Printf.sprintf "median %d in [512, 2048]" median) true
+    (median >= 512 && median <= 2048)
+
+let test_distribution_99th_under_64kb () =
+  let samples = sample_many 10_000 in
+  let under = List.length (List.filter (fun s -> s < 65_536) samples) in
+  (* 99% of files are under 64 KB (give the sampler ±1%) *)
+  check_bool (Printf.sprintf "under-64KB fraction %d/10000" under) true (under >= 9_800)
+
+let test_distribution_bounds () =
+  List.iter
+    (fun s -> check_bool "within [1, 1MB]" true (s >= 1 && s <= 1_048_576))
+    (sample_many 5_000)
+
+let test_trace_deterministic () =
+  let prng1 = Prng.create ~seed:5L and prng2 = Prng.create ~seed:5L in
+  let t1 = Trace.generate ~prng:prng1 ~warmup_files:10 ~ops:100 () in
+  let t2 = Trace.generate ~prng:prng2 ~warmup_files:10 ~ops:100 () in
+  check_bool "same seed, same trace" true (t1 = t2)
+
+let test_trace_shape () =
+  let prng = Prng.create ~seed:9L in
+  let trace = Trace.generate ~prng ~warmup_files:20 ~ops:500 () in
+  check_int "warmup + ops" 520 (List.length trace);
+  let is_create = function Trace.Create _ -> true | _ -> false in
+  let rec first_n n = function
+    | [] -> []
+    | x :: rest -> if n = 0 then [] else x :: first_n (n - 1) rest
+  in
+  check_bool "warmup is creates" true (List.for_all is_create (first_n 20 trace))
+
+let test_trace_victims_valid () =
+  (* replay the trace against a growing/shrinking set and check indices *)
+  let prng = Prng.create ~seed:77L in
+  let trace = Trace.generate ~prng ~warmup_files:5 ~ops:2_000 () in
+  let live = ref 0 in
+  let ok = ref true in
+  let step = function
+    | Trace.Create _ -> incr live
+    | Trace.Read_whole { victim }
+    | Trace.Read_part { victim; _ }
+    | Trace.Rewrite { victim; _ }
+    | Trace.Update { victim; _ } ->
+      if victim < 0 || victim >= !live then ok := false
+    | Trace.Delete { victim } ->
+      if victim < 0 || victim >= !live then ok := false;
+      decr live
+  in
+  List.iter step trace;
+  check_bool "victims always in range" true !ok
+
+let test_trace_read_dominated () =
+  let prng = Prng.create ~seed:31L in
+  let trace = Trace.generate ~prng ~warmup_files:50 ~ops:5_000 () in
+  let reads =
+    List.length
+      (List.filter (function Trace.Read_whole _ | Trace.Read_part _ -> true | _ -> false) trace)
+  in
+  (* the BSD mix: ~75% of post-warmup ops are reads *)
+  check_bool (Printf.sprintf "reads %d/5000" reads) true (reads > 3_300 && reads < 4_200)
+
+let suite =
+  ( "workload",
+    [
+      Alcotest.test_case "paper sweep" `Quick test_paper_sweep;
+      Alcotest.test_case "describe sizes" `Quick test_describe;
+      Alcotest.test_case "median ≈ 1 KB" `Quick test_distribution_median_about_1kb;
+      Alcotest.test_case "99% under 64 KB" `Quick test_distribution_99th_under_64kb;
+      Alcotest.test_case "samples within bounds" `Quick test_distribution_bounds;
+      Alcotest.test_case "trace deterministic" `Quick test_trace_deterministic;
+      Alcotest.test_case "trace shape" `Quick test_trace_shape;
+      Alcotest.test_case "trace victims valid" `Quick test_trace_victims_valid;
+      Alcotest.test_case "trace is read-dominated" `Quick test_trace_read_dominated;
+    ] )

@@ -1,0 +1,158 @@
+(* Tests for the WORM device and the version archiver. *)
+
+open Helpers
+module Worm = Amoeba_worm.Worm_device
+module Archiver = Amoeba_worm.Archiver
+module Dir = Amoeba_dir.Dir_server
+module Client = Bullet_core.Client
+module Server = Bullet_core.Server
+module Status = Amoeba_rpc.Status
+module Clock = Amoeba_sim.Clock
+
+let make_platter ?(capacity = 1_000_000) () =
+  let clock = Clock.create () in
+  (clock, Worm.create ~capacity ~clock)
+
+let test_append_read_roundtrip () =
+  let _clock, platter = make_platter () in
+  let s1 = Worm.append platter (payload 100) in
+  let s2 = Worm.append platter (Bytes.of_string "second") in
+  check_bytes "first record" (payload 100) (Worm.read platter s1);
+  check_string "second record" "second" (Bytes.to_string (Worm.read platter s2));
+  check_int "two records" 2 (Worm.records platter);
+  check_int "bytes used" 106 (Worm.used platter)
+
+let test_write_once () =
+  let _clock, platter = make_platter () in
+  let slot = Worm.append platter (payload 10) in
+  (try
+     ignore (Worm.overwrite platter slot (payload 10));
+     Alcotest.fail "expected Write_once_violation"
+   with Worm.Write_once_violation -> ())
+
+let test_platter_full () =
+  let _clock, platter = make_platter ~capacity:100 () in
+  let (_ : Worm.slot) = Worm.append platter (payload 80) in
+  (try
+     ignore (Worm.append platter (payload 30));
+     Alcotest.fail "expected Platter_full"
+   with Worm.Platter_full -> ());
+  check_int "failed burn leaves no record" 1 (Worm.records platter)
+
+let test_optical_slower_than_magnetic () =
+  let clock, platter = make_platter () in
+  let _, burn_us = Clock.elapsed clock (fun () -> ignore (Worm.append platter (payload 65_536))) in
+  (* the same write on a magnetic drive *)
+  let geometry = Amoeba_disk.Geometry.small ~sectors:1024 in
+  let dev = Amoeba_disk.Block_device.create ~id:"mag" ~geometry ~clock in
+  let _, disk_us =
+    Clock.elapsed clock (fun () -> Amoeba_disk.Block_device.write dev ~sector:0 (payload 65_536))
+  in
+  check_bool "optical write slower" true (burn_us > disk_us)
+
+let test_unknown_slot () =
+  let _clock, platter = make_platter () in
+  (try
+     ignore (Worm.read platter 0);
+     Alcotest.fail "expected Invalid_argument"
+   with Invalid_argument _ -> ())
+
+(* ---- archiver ---- *)
+
+type rig = {
+  bullet : bullet_rig;
+  dirs : Dir.t;
+  root : Amoeba_cap.Capability.t;
+  platter : Worm.t;
+  archiver : Archiver.t;
+}
+
+let make () =
+  let bullet = make_bullet () in
+  let dirs = Dir.create ~store:bullet.client () in
+  let platter = Worm.create ~capacity:2_000_000 ~clock:bullet.rig.clock in
+  let archiver = Archiver.create ~store:bullet.client ~platter in
+  { bullet; dirs; root = Dir.root dirs; platter; archiver }
+
+let publish rig name contents =
+  let cap = Client.create rig.bullet.client (Bytes.of_string contents) in
+  ignore (ok_exn (Dir.replace rig.dirs rig.root name cap))
+
+let test_archive_name_moves_old_versions () =
+  let rig = make () in
+  publish rig "doc" "v1";
+  publish rig "doc" "v2";
+  publish rig "doc" "v3";
+  let live_before = Server.live_files rig.bullet.server in
+  let archived = ok_exn (Archiver.archive_name rig.archiver ~dirs:rig.dirs ~dir:rig.root "doc") in
+  check_int "two versions burned" 2 archived;
+  check_int "records on platter" 2 (Worm.records rig.platter);
+  (* bullet space freed: v1 and v2 deleted, one directory rewrite net
+     zero *)
+  check_bool "magnetic space freed" true (Server.live_files rig.bullet.server < live_before);
+  (* binding still answers with the newest version *)
+  let newest = ok_exn (Dir.lookup rig.dirs rig.root "doc") in
+  check_string "newest stays magnetic" "v3" (Bytes.to_string (Client.read rig.bullet.client newest));
+  check_int "binding shrunk to one version" 1
+    (List.length (ok_exn (Dir.versions rig.dirs rig.root "doc")))
+
+let test_history_and_recall () =
+  let rig = make () in
+  publish rig "doc" "ancient";
+  publish rig "doc" "middle";
+  publish rig "doc" "current";
+  let (_ : int) = ok_exn (Archiver.archive_name rig.archiver ~dirs:rig.dirs ~dir:rig.root "doc") in
+  let history = Archiver.history rig.archiver "doc" in
+  check_int "two archived" 2 (List.length history);
+  (* newest-first: head is "middle", tail is "ancient" *)
+  let oldest = List.nth history 1 in
+  let cap = ok_exn (Archiver.recall rig.archiver "doc" ~sequence:oldest.Archiver.sequence) in
+  check_string "recalled from optical" "ancient" (Bytes.to_string (Client.read rig.bullet.client cap))
+
+let test_archive_single_version_noop () =
+  let rig = make () in
+  publish rig "only" "just one";
+  check_int "nothing to archive" 0
+    (ok_exn (Archiver.archive_name rig.archiver ~dirs:rig.dirs ~dir:rig.root "only"))
+
+let test_archive_missing_name () =
+  let rig = make () in
+  expect_error Status.Not_found (Archiver.archive_name rig.archiver ~dirs:rig.dirs ~dir:rig.root "ghost")
+
+let test_recall_unknown_sequence () =
+  let rig = make () in
+  expect_error Status.Not_found (Archiver.recall rig.archiver "doc" ~sequence:99)
+
+let test_catalog_checkpoint_restore () =
+  let rig = make () in
+  publish rig "a" "a1";
+  publish rig "a" "a2";
+  publish rig "b" "b1";
+  publish rig "b" "b2";
+  let (_ : int) = ok_exn (Archiver.archive_name rig.archiver ~dirs:rig.dirs ~dir:rig.root "a") in
+  let (_ : int) = ok_exn (Archiver.archive_name rig.archiver ~dirs:rig.dirs ~dir:rig.root "b") in
+  let checkpoint = ok_exn (Archiver.checkpoint rig.archiver) in
+  let revived =
+    Result.get_ok (Archiver.restore ~store:rig.bullet.client ~platter:rig.platter checkpoint)
+  in
+  check_bool "names survive" true (Archiver.catalog_names revived = [ "a"; "b" ]);
+  let entry = List.nth (Archiver.history revived "a") 0 in
+  let cap = ok_exn (Archiver.recall revived "a" ~sequence:entry.Archiver.sequence) in
+  check_string "recall after restore" "a1" (Bytes.to_string (Client.read rig.bullet.client cap))
+
+let suite =
+  ( "worm",
+    [
+      Alcotest.test_case "append/read roundtrip" `Quick test_append_read_roundtrip;
+      Alcotest.test_case "write-once enforced" `Quick test_write_once;
+      Alcotest.test_case "platter full" `Quick test_platter_full;
+      Alcotest.test_case "optical slower than magnetic" `Quick test_optical_slower_than_magnetic;
+      Alcotest.test_case "unknown slot rejected" `Quick test_unknown_slot;
+      Alcotest.test_case "archive moves old versions to optical" `Quick
+        test_archive_name_moves_old_versions;
+      Alcotest.test_case "history and recall" `Quick test_history_and_recall;
+      Alcotest.test_case "single version is a no-op" `Quick test_archive_single_version_noop;
+      Alcotest.test_case "archiving a missing name" `Quick test_archive_missing_name;
+      Alcotest.test_case "recall of unknown sequence" `Quick test_recall_unknown_sequence;
+      Alcotest.test_case "catalog checkpoint/restore" `Quick test_catalog_checkpoint_restore;
+    ] )
