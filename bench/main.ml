@@ -288,6 +288,50 @@ let geo () =
 
 (* ---- Bechamel microbenchmarks of the real code ---- *)
 
+(* ---- FAULTS: availability, recovery, loss ---- *)
+
+let faults () =
+  header "FAULTS - availability and recovery under a deterministic fault plan";
+  let a = E.fault_availability () in
+  Printf.printf "Drive failure at t=2s, repair+resync at t=6s, reads throughout:\n";
+  Printf.printf "  client reads issued                  %12d\n" a.E.avail_ops;
+  Printf.printf "  failed client reads                  %12d   (claim: 0)\n" a.E.avail_failed;
+  Printf.printf "  reads served with a drive down       %12d\n" a.E.degraded_reads;
+  Printf.printf "  p99 read latency, both drives        %12.2f ms\n" a.E.normal_p99_ms;
+  Printf.printf "  p99 read latency, degraded           %12.2f ms\n" a.E.degraded_p99_ms;
+  Printf.printf "  resync (whole-disk copy)             %12.1f ms\n" a.E.resync_ms;
+  Printf.printf "\nMirror resync time vs disk size (one full-disk sequential copy):\n";
+  Printf.printf "  %-10s %14s %16s\n" "Disk" "resync (ms)" "ms per MB";
+  List.iter
+    (fun (p : E.resync_point) ->
+      Printf.printf "  %6d MB %14.1f %16.2f\n" p.E.disk_mb p.E.resync_ms
+        (p.E.resync_ms /. float_of_int p.E.disk_mb))
+    (E.resync_sweep ());
+  Printf.printf "\nCrash-reboot time vs inode table size (boot = one table scan):\n";
+  Printf.printf "  %-12s %14s\n" "Table" "reboot (ms)";
+  List.iter
+    (fun (p : E.reboot_point) ->
+      Printf.printf "  %8d %16.1f\n" p.E.table_files p.E.reboot_ms)
+    (E.reboot_sweep ());
+  Printf.printf "\nGoodput under message loss (timeout 100 ms, <=10 attempts, xid dedup):\n";
+  Printf.printf "  %-8s %8s %10s %8s %9s %10s %12s\n" "Loss" "ops" "completed" "retries"
+    "timeouts" "dup execs" "goodput KB/s";
+  List.iter
+    (fun (p : E.loss_point) ->
+      Printf.printf "  %5.0f %% %9d %10d %8d %9d %10d %12.1f\n" p.E.loss_pct p.E.loss_ops
+        p.E.loss_completed p.E.loss_retries p.E.loss_timeouts p.E.duplicate_executions
+        p.E.goodput_kbs)
+    (E.loss_sweep ());
+  let c = E.crash_recovery () in
+  Printf.printf "\nServer crash at t=2s, reboot at t=2.5s, reads every 50 ms:\n";
+  Printf.printf "  client reads issued                  %12d\n" c.E.crash_ops;
+  Printf.printf "  failed client reads                  %12d   (claim: 0)\n" c.E.crash_failed;
+  Printf.printf "  scripted outage                      %12.1f ms\n" c.E.outage_ms;
+  Printf.printf "  measured reboot (inode scan)         %12.1f ms\n" c.E.crash_reboot_ms;
+  Printf.printf "  timeout retries spanning the outage  %12d\n" c.E.crash_retries;
+  Printf.printf "  pre-crash capability still valid     %12s\n"
+    (if c.E.pre_crash_file_ok then "yes" else "NO")
+
 let micro () =
   header "MICRO - Bechamel microbenchmarks (real wall-clock, ns/run)";
   let open Bechamel in
@@ -381,6 +425,7 @@ let all_benches =
     ("scale", scale);
     ("naming", naming);
     ("geo", geo);
+    ("faults", faults);
     ("micro", micro);
   ]
 

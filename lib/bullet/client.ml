@@ -5,16 +5,63 @@ type t = {
   transport : Amoeba_rpc.Transport.t;
   model : Amoeba_rpc.Net_model.t;
   service : Amoeba_cap.Port.t;
+  attempts : int;
+  backoff_us : int;
+  stats : Amoeba_sim.Stats.t;
 }
 
-let connect ?(model = Amoeba_rpc.Net_model.amoeba) transport service =
-  { transport; model; service }
+(* Transaction ids need only be unique per server dedup window; a
+   process-wide counter keeps them unique across every client instance,
+   and since clients issue operations in a deterministic order the ids
+   themselves are deterministic. 0 is reserved for "no id". *)
+let xid_counter = ref 0
+
+let fresh_xid () =
+  incr xid_counter;
+  !xid_counter
+
+let connect ?(model = Amoeba_rpc.Net_model.amoeba) ?(attempts = 1) ?(backoff_us = 50_000) transport
+    service =
+  if attempts < 1 then invalid_arg "Client.connect: attempts must be at least 1";
+  {
+    transport;
+    model;
+    service;
+    attempts;
+    backoff_us;
+    stats = Amoeba_sim.Stats.create "bullet-client";
+  }
 
 let port t = t.service
 
 let transport t = t.transport
 
-let trans t request = Amoeba_rpc.Transport.trans t.transport ~model:t.model request
+let stats t = t.stats
+
+(* Retry only on Timeout: any other status is a definitive answer from
+   the server. Idempotent requests carry xid = 0 and are simply
+   re-executed; mutations carry a fresh xid, reused verbatim on each
+   retry, which the server deduplicates. Waits double between attempts. *)
+let trans t request =
+  let clock = Amoeba_rpc.Transport.clock t.transport in
+  let rec go attempt =
+    let reply = Amoeba_rpc.Transport.trans t.transport ~model:t.model request in
+    if reply.Message.status <> Status.Timeout then reply
+    else begin
+      Amoeba_sim.Stats.incr t.stats "timeouts";
+      if attempt >= t.attempts then begin
+        Amoeba_sim.Stats.incr t.stats "exhausted";
+        reply
+      end
+      else begin
+        Amoeba_sim.Stats.incr t.stats "retries";
+        Amoeba_sim.Clock.advance clock (t.backoff_us * (1 lsl (attempt - 1)));
+        go (attempt + 1)
+      end
+    end
+  in
+  Amoeba_sim.Stats.incr t.stats "transactions";
+  go 1
 
 let checked t request =
   let reply = trans t request in
@@ -29,7 +76,8 @@ let cap_of reply =
 let create t ?(p_factor = 2) data =
   cap_of
     (checked t
-       (Message.request ~port:t.service ~command:Proto.cmd_create ~arg0:p_factor ~body:data ()))
+       (Message.request ~port:t.service ~command:Proto.cmd_create ~arg0:p_factor
+          ~xid:(fresh_xid ()) ~body:data ()))
 
 let size t cap =
   let reply = checked t (Message.request ~port:t.service ~command:Proto.cmd_size ~cap ()) in
@@ -44,7 +92,10 @@ let read t cap =
   read_now t cap
 
 let delete t cap =
-  let (_ : Message.t) = checked t (Message.request ~port:t.service ~command:Proto.cmd_delete ~cap ()) in
+  let (_ : Message.t) =
+    checked t
+      (Message.request ~port:t.service ~command:Proto.cmd_delete ~cap ~xid:(fresh_xid ()) ())
+  in
   ()
 
 let read_range t cap ~pos ~len =
@@ -58,17 +109,19 @@ let modify t ?(p_factor = 2) cap ~pos data =
   cap_of
     (checked t
        (Message.request ~port:t.service ~command:Proto.cmd_modify ~cap ~arg0:p_factor ~arg1:pos
-          ~body:data ()))
+          ~xid:(fresh_xid ()) ~body:data ()))
 
 let append t ?(p_factor = 2) cap data =
   cap_of
     (checked t
-       (Message.request ~port:t.service ~command:Proto.cmd_append ~cap ~arg0:p_factor ~body:data ()))
+       (Message.request ~port:t.service ~command:Proto.cmd_append ~cap ~arg0:p_factor
+          ~xid:(fresh_xid ()) ~body:data ()))
 
 let truncate t ?(p_factor = 2) cap n =
   cap_of
     (checked t
-       (Message.request ~port:t.service ~command:Proto.cmd_truncate ~cap ~arg0:p_factor ~arg1:n ()))
+       (Message.request ~port:t.service ~command:Proto.cmd_truncate ~cap ~arg0:p_factor ~arg1:n
+          ~xid:(fresh_xid ()) ()))
 
 let restrict t cap rights =
   cap_of

@@ -4,18 +4,39 @@
     emulation, the examples and the benchmarks) calls: each stub builds a
     request, runs one RPC transaction — paying the Amoeba wire costs — and
     decodes the reply. Stubs raise {!Amoeba_rpc.Status.Error} on any
-    non-[Ok] reply. *)
+    non-[Ok] reply.
+
+    On a [Timeout] reply (lost message or crashed server) the stub
+    retries, up to the [attempts] bound given at {!connect}, doubling a
+    backoff wait between tries. Read-only operations are idempotent and
+    simply re-execute; mutating operations are stamped with a fresh
+    {!Amoeba_rpc.Message.t.xid} that is reused verbatim across the
+    retries, and the server deduplicates on it — so a CREATE whose reply
+    was lost does not create a second file on retry. *)
 
 type t
 
 val connect :
-  ?model:Amoeba_rpc.Net_model.t -> Amoeba_rpc.Transport.t -> Amoeba_cap.Port.t -> t
+  ?model:Amoeba_rpc.Net_model.t ->
+  ?attempts:int ->
+  ?backoff_us:int ->
+  Amoeba_rpc.Transport.t ->
+  Amoeba_cap.Port.t ->
+  t
 (** A client of the Bullet service on the given port; [model] defaults to
-    {!Amoeba_rpc.Net_model.amoeba}. *)
+    {!Amoeba_rpc.Net_model.amoeba}. [attempts] (default 1, i.e. no
+    retries) bounds the total number of sends per operation; after the
+    [k]th timeout the stub waits [backoff_us * 2{^ k-1}] (default base
+    50 ms) before resending. *)
 
 val port : t -> Amoeba_cap.Port.t
 
 val transport : t -> Amoeba_rpc.Transport.t
+
+val stats : t -> Amoeba_sim.Stats.t
+(** Counters: [transactions] (logical operations issued), [timeouts]
+    (timed-out sends), [retries] (resends after a timeout), [exhausted]
+    (operations that failed after the last allowed attempt). *)
 
 val create : t -> ?p_factor:int -> bytes -> Amoeba_cap.Capability.t
 (** [BULLET.CREATE]; [p_factor] defaults to 2 (both disks, as in the

@@ -92,5 +92,28 @@ let dispatch server request =
     Message.reply ~status:Status.Ok ~body:(encode_stat server) ()
   else Message.error Status.Bad_request
 
-let serve server transport =
-  Amoeba_rpc.Transport.register transport (Server.port server) (dispatch server)
+(* At-most-once execution for mutations over a lossy wire: remember the
+   reply to each xid-stamped request, bounded FIFO. A retry of a request
+   whose reply was lost (or that arrived in duplicate) gets the cached
+   reply instead of executing again. The cache lives with the
+   registration, not the server state — a reboot forgets it, which is the
+   honest at-most-once window of the real protocol. *)
+let dedup ~capacity service =
+  let replies : (int, Message.t) Hashtbl.t = Hashtbl.create capacity in
+  let order = Queue.create () in
+  fun request ->
+    let xid = request.Message.xid in
+    if xid = 0 then service request
+    else
+      match Hashtbl.find_opt replies xid with
+      | Some reply -> reply
+      | None ->
+        let reply = service request in
+        if Hashtbl.length replies >= capacity then Hashtbl.remove replies (Queue.pop order);
+        Hashtbl.replace replies xid reply;
+        Queue.add xid order;
+        reply
+
+let serve ?(dedup_capacity = 1024) server transport =
+  Amoeba_rpc.Transport.register transport (Server.port server)
+    (dedup ~capacity:dedup_capacity (dispatch server))

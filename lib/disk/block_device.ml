@@ -7,6 +7,7 @@ type t = {
   bad_sectors : (int, unit) Hashtbl.t;
   mutable head : int;
   mutable failed : bool;
+  mutable fault_hook : (sector:int -> count:int -> write:bool -> bool) option;
 }
 
 exception Failure of string
@@ -21,6 +22,7 @@ let create ~id ~geometry ~clock =
     bad_sectors = Hashtbl.create 7;
     head = 0;
     failed = false;
+    fault_hook = None;
   }
 
 let id t = t.device_id
@@ -37,13 +39,6 @@ let check_range t ~sector ~count ~op =
       (Printf.sprintf "Block_device.%s: range [%d, %d) out of bounds on %s" op sector
          (sector + count) t.device_id)
 
-let check_health t ~sector ~count ~op =
-  if t.failed then raise (Failure (Printf.sprintf "%s: drive failed during %s" t.device_id op));
-  for s = sector to sector + count - 1 do
-    if Hashtbl.mem t.bad_sectors s then
-      raise (Failure (Printf.sprintf "%s: bad sector %d during %s" t.device_id s op))
-  done
-
 let charge t ~sector ~count ~write =
   let sequential = sector = t.head in
   let bytes = count * t.geometry.Geometry.sector_bytes in
@@ -51,9 +46,24 @@ let charge t ~sector ~count ~write =
   if not sequential then Amoeba_sim.Stats.incr t.stats "seeks";
   t.head <- sector + count
 
+let check_health t ~sector ~count ~write ~op =
+  if t.failed then raise (Failure (Printf.sprintf "%s: drive failed during %s" t.device_id op));
+  for s = sector to sector + count - 1 do
+    if Hashtbl.mem t.bad_sectors s then
+      raise (Failure (Printf.sprintf "%s: bad sector %d during %s" t.device_id s op))
+  done;
+  match t.fault_hook with
+  | Some hook when hook ~sector ~count ~write ->
+    (* A transient media error: this access fails, the next may succeed.
+       The drive still burned the access time before reporting it. *)
+    Amoeba_sim.Stats.incr t.stats "transient_errors";
+    charge t ~sector ~count ~write;
+    raise (Failure (Printf.sprintf "%s: transient error at sector %d during %s" t.device_id sector op))
+  | _ -> ()
+
 let read t ~sector ~count =
   check_range t ~sector ~count ~op:"read";
-  check_health t ~sector ~count ~op:"read";
+  check_health t ~sector ~count ~write:false ~op:"read";
   charge t ~sector ~count ~write:false;
   Amoeba_sim.Stats.incr t.stats "reads";
   Amoeba_sim.Stats.add t.stats "sectors_read" count;
@@ -67,7 +77,7 @@ let write t ~sector data =
     invalid_arg "Block_device.write: data must be a positive multiple of the sector size";
   let count = len / sector_bytes in
   check_range t ~sector ~count ~op:"write";
-  check_health t ~sector ~count ~op:"write";
+  check_health t ~sector ~count ~write:true ~op:"write";
   charge t ~sector ~count ~write:true;
   Amoeba_sim.Stats.incr t.stats "writes";
   Amoeba_sim.Stats.add t.stats "sectors_written" count;
@@ -78,6 +88,8 @@ let fail t = t.failed <- true
 let repair t = t.failed <- false
 
 let is_failed t = t.failed
+
+let set_fault_hook t hook = t.fault_hook <- hook
 
 let set_bad_sector t sector = Hashtbl.replace t.bad_sectors sector ()
 

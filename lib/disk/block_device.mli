@@ -45,6 +45,13 @@ val repair : t -> unit
 
 val is_failed : t -> bool
 
+val set_fault_hook : t -> (sector:int -> count:int -> write:bool -> bool) option -> unit
+(** Install (or with [None] remove) a transient-fault predicate,
+    consulted on every timed access. Returning [true] makes that access
+    raise {!Failure} after charging its access time — a soft media error:
+    the same access retried may succeed. Used by [Amoeba_fault.Injector]
+    for probabilistic sector-error plans. *)
+
 val set_bad_sector : t -> int -> unit
 (** Mark one sector as unreadable/unwritable. *)
 

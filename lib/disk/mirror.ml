@@ -4,6 +4,7 @@ type t = {
   drives : Block_device.t list;
   clock : Amoeba_sim.Clock.t;
   pending : pending Queue.t;
+  stats : Amoeba_sim.Stats.t;
 }
 
 exception No_live_drive
@@ -16,7 +17,12 @@ let create drives =
     let same_geometry d = Block_device.geometry d = geometry in
     if not (List.for_all same_geometry rest) then
       invalid_arg "Mirror.create: drives must share a geometry";
-    { drives; clock = Block_device.clock first; pending = Queue.create () }
+    {
+      drives;
+      clock = Block_device.clock first;
+      pending = Queue.create ();
+      stats = Amoeba_sim.Stats.create "mirror";
+    }
 
 let drives t = t.drives
 
@@ -44,15 +50,18 @@ let crash t = Queue.clear t.pending
 
 let pending_count t = Queue.length t.pending
 
-let rec read_from ~sector ~count = function
+let rec read_from t ~sector ~count = function
   | [] -> raise No_live_drive
   | drive :: others -> (
     try Block_device.read drive ~sector ~count
-    with Block_device.Failure _ -> read_from ~sector ~count others)
+    with Block_device.Failure _ ->
+      Amoeba_sim.Stats.incr t.stats "read_failovers";
+      read_from t ~sector ~count others)
 
 let read t ~sector ~count =
   drain t;
-  read_from ~sector ~count (live t)
+  if live_count t < List.length t.drives then Amoeba_sim.Stats.incr t.stats "degraded_reads";
+  read_from t ~sector ~count (live t)
 
 let write t ~sync ~sector data =
   drain t;
@@ -78,7 +87,10 @@ let recover t =
   let fix drive =
     if Block_device.is_failed drive then begin
       Block_device.repair drive;
-      Block_device.copy_from ~src ~dst:drive
+      Block_device.copy_from ~src ~dst:drive;
+      Amoeba_sim.Stats.incr t.stats "resyncs"
     end
   in
   List.iter fix t.drives
+
+let stats t = t.stats

@@ -58,3 +58,9 @@ val recover : t -> unit
 (** Repair every failed drive and copy the primary's contents onto it —
     the paper's whole-disk-copy recovery. Raises {!No_live_drive} if there
     is no live drive to copy from. *)
+
+val stats : t -> Amoeba_sim.Stats.t
+(** Counters: [read_failovers] (a drive raised mid-read and the next live
+    drive served it), [degraded_reads] (reads issued while at least one
+    drive was offline), [resyncs] (failed drives repaired and re-copied by
+    {!recover}). *)

@@ -1,0 +1,142 @@
+module Clock = Amoeba_sim.Clock
+module Prng = Amoeba_sim.Prng
+module Stats = Amoeba_sim.Stats
+module Transport = Amoeba_rpc.Transport
+module Block_device = Amoeba_disk.Block_device
+module Mirror = Amoeba_disk.Mirror
+module Event_queue = Amoeba_pool.Event_queue
+
+type t = {
+  clock : Clock.t;
+  prng : Prng.t;
+  queue : Plan.event Event_queue.t;
+  transport : Transport.t option;
+  mirror : Mirror.t option;
+  on_crash : unit -> unit;
+  on_reboot : unit -> unit;
+  stats : Stats.t;
+  mutable loss : float;
+  mutable duplication : float;
+  mutable corruption : float;
+  mutable sector_errors : float;
+  mutable firing : bool;
+  mutable detached : bool;
+}
+
+let log_src = Logs.Src.create "amoeba.fault" ~doc:"Fault injection"
+
+module Log = (val Logs.src_log log_src)
+
+(* Event work runs off the measured path — recovery and reboot proceed in
+   the background of whichever client transaction happened to trigger the
+   poll — but its duration is still recorded, so experiments can report
+   resync and reboot times without distorting client latencies. *)
+let record t key f =
+  Clock.unobserved t.clock (fun () ->
+      let (), duration = Clock.elapsed t.clock f in
+      Stats.observe t.stats key (float_of_int duration))
+
+let apply t event =
+  Log.info (fun m -> m "t=%d us: %a" (Clock.now t.clock) Plan.pp_event event);
+  match (event : Plan.event) with
+  | Drive_fail i -> (
+    match t.mirror with
+    | None -> invalid_arg "Injector: Drive_fail in a plan attached without a mirror"
+    | Some mirror ->
+      Block_device.fail (List.nth (Mirror.drives mirror) i);
+      Stats.incr t.stats "drive_failures")
+  | Drive_recover -> (
+    match t.mirror with
+    | None -> invalid_arg "Injector: Drive_recover in a plan attached without a mirror"
+    | Some mirror ->
+      record t "resync_us" (fun () -> Mirror.recover mirror);
+      Stats.incr t.stats "drive_recoveries")
+  | Server_crash ->
+    t.on_crash ();
+    Stats.incr t.stats "server_crashes"
+  | Server_reboot ->
+    record t "reboot_us" t.on_reboot;
+    Stats.incr t.stats "server_reboots"
+  | Message_loss p -> t.loss <- p
+  | Message_duplication p -> t.duplication <- p
+  | Message_corruption p -> t.corruption <- p
+  | Sector_errors p -> t.sector_errors <- p
+
+(* The [firing] flag makes event application atomic from the hooks' point
+   of view: a reboot's boot scan reads the disk and re-registers a port,
+   and those inner operations must not recursively fire events or draw
+   probabilistic faults. *)
+let rec fire_due t =
+  if not t.firing then
+    match Event_queue.peek_time t.queue with
+    | Some at when at <= Clock.now t.clock -> (
+      match Event_queue.pop t.queue with
+      | None -> ()
+      | Some (_, event) ->
+        t.firing <- true;
+        Fun.protect ~finally:(fun () -> t.firing <- false) (fun () -> apply t event);
+        fire_due t)
+    | _ -> ()
+
+let poll t = fire_due t
+
+(* Draw order is fixed — request loss, reply loss, duplication,
+   corruption — and a rate of zero consumes no draw, so plans stay
+   deterministic under edits that only change when a rate switches on. *)
+let delivery_verdict t (_ : Amoeba_rpc.Message.t) =
+  if t.firing then Transport.Deliver
+  else begin
+    fire_due t;
+    if Prng.bernoulli t.prng t.loss then Transport.Drop_request
+    else if Prng.bernoulli t.prng t.loss then Transport.Drop_reply
+    else if Prng.bernoulli t.prng t.duplication then Transport.Duplicate_request
+    else if Prng.bernoulli t.prng t.corruption then Transport.Corrupt_reply
+    else Transport.Deliver
+  end
+
+let disk_fault t ~sector:_ ~count:_ ~write =
+  (* Transient errors hit reads only; scripted events do not fire from
+     disk hooks (a drive failing halfway through another event's disk
+     pass would make event application non-atomic). *)
+  if t.firing || write then false else Prng.bernoulli t.prng t.sector_errors
+
+let attach ?transport ?mirror ?(on_crash = fun () -> ()) ?(on_reboot = fun () -> ()) ~clock plan =
+  let queue = Event_queue.create () in
+  List.iter (fun { Plan.at_us; event } -> Event_queue.push queue ~time:at_us event) (Plan.steps plan);
+  let t =
+    {
+      clock;
+      prng = Prng.create ~seed:(Plan.seed plan);
+      queue;
+      transport;
+      mirror;
+      on_crash;
+      on_reboot;
+      stats = Stats.create "fault-injector";
+      loss = 0.;
+      duplication = 0.;
+      corruption = 0.;
+      sector_errors = 0.;
+      firing = false;
+      detached = false;
+    }
+  in
+  Option.iter (fun tr -> Transport.set_fault_hook tr (Some (delivery_verdict t))) transport;
+  Option.iter
+    (fun m -> List.iter (fun d -> Block_device.set_fault_hook d (Some (disk_fault t))) (Mirror.drives m))
+    mirror;
+  fire_due t;
+  t
+
+let detach t =
+  if not t.detached then begin
+    t.detached <- true;
+    Option.iter (fun tr -> Transport.set_fault_hook tr None) t.transport;
+    Option.iter
+      (fun m -> List.iter (fun d -> Block_device.set_fault_hook d None) (Mirror.drives m))
+      t.mirror
+  end
+
+let pending t = Event_queue.size t.queue
+
+let stats t = t.stats

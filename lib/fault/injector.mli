@@ -1,0 +1,50 @@
+(** Binds a {!Plan.t} to a running rig and makes it happen.
+
+    The injector installs itself as the transport's delivery hook and as
+    each mirror drive's transient-fault hook. Scripted events fire when
+    their virtual time has passed — checked at every RPC transaction and
+    at explicit {!poll} calls — and fire {e off the measured path}: a
+    whole-disk resync or a reboot's inode-table scan charges no client
+    time, but its duration is recorded in {!stats} ([resync_us],
+    [reboot_us] series) so experiments can still report it.
+
+    Crash and reboot are harness-supplied actions because the injector is
+    generic over what is running on the transport: for a Bullet rig,
+    [on_crash] typically unregisters the port and calls [Server.crash],
+    and [on_reboot] restarts the server on the surviving image (same
+    seed, so capabilities minted before the crash remain valid) and
+    re-registers it.
+
+    All probabilistic draws come from one PRNG seeded by the plan, and
+    the draw order is fixed, so a given plan against a given workload is
+    exactly reproducible. *)
+
+type t
+
+val attach :
+  ?transport:Amoeba_rpc.Transport.t ->
+  ?mirror:Amoeba_disk.Mirror.t ->
+  ?on_crash:(unit -> unit) ->
+  ?on_reboot:(unit -> unit) ->
+  clock:Amoeba_sim.Clock.t ->
+  Plan.t ->
+  t
+(** Install the plan's hooks; events already due (at time 0) fire
+    immediately. [Drive_fail]/[Drive_recover] events require [mirror];
+    message-fault draws require [transport] (without it they never
+    happen). *)
+
+val poll : t -> unit
+(** Fire every scripted event whose time has passed. Call this from the
+    experiment loop when no RPC traffic would otherwise trigger the
+    check (e.g. to make a reboot happen during an idle period). *)
+
+val detach : t -> unit
+(** Remove all hooks; remaining scheduled events never fire. *)
+
+val pending : t -> int
+(** Scripted events not yet fired. *)
+
+val stats : t -> Amoeba_sim.Stats.t
+(** Counters [drive_failures], [drive_recoveries], [server_crashes],
+    [server_reboots]; series [resync_us], [reboot_us]. *)

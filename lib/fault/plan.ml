@@ -1,0 +1,33 @@
+type event =
+  | Drive_fail of int
+  | Drive_recover
+  | Server_crash
+  | Server_reboot
+  | Message_loss of float
+  | Message_duplication of float
+  | Message_corruption of float
+  | Sector_errors of float
+
+type step = { at_us : int; event : event }
+
+type t = { seed : int64; steps : step list (* reverse insertion order *) }
+
+let create ~seed = { seed; steps = [] }
+
+let at plan ~us event =
+  if us < 0 then invalid_arg "Plan.at: negative time";
+  { plan with steps = { at_us = us; event } :: plan.steps }
+
+let seed plan = plan.seed
+
+let steps plan = List.rev plan.steps
+
+let pp_event ppf = function
+  | Drive_fail i -> Format.fprintf ppf "drive %d fails" i
+  | Drive_recover -> Format.fprintf ppf "failed drives repaired and resynced"
+  | Server_crash -> Format.fprintf ppf "server crashes"
+  | Server_reboot -> Format.fprintf ppf "server reboots"
+  | Message_loss p -> Format.fprintf ppf "message loss rate -> %g" p
+  | Message_duplication p -> Format.fprintf ppf "message duplication rate -> %g" p
+  | Message_corruption p -> Format.fprintf ppf "message corruption rate -> %g" p
+  | Sector_errors p -> Format.fprintf ppf "transient sector error rate -> %g" p

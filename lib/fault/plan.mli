@@ -1,0 +1,45 @@
+(** A deterministic fault plan: what goes wrong, and when.
+
+    A plan is pure data — a seed for the probabilistic faults and a
+    schedule of scripted events on the virtual clock. The same plan
+    attached to the same rig produces byte-identical behaviour, which is
+    what makes fault experiments reportable: "availability through a
+    drive failure" is a number, not a distribution over reruns.
+
+    Scripted events cover the hard state changes (a drive dies at
+    [T], the server crashes at [T'], …); rate events switch the
+    probabilistic faults (message loss, duplication, corruption,
+    transient sector errors) on and off, so one plan can express e.g.
+    "5% loss between t=2s and t=10s". *)
+
+type event =
+  | Drive_fail of int  (** take the [i]th mirror drive offline *)
+  | Drive_recover
+      (** repair every failed drive and resync it from the primary
+          (whole-disk copy, the paper's recovery) *)
+  | Server_crash  (** invoke the harness's crash action *)
+  | Server_reboot  (** invoke the harness's reboot action *)
+  | Message_loss of float  (** per-direction drop probability *)
+  | Message_duplication of float  (** request duplication probability *)
+  | Message_corruption of float
+      (** reply corruption probability (checksums detect it, so it
+          behaves as a loss) *)
+  | Sector_errors of float  (** per-read transient media error probability *)
+
+type step = { at_us : int; event : event }
+
+type t
+
+val create : seed:int64 -> t
+(** An empty plan. [seed] drives every probabilistic draw. *)
+
+val at : t -> us:int -> event -> t
+(** Schedule [event] at virtual time [us]. Events at equal times fire in
+    the order they were added. *)
+
+val seed : t -> int64
+
+val steps : t -> step list
+(** In schedule-insertion order. *)
+
+val pp_event : Format.formatter -> event -> unit

@@ -12,6 +12,13 @@ type t = {
   cap : Amoeba_cap.Capability.t option;  (** object operated on / returned *)
   arg0 : int;  (** small argument: size, offset, p-factor … *)
   arg1 : int;  (** second small argument *)
+  xid : int;
+      (** client transaction id, 0 = none. A client stamps a fresh id on
+          each {e logical} mutating operation and reuses it across
+          timeout retries; servers deduplicate on it, giving mutations
+          at-most-once semantics over a lossy network. Idempotent
+          operations (READ, SIZE) go out with [xid = 0] and are simply
+          re-executed. *)
   body : bytes;  (** bulk data *)
 }
 
@@ -21,6 +28,7 @@ val request :
   ?cap:Amoeba_cap.Capability.t ->
   ?arg0:int ->
   ?arg1:int ->
+  ?xid:int ->
   ?body:bytes ->
   unit ->
   t

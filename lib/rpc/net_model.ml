@@ -1,9 +1,28 @@
-type t = { latency_us : int; bytes_per_sec : int; packet_bytes : int; per_packet_us : int }
+type t = {
+  latency_us : int;
+  bytes_per_sec : int;
+  packet_bytes : int;
+  per_packet_us : int;
+  timeout_us : int;
+}
 
-let amoeba = { latency_us = 1_800; bytes_per_sec = 720_000; packet_bytes = 8_192; per_packet_us = 500 }
+let amoeba =
+  {
+    latency_us = 1_800;
+    bytes_per_sec = 720_000;
+    packet_bytes = 8_192;
+    per_packet_us = 500;
+    timeout_us = 100_000;
+  }
 
 let sunos_nfs =
-  { latency_us = 7_000; bytes_per_sec = 720_000; packet_bytes = 1_480; per_packet_us = 300 }
+  {
+    latency_us = 7_000;
+    bytes_per_sec = 720_000;
+    packet_bytes = 1_480;
+    per_packet_us = 300;
+    timeout_us = 700_000;
+  }
 
 let transmit_us t bytes =
   if bytes <= 0 then 0

@@ -14,16 +14,24 @@ type t = {
   bytes_per_sec : int;  (** effective one-way data rate *)
   packet_bytes : int;  (** fragment size *)
   per_packet_us : int;  (** per-fragment processing cost *)
+  timeout_us : int;
+      (** how long the client-side RPC stub waits for a reply before
+          declaring the transaction lost. Charged in full when the
+          request or reply is dropped, or the destination port is
+          unbound (crashed server) — the stub cannot tell these apart. *)
 }
 
 val amoeba : t
 (** Amoeba 3.x RPC on 10 Mbit/s Ethernet between 16.7 MHz MC68020s;
     calibrated so a null transaction is ≈2.5 ms and a 1 MB transfer
-    sustains ≈680 KB/s (the published Amoeba figures). *)
+    sustains ≈680 KB/s (the published Amoeba figures). The locate/retry
+    timer is 100 ms — generous against the ~2.5 ms null RPC, as the real
+    kernel's was. *)
 
 val sunos_nfs : t
 (** SunOS 3.5 UDP RPC between a SUN 3/50 and a 3/180; heavier per-call
-    and per-fragment costs. *)
+    and per-fragment costs. Timeout is NFS's classic 700 ms initial
+    [timeo]. *)
 
 val transmit_us : t -> int -> int
 (** [transmit_us model bytes] is the one-way time to move [bytes] of

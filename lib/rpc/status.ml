@@ -7,6 +7,7 @@ type t =
   | Bad_request
   | Exists
   | Server_failure
+  | Timeout
 
 let to_int = function
   | Ok -> 0
@@ -17,6 +18,7 @@ let to_int = function
   | Bad_request -> 5
   | Exists -> 6
   | Server_failure -> 7
+  | Timeout -> 8
 
 let of_int = function
   | 0 -> Ok
@@ -26,6 +28,7 @@ let of_int = function
   | 4 -> Not_found
   | 5 -> Bad_request
   | 6 -> Exists
+  | 8 -> Timeout
   | _ -> Server_failure
 
 let to_string = function
@@ -37,6 +40,7 @@ let to_string = function
   | Bad_request -> "bad request"
   | Exists -> "already exists"
   | Server_failure -> "server failure"
+  | Timeout -> "timeout"
 
 let pp ppf t = Format.pp_print_string ppf (to_string t)
 

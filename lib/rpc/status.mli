@@ -9,6 +9,12 @@ type t =
   | Bad_request  (** malformed arguments or unknown command *)
   | Exists  (** directory entry already present *)
   | Server_failure  (** internal error, e.g. all replica disks down *)
+  | Timeout
+      (** no reply within the transport's timeout interval: the request or
+          reply was lost, or the destination port is not (currently)
+          bound — e.g. the server crashed. Safe to retry idempotent
+          operations; mutations carry a transaction id the server
+          deduplicates (see {!Message.t.xid}). *)
 
 val to_int : t -> int
 

@@ -1,5 +1,9 @@
 type service = Message.t -> Message.t
 
+type delivery = Deliver | Drop_request | Drop_reply | Duplicate_request | Corrupt_reply
+
+type fault_hook = Message.t -> delivery
+
 module Port_table = Hashtbl.Make (struct
   type t = Amoeba_cap.Port.t
 
@@ -12,10 +16,16 @@ type t = {
   clock : Amoeba_sim.Clock.t;
   services : service Port_table.t;
   stats : Amoeba_sim.Stats.t;
+  mutable fault_hook : fault_hook option;
 }
 
 let create ~clock =
-  { clock; services = Port_table.create 16; stats = Amoeba_sim.Stats.create "transport" }
+  {
+    clock;
+    services = Port_table.create 16;
+    stats = Amoeba_sim.Stats.create "transport";
+    fault_hook = None;
+  }
 
 let clock t = t.clock
 
@@ -29,31 +39,68 @@ let unregister t port = Port_table.remove t.services port
 
 let lookup t port = Port_table.find_opt t.services port
 
+let set_fault_hook t hook = t.fault_hook <- hook
+
 let log_src = Logs.Src.create "amoeba.rpc" ~doc:"Amoeba RPC transport"
 
 module Log = (val Logs.src_log log_src)
 
+(* The client stub sent a request and no reply arrived: it learns nothing
+   until its timer fires, so the transaction costs the full timeout
+   interval from the moment of the send, whatever already happened on the
+   wire. *)
+let timed_out t ~model ~start reason =
+  Amoeba_sim.Stats.incr t.stats reason;
+  Amoeba_sim.Stats.incr t.stats "timeouts";
+  Amoeba_sim.Clock.advance_to t.clock (start + model.Net_model.timeout_us);
+  Message.error Status.Timeout
+
 let trans t ~model request =
+  let start = Amoeba_sim.Clock.now t.clock in
   Amoeba_sim.Stats.incr t.stats "transactions";
+  (* Consult the fault plan before delivery: the hook may also fire
+     scheduled events (crash, reboot, drive failure) that are due now. *)
+  let verdict = match t.fault_hook with None -> Deliver | Some hook -> hook request in
   let request_bytes = Message.wire_bytes request in
   Amoeba_sim.Stats.add t.stats "bytes_sent" request_bytes;
-  (* Fixed transaction latency plus the request payload on the wire. *)
   Amoeba_sim.Clock.advance t.clock model.Net_model.latency_us;
   Amoeba_sim.Clock.advance t.clock (Net_model.transmit_us model request_bytes);
-  let reply =
+  if verdict = Drop_request then timed_out t ~model ~start "dropped_requests"
+  else
     match Port_table.find_opt t.services request.Message.port with
     | None ->
+      (* Unbound (or crashed) port: nothing answers, so the client pays
+         its timeout interval, not one network latency. *)
       Amoeba_sim.Stats.incr t.stats "unbound_port";
-      Message.error Status.Server_failure
-    | Some service -> (
-      try service request
-      with e ->
-        Log.warn (fun m -> m "service on %a raised %s" Amoeba_cap.Port.pp request.Message.port (Printexc.to_string e));
-        Message.error Status.Server_failure)
-  in
-  let reply_bytes = Message.wire_bytes reply in
-  Amoeba_sim.Stats.add t.stats "bytes_received" reply_bytes;
-  Amoeba_sim.Clock.advance t.clock (Net_model.transmit_us model reply_bytes);
-  reply
+      timed_out t ~model ~start "unbound_timeouts"
+    | Some service ->
+      let run () =
+        try service request
+        with e ->
+          Log.warn (fun m ->
+              m "service on %a raised %s" Amoeba_cap.Port.pp request.Message.port
+                (Printexc.to_string e));
+          Message.error Status.Server_failure
+      in
+      let reply = run () in
+      (* A duplicated request reaches the server twice; the second
+         execution happens off the client's critical path (the client
+         only waits for the first reply). Dedup, if any, is the
+         service's business. *)
+      if verdict = Duplicate_request then begin
+        Amoeba_sim.Stats.incr t.stats "duplicated_requests";
+        ignore (Amoeba_sim.Clock.unobserved t.clock run)
+      end;
+      (match verdict with
+      | Drop_reply -> timed_out t ~model ~start "dropped_replies"
+      | Corrupt_reply ->
+        (* Per-packet checksums catch the damage; a corrupted reply is
+           discarded by the client's RPC stub and surfaces as a loss. *)
+        timed_out t ~model ~start "corrupted_replies"
+      | Deliver | Duplicate_request | Drop_request ->
+        let reply_bytes = Message.wire_bytes reply in
+        Amoeba_sim.Stats.add t.stats "bytes_received" reply_bytes;
+        Amoeba_sim.Clock.advance t.clock (Net_model.transmit_us model reply_bytes);
+        reply)
 
 let stats t = t.stats

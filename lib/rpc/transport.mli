@@ -6,13 +6,38 @@
     service registered on the destination port (which charges its own CPU
     and disk time while handling it), then charges wire time for the
     reply. All of this advances the shared virtual clock, so an
-    experiment's elapsed time is exactly the client-visible delay. *)
+    experiment's elapsed time is exactly the client-visible delay.
+
+    The transport also owns the failure semantics of the wire: a request
+    to an unbound port (a crashed or never-started server) costs the
+    client the model's full timeout interval and returns a {!Status.Timeout}
+    reply, and an installed {!fault_hook} can drop, duplicate or corrupt
+    messages — the building blocks [Amoeba_fault.Injector] uses. *)
 
 type t
 
 type service = Message.t -> Message.t
 (** A request handler. Exceptions escaping a handler become
     [Server_failure] replies. *)
+
+type delivery =
+  | Deliver  (** normal delivery, both directions *)
+  | Drop_request  (** the request never arrives; client times out *)
+  | Drop_reply
+      (** the server executes (side effects happen!) but the reply is
+          lost; client times out *)
+  | Duplicate_request
+      (** the request arrives twice; the second execution is off the
+          client's critical path. Servers deduplicate mutations by
+          {!Message.t.xid}. *)
+  | Corrupt_reply
+      (** the reply is damaged in flight; checksums catch it and the
+          client stub discards it — observably a loss *)
+
+type fault_hook = Message.t -> delivery
+(** Consulted once per transaction, before delivery. Installed by the
+    fault injector; also its chance to fire scheduled fault events that
+    have come due on the virtual clock. *)
 
 val create : clock:Amoeba_sim.Clock.t -> t
 
@@ -27,11 +52,18 @@ val unregister : t -> Amoeba_cap.Port.t -> unit
 
 val lookup : t -> Amoeba_cap.Port.t -> service option
 
+val set_fault_hook : t -> fault_hook option -> unit
+(** Install (or with [None] remove) the delivery fault hook. *)
+
 val trans : t -> model:Net_model.t -> Message.t -> Message.t
 (** One RPC transaction under the given wire-cost model. A request to an
-    unbound port returns a [Server_failure] reply after the fixed network
-    latency (the timeout path is not modelled further). *)
+    unbound port, or one whose request or reply the fault hook loses,
+    returns a [Timeout] reply after the model's [timeout_us] has elapsed
+    from the start of the transaction — the client stub learns nothing
+    sooner. Retry policy is the client's job (see [Bullet_core.Client]). *)
 
 val stats : t -> Amoeba_sim.Stats.t
 (** Counters: [transactions], [bytes_sent], [bytes_received],
-    [unbound_port]. *)
+    [unbound_port], [timeouts], and the fault breakdown
+    [dropped_requests], [dropped_replies], [duplicated_requests],
+    [corrupted_replies], [unbound_timeouts]. *)

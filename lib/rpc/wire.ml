@@ -25,8 +25,8 @@ let get_i64 buf off =
   !acc
 
 (* payload layout:
-   port 6 | command 4 | status 4 | cap-flag 1 | cap 20 | arg0 8 | arg1 8 | body *)
-let fixed_bytes = 6 + 4 + 4 + 1 + Amoeba_cap.Capability.wire_size + 8 + 8
+   port 6 | command 4 | status 4 | cap-flag 1 | cap 20 | arg0 8 | arg1 8 | xid 8 | body *)
+let fixed_bytes = 6 + 4 + 4 + 1 + Amoeba_cap.Capability.wire_size + 8 + 8 + 8
 
 let encode (m : Message.t) =
   let body_len = Bytes.length m.Message.body in
@@ -42,6 +42,7 @@ let encode (m : Message.t) =
   | None -> ());
   set_i64 frame (19 + Amoeba_cap.Capability.wire_size) (Int64.of_int m.Message.arg0);
   set_i64 frame (27 + Amoeba_cap.Capability.wire_size) (Int64.of_int m.Message.arg1);
+  set_i64 frame (35 + Amoeba_cap.Capability.wire_size) (Int64.of_int m.Message.xid);
   Bytes.blit m.Message.body 0 frame (4 + fixed_bytes) body_len;
   frame
 
@@ -56,9 +57,10 @@ let decode payload =
     in
     let arg0 = Int64.to_int (get_i64 payload (15 + Amoeba_cap.Capability.wire_size)) in
     let arg1 = Int64.to_int (get_i64 payload (23 + Amoeba_cap.Capability.wire_size)) in
+    let xid = Int64.to_int (get_i64 payload (31 + Amoeba_cap.Capability.wire_size)) in
     let body_off = fixed_bytes in
     let body = Bytes.sub payload body_off (Bytes.length payload - body_off) in
-    Ok { Message.port; command; status; cap; arg0; arg1; body }
+    Ok { Message.port; command; status; cap; arg0; arg1; xid; body }
   end
 
 let really_read fd buf off len =

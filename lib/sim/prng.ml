@@ -30,6 +30,8 @@ let float t bound =
 
 let bool t = Int64.logand (next_int64 t) 1L = 1L
 
+let bernoulli t p = if p <= 0. then false else if p >= 1. then true else float t 1. < p
+
 let bytes t n =
   let buffer = Bytes.create n in
   for i = 0 to n - 1 do

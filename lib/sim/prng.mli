@@ -27,6 +27,11 @@ val float : t -> float -> float
 val bool : t -> bool
 (** A fair coin flip. *)
 
+val bernoulli : t -> float -> bool
+(** [bernoulli t p] is [true] with probability [p]. [p <= 0] never draws
+    from the stream's tail cases deterministically: outside [(0, 1)] the
+    result is decided without consuming a draw. *)
+
 val bytes : t -> int -> bytes
 (** [bytes t n] is [n] random bytes. *)
 

@@ -10,6 +10,7 @@ let model = function
       bytes_per_sec = 250_000;
       packet_bytes = 8_192;
       per_packet_us = 2_000;
+      timeout_us = 1_000_000;
     }
   | Wide ->
     (* a 64 kbit/s international leased line (MANDIS class): ~8 KB/s
@@ -19,6 +20,7 @@ let model = function
       bytes_per_sec = 8_000;
       packet_bytes = 1_024;
       per_packet_us = 15_000;
+      timeout_us = 10_000_000;
     }
 
 let classify ~same_site ~same_region =

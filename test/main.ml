@@ -22,6 +22,7 @@ let () =
       Test_worm.suite;
       Test_sparse.suite;
       Test_pool.suite;
+      Test_fault.suite;
       Test_tools.suite;
       Test_claims.suite;
     ]

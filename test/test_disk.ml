@@ -211,6 +211,52 @@ let test_mirror_write_skips_failed_drive () =
   check_bytes "live replica written" (payload 512) (Dev.peek d2 ~sector:4 ~count:1);
   check_bytes "failed drive untouched" (Bytes.make 512 '\000') (Dev.peek d1 ~sector:4 ~count:1)
 
+let test_mirror_degraded_stats () =
+  let _clock, d1, _, m = make_mirror () in
+  Mirror.write m ~sync:2 ~sector:9 (payload 512);
+  check_int "no degraded reads yet" 0 (Amoeba_sim.Stats.count (Mirror.stats m) "degraded_reads");
+  Dev.fail d1;
+  ignore (Mirror.read m ~sector:9 ~count:1);
+  ignore (Mirror.read m ~sector:9 ~count:1);
+  check_int "degraded reads counted" 2 (Amoeba_sim.Stats.count (Mirror.stats m) "degraded_reads");
+  Mirror.recover m;
+  check_int "resync counted" 1 (Amoeba_sim.Stats.count (Mirror.stats m) "resyncs");
+  ignore (Mirror.read m ~sector:9 ~count:1);
+  check_int "healthy again" 2 (Amoeba_sim.Stats.count (Mirror.stats m) "degraded_reads")
+
+let test_mirror_failover_on_transient_error () =
+  (* The primary is live but its read fails mid-flight (soft media
+     error); the next drive serves the data and the failover is
+     visible in the mirror's stats. *)
+  let _clock, d1, _, m = make_mirror () in
+  Mirror.write m ~sync:2 ~sector:9 (payload 512);
+  let once = ref true in
+  Dev.set_fault_hook d1
+    (Some
+       (fun ~sector:_ ~count:_ ~write ->
+         if write || not !once then false
+         else begin
+           once := false;
+           true
+         end));
+  check_bytes "replica served the read" (payload 512) (Mirror.read m ~sector:9 ~count:1);
+  check_int "failover counted" 1 (Amoeba_sim.Stats.count (Mirror.stats m) "read_failovers");
+  check_int "primary logged the soft error" 1
+    (Amoeba_sim.Stats.count (Dev.stats d1) "transient_errors");
+  check_bytes "primary recovered" (payload 512) (Mirror.read m ~sector:9 ~count:1);
+  check_int "no second failover" 1 (Amoeba_sim.Stats.count (Mirror.stats m) "read_failovers")
+
+let test_device_fault_hook_removable () =
+  let clock = Clock.create () in
+  let d = Dev.create ~id:"hook" ~geometry:(Geometry.small ~sectors:64) ~clock in
+  Dev.set_fault_hook d (Some (fun ~sector:_ ~count:_ ~write:_ -> true));
+  (try
+     ignore (Dev.read d ~sector:0 ~count:1);
+     Alcotest.fail "expected transient Failure"
+   with Dev.Failure _ -> ());
+  Dev.set_fault_hook d None;
+  ignore (Dev.read d ~sector:0 ~count:1)
+
 let test_mirror_pending_to_failed_drive_dropped () =
   let _clock, _, d2, m = make_mirror () in
   Mirror.write m ~sync:1 ~sector:4 (payload 512);
@@ -252,4 +298,8 @@ let suite =
       Alcotest.test_case "mirror write skips failed drive" `Quick test_mirror_write_skips_failed_drive;
       Alcotest.test_case "mirror pending to failed drive dropped" `Quick
         test_mirror_pending_to_failed_drive_dropped;
+      Alcotest.test_case "mirror degraded-read and resync stats" `Quick test_mirror_degraded_stats;
+      Alcotest.test_case "mirror failover on transient error" `Quick
+        test_mirror_failover_on_transient_error;
+      Alcotest.test_case "device fault hook install/remove" `Quick test_device_fault_hook_removable;
     ] )

@@ -1,0 +1,240 @@
+(* Tests for the fault-injection subsystem: plans, the injector, and the
+   client-visible behaviour they produce (retry, dedup, recovery). *)
+
+open Helpers
+module Clock = Amoeba_sim.Clock
+module Stats = Amoeba_sim.Stats
+module Dev = Amoeba_disk.Block_device
+module Mirror = Amoeba_disk.Mirror
+module Transport = Amoeba_rpc.Transport
+module Message = Amoeba_rpc.Message
+module Status = Amoeba_rpc.Status
+module Server = Bullet_core.Server
+module Client = Bullet_core.Client
+module Plan = Amoeba_fault.Plan
+module Injector = Amoeba_fault.Injector
+
+let test_plan_steps_in_order () =
+  let plan =
+    Plan.create ~seed:1L
+    |> fun p -> Plan.at p ~us:50 (Plan.Drive_fail 0)
+    |> fun p -> Plan.at p ~us:10 Plan.Server_crash
+  in
+  (match Plan.steps plan with
+  | [ a; b ] ->
+    check_int "insertion order kept" 50 a.Plan.at_us;
+    check_int "insertion order kept" 10 b.Plan.at_us
+  | _ -> Alcotest.fail "expected two steps");
+  check_bool "negative time rejected" true
+    (try
+       ignore (Plan.at plan ~us:(-1) Plan.Server_crash);
+       false
+     with Invalid_argument _ -> true)
+
+let test_scripted_drive_failure_fires_on_poll () =
+  let rig = make_rig () in
+  let plan = Plan.create ~seed:2L |> fun p -> Plan.at p ~us:100 (Plan.Drive_fail 0) in
+  let injector = Injector.attach ~mirror:rig.mirror ~clock:rig.clock plan in
+  check_bool "not yet due" false (Dev.is_failed rig.drive1);
+  check_int "one event pending" 1 (Injector.pending injector);
+  Clock.advance rig.clock 100;
+  Injector.poll injector;
+  check_bool "fired at its time" true (Dev.is_failed rig.drive1);
+  check_int "queue drained" 0 (Injector.pending injector);
+  check_int "counted" 1 (Stats.count (Injector.stats injector) "drive_failures")
+
+let test_same_time_events_fire_in_plan_order () =
+  (* fail-then-recover at the same instant: if the order were not the
+     plan's, the recover would no-op and the drive would stay dead *)
+  let rig = make_rig () in
+  let plan =
+    Plan.create ~seed:3L
+    |> fun p -> Plan.at p ~us:10 (Plan.Drive_fail 1)
+    |> fun p -> Plan.at p ~us:10 Plan.Drive_recover
+  in
+  let injector = Injector.attach ~mirror:rig.mirror ~clock:rig.clock plan in
+  Clock.advance rig.clock 10;
+  Injector.poll injector;
+  check_bool "failed then recovered" false (Dev.is_failed rig.drive2);
+  check_int "resync happened" 1 (Stats.count (Mirror.stats rig.mirror) "resyncs")
+
+let test_recovery_runs_off_the_measured_path () =
+  let rig = make_rig () in
+  let plan =
+    Plan.create ~seed:4L
+    |> fun p -> Plan.at p ~us:0 (Plan.Drive_fail 1)
+    |> fun p -> Plan.at p ~us:5 Plan.Drive_recover
+  in
+  let injector = Injector.attach ~mirror:rig.mirror ~clock:rig.clock plan in
+  Clock.advance rig.clock 5;
+  let before = Clock.now rig.clock in
+  Injector.poll injector;
+  check_int "whole-disk copy charged no observed time" before (Clock.now rig.clock);
+  let resync = Stats.summary (Injector.stats injector) "resync_us" in
+  check_bool "but its duration was recorded" true (resync.Stats.mean > 0.)
+
+let test_sector_error_rates_switch_on_and_off () =
+  let rig = make_rig () in
+  Mirror.write rig.mirror ~sync:2 ~sector:0 (payload 512);
+  let off_at = Clock.now rig.clock + 1_000 in
+  let plan =
+    Plan.create ~seed:5L
+    |> fun p -> Plan.at p ~us:0 (Plan.Sector_errors 1.0)
+    |> fun p -> Plan.at p ~us:off_at (Plan.Sector_errors 0.0)
+  in
+  let injector = Injector.attach ~mirror:rig.mirror ~clock:rig.clock plan in
+  (* rate 1.0: every drive's read throws, so the mirror runs out of
+     replicas to fail over to *)
+  (try
+     ignore (Mirror.read rig.mirror ~sector:0 ~count:1);
+     Alcotest.fail "expected No_live_drive"
+   with Mirror.No_live_drive -> ());
+  check_bool "failover was attempted first" true
+    (Stats.count (Mirror.stats rig.mirror) "read_failovers" > 0);
+  Clock.advance rig.clock 1_000;
+  Injector.poll injector;
+  check_bytes "rate back to zero, reads recover" (payload 512)
+    (Mirror.read rig.mirror ~sector:0 ~count:1);
+  Injector.detach injector
+
+let test_message_loss_recovered_by_retry () =
+  let b = make_bullet () in
+  let retrying =
+    Client.connect ~attempts:10 ~backoff_us:10_000 b.transport (Server.port b.server)
+  in
+  let plan = Plan.create ~seed:0x5EEDL |> fun p -> Plan.at p ~us:0 (Plan.Message_loss 0.2) in
+  let injector = Injector.attach ~transport:b.transport ~mirror:b.rig.mirror ~clock:b.rig.clock plan in
+  let caps = Array.init 12 (fun i -> Client.create retrying (payload (100 + i))) in
+  Array.iteri (fun i cap -> check_bytes "readback" (payload (100 + i)) (Client.read retrying cap)) caps;
+  check_bool "losses actually happened" true (Stats.count (Client.stats retrying) "timeouts" > 0);
+  check_bool "retries recovered them" true (Stats.count (Client.stats retrying) "retries" > 0);
+  check_int "no create ran twice" 12 (Stats.count (Server.stats b.server) "creates");
+  Injector.detach injector
+
+let drop_first_reply transport =
+  (* a one-shot reply loss, scripted by hand: the first matching message
+     loses its reply, everything after is delivered *)
+  let dropped = ref false in
+  Transport.set_fault_hook transport
+    (Some
+       (fun _ ->
+         if !dropped then Transport.Deliver
+         else begin
+           dropped := true;
+           Transport.Drop_reply
+         end))
+
+let test_create_dedup_on_lost_reply () =
+  let b = make_bullet () in
+  let retrying = Client.connect ~attempts:3 ~backoff_us:10_000 b.transport (Server.port b.server) in
+  drop_first_reply b.transport;
+  let cap = Client.create retrying (payload 4_000) in
+  Transport.set_fault_hook b.transport None;
+  (* the first CREATE executed, its reply was lost, the retry got the
+     cached reply: one file, one server-side execution *)
+  check_int "one retry" 1 (Stats.count (Client.stats retrying) "retries");
+  check_int "executed once" 1 (Stats.count (Server.stats b.server) "creates");
+  check_int "one live file" 1 (Server.live_files b.server);
+  check_bytes "the capability works" (payload 4_000) (Client.read retrying cap)
+
+let test_delete_dedup_on_lost_reply () =
+  let b = make_bullet () in
+  let retrying = Client.connect ~attempts:3 ~backoff_us:10_000 b.transport (Server.port b.server) in
+  let cap = Client.create retrying (payload 100) in
+  drop_first_reply b.transport;
+  (* without dedup the retried DELETE would hit a dead object and raise *)
+  Client.delete retrying cap;
+  Transport.set_fault_hook b.transport None;
+  check_int "file gone" 0 (Server.live_files b.server)
+
+let test_retry_exhaustion_surfaces_timeout () =
+  let b = make_bullet () in
+  let retrying = Client.connect ~attempts:2 ~backoff_us:1_000 b.transport (Server.port b.server) in
+  Transport.set_fault_hook b.transport (Some (fun _ -> Transport.Drop_request));
+  (try
+     ignore (Client.create retrying (payload 10));
+     Alcotest.fail "expected timeout"
+   with Status.Error Status.Timeout -> ());
+  Transport.set_fault_hook b.transport None;
+  check_int "both attempts timed out" 2 (Stats.count (Client.stats retrying) "timeouts");
+  check_int "gave up after the bound" 1 (Stats.count (Client.stats retrying) "exhausted")
+
+let test_crash_reboot_spanned_by_retries () =
+  let b = make_bullet () in
+  let port = Server.port b.server in
+  let server = ref b.server in
+  let retrying = Client.connect ~attempts:8 ~backoff_us:50_000 b.transport port in
+  let pre_crash = Client.create retrying (payload 2_048) in
+  let timeout = Amoeba_rpc.Net_model.amoeba.Amoeba_rpc.Net_model.timeout_us in
+  let crash_at = Clock.now b.rig.clock + 1_000 in
+  let reboot_at = crash_at + (3 * timeout) in
+  let plan =
+    Plan.create ~seed:0xC0FFEEL
+    |> fun p -> Plan.at p ~us:crash_at Plan.Server_crash
+    |> fun p -> Plan.at p ~us:reboot_at Plan.Server_reboot
+  in
+  let on_crash () =
+    Transport.unregister b.transport port;
+    Server.crash !server
+  in
+  let on_reboot () =
+    let booted, _ = Result.get_ok (Server.start ~config:small_bullet_config b.rig.mirror) in
+    server := booted;
+    Bullet_core.Proto.serve booted b.transport
+  in
+  let injector =
+    Injector.attach ~transport:b.transport ~mirror:b.rig.mirror ~on_crash ~on_reboot
+      ~clock:b.rig.clock plan
+  in
+  Clock.advance b.rig.clock 1_000;
+  (* this read starts inside the outage: it times out, backs off, and a
+     later attempt lands after the reboot has re-registered the port *)
+  check_bytes "op spans the outage" (payload 2_048) (Client.read retrying pre_crash);
+  check_bool "it took retries" true (Stats.count (Client.stats retrying) "retries" > 0);
+  check_int "crash fired" 1 (Stats.count (Injector.stats injector) "server_crashes");
+  check_int "reboot fired" 1 (Stats.count (Injector.stats injector) "server_reboots");
+  check_bytes "pre-crash capability valid after reboot" (payload 2_048)
+    (Client.read retrying pre_crash);
+  Injector.detach injector
+
+let run_loss_workload () =
+  let b = make_bullet () in
+  let retrying = Client.connect ~attempts:10 ~backoff_us:10_000 b.transport (Server.port b.server) in
+  let plan = Plan.create ~seed:0xD13EL |> fun p -> Plan.at p ~us:0 (Plan.Message_loss 0.1) in
+  let injector = Injector.attach ~transport:b.transport ~mirror:b.rig.mirror ~clock:b.rig.clock plan in
+  for i = 1 to 10 do
+    let cap = Client.create retrying (payload (200 + i)) in
+    ignore (Client.read retrying cap)
+  done;
+  Injector.detach injector;
+  (Clock.now b.rig.clock, Stats.count (Client.stats retrying) "retries")
+
+let test_same_seed_same_run () =
+  let t1, r1 = run_loss_workload () in
+  let t2, r2 = run_loss_workload () in
+  check_int "identical virtual end time" t1 t2;
+  check_int "identical retry count" r1 r2;
+  check_bool "faults did occur" true (r1 > 0)
+
+let suite =
+  ( "fault",
+    [
+      Alcotest.test_case "plan keeps insertion order" `Quick test_plan_steps_in_order;
+      Alcotest.test_case "scripted drive failure fires on poll" `Quick
+        test_scripted_drive_failure_fires_on_poll;
+      Alcotest.test_case "same-time events fire in plan order" `Quick
+        test_same_time_events_fire_in_plan_order;
+      Alcotest.test_case "recovery runs off the measured path" `Quick
+        test_recovery_runs_off_the_measured_path;
+      Alcotest.test_case "sector error rates switch on and off" `Quick
+        test_sector_error_rates_switch_on_and_off;
+      Alcotest.test_case "message loss recovered by retry" `Quick
+        test_message_loss_recovered_by_retry;
+      Alcotest.test_case "create dedup on lost reply" `Quick test_create_dedup_on_lost_reply;
+      Alcotest.test_case "delete dedup on lost reply" `Quick test_delete_dedup_on_lost_reply;
+      Alcotest.test_case "retry exhaustion surfaces timeout" `Quick
+        test_retry_exhaustion_surfaces_timeout;
+      Alcotest.test_case "crash and reboot spanned by retries" `Quick
+        test_crash_reboot_spanned_by_retries;
+      Alcotest.test_case "same seed, same run" `Quick test_same_seed_same_run;
+    ] )

@@ -27,7 +27,7 @@ let test_status_roundtrip () =
   let all =
     [
       Status.Ok; Status.Bad_capability; Status.No_such_object; Status.No_space; Status.Not_found;
-      Status.Bad_request; Status.Exists; Status.Server_failure;
+      Status.Bad_request; Status.Exists; Status.Server_failure; Status.Timeout;
     ]
   in
   List.iter (fun s -> check_bool (Status.to_string s) true (Status.of_int (Status.to_int s) = s)) all
@@ -81,12 +81,14 @@ let test_transport_charges_time () =
   check_bool "even null RPC costs latency" true (t_small >= Net.amoeba.Net.latency_us)
 
 let test_transport_unbound_port () =
-  let _clock, transport = make_transport () in
-  let reply =
-    Transport.trans transport ~model:Net.amoeba
-      (Message.request ~port:(Port.of_int64 999L) ~command:1 ())
+  let clock, transport = make_transport () in
+  let reply, us =
+    Clock.elapsed clock (fun () ->
+        Transport.trans transport ~model:Net.amoeba
+          (Message.request ~port:(Port.of_int64 999L) ~command:1 ()))
   in
-  check_bool "server failure" true (reply.Message.status = Status.Server_failure)
+  check_bool "times out" true (reply.Message.status = Status.Timeout);
+  check_int "costs the full timeout interval" Net.amoeba.Net.timeout_us us
 
 let test_transport_handler_exception_becomes_failure () =
   let _clock, transport = make_transport () in
@@ -112,7 +114,47 @@ let test_transport_unregister () =
   let reply =
     Transport.trans transport ~model:Net.amoeba (Message.request ~port:echo_port ~command:1 ())
   in
-  check_bool "gone" true (reply.Message.status = Status.Server_failure)
+  check_bool "gone" true (reply.Message.status = Status.Timeout)
+
+let test_fault_hook_drop_request () =
+  let clock, transport = make_transport () in
+  register_echo transport;
+  Transport.set_fault_hook transport (Some (fun _ -> Transport.Drop_request));
+  let reply, us =
+    Clock.elapsed clock (fun () ->
+        Transport.trans transport ~model:Net.amoeba (Message.request ~port:echo_port ~command:1 ()))
+  in
+  check_bool "lost request times out" true (reply.Message.status = Status.Timeout);
+  check_int "after the timeout interval" Net.amoeba.Net.timeout_us us;
+  Transport.set_fault_hook transport None;
+  let reply =
+    Transport.trans transport ~model:Net.amoeba (Message.request ~port:echo_port ~command:1 ())
+  in
+  check_bool "hook removed" true (reply.Message.status = Status.Ok)
+
+let test_fault_hook_drop_reply_executes () =
+  let _clock, transport = make_transport () in
+  let hits = ref 0 in
+  let port = Port.of_int64 0xD0D0L in
+  Transport.register transport port (fun _ ->
+      incr hits;
+      Message.reply ~status:Status.Ok ());
+  Transport.set_fault_hook transport (Some (fun _ -> Transport.Drop_reply));
+  let reply = Transport.trans transport ~model:Net.amoeba (Message.request ~port ~command:1 ()) in
+  check_bool "reply lost" true (reply.Message.status = Status.Timeout);
+  check_int "but the server executed" 1 !hits
+
+let test_fault_hook_duplicate () =
+  let _clock, transport = make_transport () in
+  let hits = ref 0 in
+  let port = Port.of_int64 0xD1D1L in
+  Transport.register transport port (fun _ ->
+      incr hits;
+      Message.reply ~status:Status.Ok ());
+  Transport.set_fault_hook transport (Some (fun _ -> Transport.Duplicate_request));
+  let reply = Transport.trans transport ~model:Net.amoeba (Message.request ~port ~command:1 ()) in
+  check_bool "client still gets its reply" true (reply.Message.status = Status.Ok);
+  check_int "server ran twice" 2 !hits
 
 let test_transport_stats () =
   let _clock, transport = make_transport () in
@@ -140,4 +182,7 @@ let suite =
       Alcotest.test_case "double register rejected" `Quick test_transport_double_register_rejected;
       Alcotest.test_case "unregister removes service" `Quick test_transport_unregister;
       Alcotest.test_case "transport statistics" `Quick test_transport_stats;
+      Alcotest.test_case "fault hook drops a request" `Quick test_fault_hook_drop_request;
+      Alcotest.test_case "dropped reply still executes" `Quick test_fault_hook_drop_reply_executes;
+      Alcotest.test_case "duplicated request runs twice" `Quick test_fault_hook_duplicate;
     ] )

@@ -222,6 +222,42 @@ let test_bad_sector_failover () =
   check_bytes "replica serves around the bad sector" (payload 4096)
     (ok_exn (Server.read server2 cap))
 
+let test_degraded_read_after_drive_failure () =
+  (* the primary drive dies between requests: reads keep succeeding off
+     the replica and the mirror records that it is running degraded *)
+  let rig, server = make () in
+  let cap = ok_exn (Server.create server ~p_factor:2 (payload 8192)) in
+  Server.crash server;
+  let server2, _ = Result.get_ok (Server.start ~config:small_bullet_config rig.mirror) in
+  Dev.fail rig.drive1;
+  check_bytes "replica serves the READ" (payload 8192) (ok_exn (Server.read server2 cap));
+  check_bool "reads flagged degraded" true
+    (Stats.count (Mirror.stats rig.mirror) "degraded_reads" > 0);
+  Mirror.recover rig.mirror;
+  check_int "resync recorded" 1 (Stats.count (Mirror.stats rig.mirror) "resyncs");
+  check_bytes "healthy read still fine" (payload 8192) (ok_exn (Server.read server2 cap))
+
+let test_transient_error_failover_during_read () =
+  (* the primary is live but throws a soft media error mid-READ: the
+     next drive serves the block and the failover shows in the stats *)
+  let rig, server = make () in
+  let cap = ok_exn (Server.create server ~p_factor:2 (payload 8192)) in
+  Server.crash server;
+  let server2, _ = Result.get_ok (Server.start ~config:small_bullet_config rig.mirror) in
+  let armed = ref false in
+  Dev.set_fault_hook rig.drive1
+    (Some
+       (fun ~sector:_ ~count:_ ~write ->
+         if write || not !armed then false
+         else begin
+           armed := false;
+           true
+         end));
+  armed := true;
+  check_bytes "client never notices" (payload 8192) (ok_exn (Server.read server2 cap));
+  check_int "failover counted" 1 (Stats.count (Mirror.stats rig.mirror) "read_failovers");
+  Dev.set_fault_hook rig.drive1 None
+
 let test_recovery_by_disk_copy () =
   let rig, server = make () in
   let cap = ok_exn (Server.create server ~p_factor:1 (payload 3000)) in
@@ -387,6 +423,10 @@ let suite =
       Alcotest.test_case "dead server refuses requests" `Quick test_dead_server_refuses;
       Alcotest.test_case "bad sector fails over to replica" `Quick test_bad_sector_failover;
       Alcotest.test_case "recovery by whole-disk copy" `Quick test_recovery_by_disk_copy;
+      Alcotest.test_case "degraded read after drive failure" `Quick
+        test_degraded_read_after_drive_failure;
+      Alcotest.test_case "transient error fails over mid-read" `Quick
+        test_transient_error_failover_during_read;
       Alcotest.test_case "disk space reclaimed on delete" `Quick test_disk_space_reclaimed;
       Alcotest.test_case "restart rebuilds free list" `Quick test_restart_rebuilds_free_list;
       Alcotest.test_case "compaction consolidates holes" `Quick test_compaction_consolidates_holes;

@@ -88,6 +88,55 @@ let test_fsck_compact () =
       check_bool "reports move" true (contains out "compaction");
       check_bool "saved" true (contains out "images saved"))
 
+let test_fsck_clean_after_crash_reboot () =
+  (* A server crashes mid-workload under a fault plan and reboots off the
+     surviving disks; the image that survives must be one fsck calls
+     clean — the crash may lose unsynced files, never consistency. *)
+  in_temp_dir (fun () ->
+      let b = make_bullet () in
+      let module Server = Bullet_core.Server in
+      let module Client = Bullet_core.Client in
+      let module Plan = Amoeba_fault.Plan in
+      let port = Server.port b.server in
+      let server = ref b.server in
+      let client =
+        Client.connect ~attempts:8 ~backoff_us:50_000 b.transport port
+      in
+      (* durable files, then one p=0 file the crash is allowed to lose *)
+      let durable = List.init 5 (fun i -> Client.create client ~p_factor:2 (payload (500 + i))) in
+      let (_ : Amoeba_cap.Capability.t) = Client.create client ~p_factor:0 (payload 9) in
+      let crash_at = Amoeba_sim.Clock.now b.rig.clock + 1_000 in
+      let plan =
+        Plan.create ~seed:0xF5CL
+        |> fun p -> Plan.at p ~us:crash_at Plan.Server_crash
+        |> fun p -> Plan.at p ~us:(crash_at + 200_000) Plan.Server_reboot
+      in
+      let on_crash () =
+        Amoeba_rpc.Transport.unregister b.transport port;
+        Server.crash !server
+      in
+      let on_reboot () =
+        let booted, _ = Result.get_ok (Server.start ~config:small_bullet_config b.rig.mirror) in
+        server := booted;
+        Bullet_core.Proto.serve booted b.transport
+      in
+      let injector =
+        Amoeba_fault.Injector.attach ~transport:b.transport ~mirror:b.rig.mirror ~on_crash
+          ~on_reboot ~clock:b.rig.clock plan
+      in
+      Amoeba_sim.Clock.advance b.rig.clock 1_000;
+      (* reads ride out the outage on retries *)
+      List.iteri
+        (fun i cap -> check_bytes "survives the crash" (payload (500 + i)) (Client.read client cap))
+        durable;
+      Amoeba_fault.Injector.detach injector;
+      Amoeba_disk.Image.save b.rig.drive1 "d1.img";
+      Amoeba_disk.Image.save b.rig.drive2 "d2.img";
+      let status, out = fsck "d1.img d2.img" in
+      check_bool "fsck ok" true (status = Unix.WEXITED 0);
+      check_bool "image is clean after crash+reboot" true (contains out "consistency       clean");
+      check_bool "durable files all present" true (contains out "live files        5"))
+
 (* ---- the daemon, end to end over real TCP ---- *)
 
 let wait_for_port port =
@@ -155,5 +204,6 @@ let suite =
       Alcotest.test_case "fsck repairs corruption" `Quick test_fsck_repairs_corruption;
       Alcotest.test_case "fsck rejects garbage" `Quick test_fsck_rejects_garbage_file;
       Alcotest.test_case "fsck --compact" `Quick test_fsck_compact;
+      Alcotest.test_case "fsck clean after crash+reboot" `Quick test_fsck_clean_after_crash_reboot;
       Alcotest.test_case "bulletd end to end over TCP" `Slow test_daemon_end_to_end;
     ] )
