@@ -134,17 +134,10 @@ let stat host port () =
       let reply =
         checked conn (Message.request ~port:bullet_port ~command:Proto.cmd_stat ())
       in
-      let body = reply.Message.body in
-      let get off =
-        let v = ref 0 in
-        for i = 0 to 3 do
-          v := (!v lsl 8) lor Char.code (Bytes.get body (off + i))
-        done;
-        !v
-      in
-      Printf.printf "live files      %d\n" (get 0);
-      Printf.printf "free blocks     %d / %d\n" (get 4) (get 8);
-      Printf.printf "cache used      %d / %d bytes\n" (get 12) (get 16))
+      let s = Proto.decode_stat reply.Message.body in
+      Printf.printf "live files      %d\n" s.Proto.live_files;
+      Printf.printf "free blocks     %d / %d\n" s.Proto.free_blocks s.Proto.data_blocks;
+      Printf.printf "cache used      %d / %d bytes\n" s.Proto.cache_used s.Proto.cache_capacity)
 
 (* ---- name-based commands (directory service) ---- *)
 

@@ -1,0 +1,285 @@
+(* The determinism linter: a Parsetree pass (compiler-libs) over the
+   repo's own sources. Every performance claim in EXPERIMENTS.md rests on
+   "same plan + same workload => same bytes"; these rules turn that
+   convention into a build failure. See doc/ARCHITECTURE.md, section
+   "Determinism rules", for the rationale behind each rule id. *)
+
+type diagnostic = { file : string; line : int; rule : string; message : string }
+
+let to_string d = Printf.sprintf "%s:%d %s %s" d.file d.line d.rule d.message
+
+let rules =
+  [
+    ("no-wallclock", "host clock reads (Sys.time, Unix.gettimeofday) outside the TCP carrier");
+    ("no-os-entropy", "stdlib Random outside the TCP carrier; seed an Amoeba_sim.Prng instead");
+    ("no-marshal", "Marshal outside the TCP carrier; its bytes are not a stable wire format");
+    ( "no-unstable-hash",
+      "Hashtbl.hash and first-class polymorphic compare/(=) in lib/; unstable across versions" );
+    ( "no-hashtbl-iteration",
+      "Hashtbl.iter/fold in a clock-coupled module; order is unspecified, use Amoeba_sim.Tbl" );
+    ("mli-coverage", "every lib/**/*.ml must have a matching .mli");
+    ("wire-symmetry", "every top-level encode_* needs a decode_* in the same file, and vice versa");
+    ("parse-error", "the file does not parse; nothing else can be checked");
+  ]
+
+(* ---- path classification (the per-rule allowlists) ---- *)
+
+let segments path = List.filter (fun s -> s <> "" && s <> ".") (String.split_on_char '/' path)
+
+let under dir path = List.exists (String.equal dir) (segments path)
+
+(* The real-socket carrier talks to the actual OS on purpose: the TCP
+   transport and the command-line daemons around it. *)
+let is_carrier path = under "bin" path || Filename.basename path = "tcp.ml"
+
+let in_lib path = under "lib" path
+
+(* ---- suppression comments ----
+
+   [(* lint: allow <rule-id> ... *)] on the offending line, or on the
+   line directly above it, silences that rule for that line. Anything
+   after the rule id is free-form justification. *)
+
+let is_ident_char c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') || c = '-'
+
+let allows_of_source source =
+  let marker = "lint: allow" in
+  let allows = ref [] in
+  let scan_line lnum line =
+    let rec find from =
+      match
+        if String.length line - from < String.length marker then None
+        else
+          let rec at i =
+            if i = String.length marker then Some from
+            else if line.[from + i] = marker.[i] then at (i + 1)
+            else None
+          in
+          at 0
+      with
+      | Some hit ->
+        let p = ref (hit + String.length marker) in
+        while !p < String.length line && line.[!p] = ' ' do
+          incr p
+        done;
+        let start = !p in
+        while !p < String.length line && is_ident_char line.[!p] do
+          incr p
+        done;
+        if !p > start then allows := (lnum + 1, String.sub line start (!p - start)) :: !allows;
+        find !p
+      | None -> if from + 1 < String.length line then find (from + 1)
+    in
+    find 0
+  in
+  List.iteri scan_line (String.split_on_char '\n' source);
+  !allows
+
+let suppressed allows d =
+  List.exists (fun (line, rule) -> rule = d.rule && (line = d.line || line = d.line - 1)) allows
+
+(* ---- the Parsetree pass ---- *)
+
+let flatten lid =
+  let rec go acc = function
+    | Longident.Lident s -> s :: acc
+    | Longident.Ldot (l, s) -> go (s :: acc) l
+    | Longident.Lapply _ -> acc
+  in
+  go [] lid
+
+let line_of (loc : Location.t) = loc.Location.loc_start.Lexing.pos_lnum
+
+(* Top-level [encode_*]/[decode_*] value bindings, recursing into nested
+   module structures but not into expressions (a local helper is not
+   part of the wire vocabulary). *)
+let rec codec_bindings structure =
+  let of_item item =
+    match item.Parsetree.pstr_desc with
+    | Parsetree.Pstr_value (_, bindings) ->
+      List.filter_map
+        (fun vb ->
+          match vb.Parsetree.pvb_pat.Parsetree.ppat_desc with
+          | Parsetree.Ppat_var { txt; loc } -> Some (txt, line_of loc)
+          | _ -> None)
+        bindings
+    | Parsetree.Pstr_module { pmb_expr = { pmod_desc = Parsetree.Pmod_structure s; _ }; _ } ->
+      codec_bindings s
+    | Parsetree.Pstr_recmodule mbs ->
+      List.concat_map
+        (fun (mb : Parsetree.module_binding) ->
+          match mb.pmb_expr.pmod_desc with
+          | Parsetree.Pmod_structure s -> codec_bindings s
+          | _ -> [])
+        mbs
+    | _ -> []
+  in
+  List.concat_map of_item structure
+
+let codec_role name =
+  let suffix prefix =
+    if name = prefix then Some ""
+    else
+      let p = prefix ^ "_" in
+      if String.length name > String.length p && String.sub name 0 (String.length p) = p then
+        Some (String.sub name (String.length p) (String.length name - String.length p))
+      else None
+  in
+  match suffix "encode" with
+  | Some s -> Some (`Encode, s)
+  | None -> ( match suffix "decode" with Some s -> Some (`Decode, s) | None -> None)
+
+let scan_structure ~path structure =
+  let diags = ref [] in
+  let emit line rule message = diags := { file = path; line; rule; message } :: !diags in
+  let lib_scoped = in_lib path in
+  let carrier = is_carrier path in
+  let mentions_clock = ref false in
+  let iteration_sites = ref [] in
+  let note_clock lid = if List.exists (String.equal "Clock") (flatten lid) then mentions_clock := true in
+  let check_ident loc lid =
+    note_clock lid;
+    let line = line_of loc in
+    let name = String.concat "." (flatten lid) in
+    match flatten lid with
+    | [ "Sys"; "time" ] | [ "Stdlib"; "Sys"; "time" ] | [ "Unix"; "gettimeofday" ] | [ "Unix"; "time" ]
+      ->
+      if not carrier then
+        emit line "no-wallclock"
+          (Printf.sprintf "%s reads the host clock; simulated code must charge Amoeba_sim.Clock" name)
+    | "Random" :: _ :: _ | "Stdlib" :: "Random" :: _ ->
+      if not carrier then
+        emit line "no-os-entropy"
+          (Printf.sprintf "%s draws OS-visible global randomness; use an explicitly seeded Amoeba_sim.Prng" name)
+    | "Marshal" :: _ :: _ ->
+      if not carrier then
+        emit line "no-marshal"
+          (Printf.sprintf "%s is not a stable byte format; write an explicit codec" name)
+    | [ "Hashtbl"; ("hash" | "seeded_hash" | "hash_param") ] ->
+      if lib_scoped then
+        emit line "no-unstable-hash"
+          (Printf.sprintf "%s is unspecified across compiler versions; use Amoeba_sim.Prng.seed_of_string" name)
+    | [ "compare" ] | [ "Stdlib"; "compare" ] ->
+      if lib_scoped then
+        emit line "no-unstable-hash"
+          "polymorphic compare; spell out the typed comparison (String.compare, Int.compare, ...)"
+    | [ "Hashtbl"; (("iter" | "fold") as fn) ] ->
+      if lib_scoped then iteration_sites := (line, "Hashtbl." ^ fn) :: !iteration_sites
+    | _ -> ()
+  in
+  let check_apply_arg (arg : Parsetree.expression) =
+    match arg.Parsetree.pexp_desc with
+    | Parsetree.Pexp_ident { txt = Longident.Lident (("=" | "<>") as op); loc } ->
+      if lib_scoped then
+        emit (line_of loc) "no-unstable-hash"
+          (Printf.sprintf "polymorphic (%s) passed as a function; pass a typed equality" op)
+    | _ -> ()
+  in
+  let open Ast_iterator in
+  let expr sub (e : Parsetree.expression) =
+    (match e.Parsetree.pexp_desc with
+    | Parsetree.Pexp_ident { txt; loc } -> check_ident loc txt
+    | Parsetree.Pexp_apply (fn, args) ->
+      (* A one-argument application of (=)/(<>) is a partial application
+         about to be passed somewhere as a polymorphic equality. *)
+      (match (fn.Parsetree.pexp_desc, args) with
+      | Parsetree.Pexp_ident { txt = Longident.Lident (("=" | "<>") as op); loc }, [ _ ] ->
+        if lib_scoped then
+          emit (line_of loc) "no-unstable-hash"
+            (Printf.sprintf "polymorphic (%s) partially applied; pass a typed equality" op)
+      | _ -> ());
+      List.iter (fun (_, a) -> check_apply_arg a) args
+    | _ -> ());
+    default_iterator.expr sub e
+  in
+  let typ sub (t : Parsetree.core_type) =
+    (match t.Parsetree.ptyp_desc with
+    | Parsetree.Ptyp_constr ({ txt; _ }, _) -> note_clock txt
+    | _ -> ());
+    default_iterator.typ sub t
+  in
+  let module_expr sub (m : Parsetree.module_expr) =
+    (match m.Parsetree.pmod_desc with
+    | Parsetree.Pmod_ident { txt; _ } -> note_clock txt
+    | _ -> ());
+    default_iterator.module_expr sub m
+  in
+  let iterator = { default_iterator with expr; typ; module_expr } in
+  iterator.structure iterator structure;
+  if !mentions_clock then
+    List.iter
+      (fun (line, name) ->
+        emit line "no-hashtbl-iteration"
+          (Printf.sprintf
+             "%s in a clock-coupled module: iteration order is unspecified; use Amoeba_sim.Tbl"
+             name))
+      !iteration_sites;
+  let codecs = List.filter_map (fun (n, l) -> Option.map (fun r -> (n, l, r)) (codec_role n)) (codec_bindings structure) in
+  List.iter
+    (fun (name, line, (role, suffix)) ->
+      let counterpart_role = match role with `Encode -> `Decode | `Decode -> `Encode in
+      let counterpart =
+        List.exists (fun (_, _, (r, s)) -> r = counterpart_role && s = suffix) codecs
+      in
+      if not counterpart then
+        let expected =
+          (match counterpart_role with `Encode -> "encode" | `Decode -> "decode")
+          ^ if suffix = "" then "" else "_" ^ suffix
+        in
+        emit line "wire-symmetry"
+          (Printf.sprintf "%s has no matching %s in this file" name expected))
+    codecs;
+  !diags
+
+(* ---- entry points ---- *)
+
+let parse ~path source =
+  let lexbuf = Lexing.from_string source in
+  Location.init lexbuf path;
+  match Parse.implementation lexbuf with
+  | structure -> Ok structure
+  | exception exn -> Error (Printexc.to_string exn)
+
+let order_diagnostics diags =
+  List.sort
+    (fun a b ->
+      let c = String.compare a.file b.file in
+      if c <> 0 then c
+      else
+        let c = Int.compare a.line b.line in
+        if c <> 0 then c else String.compare a.rule b.rule)
+    diags
+
+let lint_source ~path source =
+  match parse ~path source with
+  | Error message -> [ { file = path; line = 1; rule = "parse-error"; message } ]
+  | Ok structure ->
+    let allows = allows_of_source source in
+    order_diagnostics
+      (List.filter (fun d -> not (suppressed allows d)) (scan_structure ~path structure))
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let mli_check path =
+  if in_lib path && not (Sys.file_exists (Filename.remove_extension path ^ ".mli")) then
+    [ { file = path; line = 1; rule = "mli-coverage"; message = "missing interface file (.mli)" } ]
+  else []
+
+let lint_file path = order_diagnostics (mli_check path @ lint_source ~path (read_file path))
+
+let rec ml_files_under path =
+  if Sys.is_directory path then
+    Sys.readdir path |> Array.to_list
+    |> List.sort String.compare
+    |> List.filter (fun name -> name <> "" && name.[0] <> '.' && name <> "_build")
+    |> List.concat_map (fun name -> ml_files_under (Filename.concat path name))
+  else if Filename.check_suffix path ".ml" then [ path ]
+  else []
+
+let lint_paths paths =
+  order_diagnostics (List.concat_map (fun p -> List.concat_map lint_file (ml_files_under p)) paths)

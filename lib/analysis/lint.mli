@@ -1,0 +1,39 @@
+(** The determinism linter.
+
+    A static-analysis pass (compiler-libs Parsetree traversal) over the
+    repo's own sources that enforces the simulation's core invariant:
+    same plan + same workload ⇒ same bytes. Rule ids and their
+    rationale are documented in doc/ARCHITECTURE.md ("Determinism
+    rules"); [bin/amoeba_lint] is the command-line driver and a dune
+    rule runs it over [lib/] and [bin/] as part of [dune runtest].
+
+    Per-rule allowlists are path-based: the real-socket carrier
+    ([lib/rpc/tcp.ml] and everything under [bin/]) may touch the OS
+    clock, [Random] and [Marshal]; rules about [lib] hygiene
+    ([no-unstable-hash], [no-hashtbl-iteration], [mli-coverage]) apply
+    only to paths containing a [lib] segment. Individual lines are
+    silenced with a [(* lint: allow <rule-id> <justification> *)]
+    comment on the offending line or the line directly above it. *)
+
+type diagnostic = { file : string; line : int; rule : string; message : string }
+
+val to_string : diagnostic -> string
+(** ["file:line rule-id message"]. *)
+
+val rules : (string * string) list
+(** Every rule id with a one-line description. *)
+
+val lint_source : path:string -> string -> diagnostic list
+(** Lint one compilation unit given as a string. [path] decides which
+    allowlists apply and is echoed in diagnostics; the source is parsed
+    with the compiler's own parser, so a syntax error yields a single
+    [parse-error] diagnostic. Filesystem-level rules ([mli-coverage])
+    are not checked here. *)
+
+val lint_file : string -> diagnostic list
+(** Lint one [.ml] file from disk, including the [mli-coverage] check. *)
+
+val lint_paths : string list -> diagnostic list
+(** Lint every [.ml] file under the given files/directories
+    (recursively, skipping [_build] and dot-directories), sorted by
+    file, line and rule. *)

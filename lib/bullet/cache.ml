@@ -144,7 +144,7 @@ let compact t =
   Array.iter
     (fun slot -> match slot with Some e when e.length > 0 -> segments := e :: !segments | _ -> ())
     t.rnodes;
-  let ordered = List.sort (fun a b -> compare a.offset b.offset) !segments in
+  let ordered = List.sort (fun a b -> Int.compare a.offset b.offset) !segments in
   let moved = ref 0 in
   let next = ref 0 in
   let slide e =

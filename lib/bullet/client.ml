@@ -129,7 +129,7 @@ let restrict t cap rights =
        (Message.request ~port:t.service ~command:Proto.cmd_restrict ~cap
           ~arg0:(Amoeba_cap.Rights.to_int rights) ()))
 
-type stat_info = {
+type stat_info = Proto.stat = {
   live_files : int;
   free_blocks : int;
   data_blocks : int;
@@ -139,18 +139,4 @@ type stat_info = {
 
 let stat t =
   let reply = checked t (Message.request ~port:t.service ~command:Proto.cmd_stat ()) in
-  let body = reply.Message.body in
-  let get off =
-    let v = ref 0 in
-    for i = 0 to 3 do
-      v := (!v lsl 8) lor Char.code (Bytes.get body (off + i))
-    done;
-    !v
-  in
-  {
-    live_files = get 0;
-    free_blocks = get 4;
-    data_blocks = get 8;
-    cache_used = get 12;
-    cache_capacity = get 16;
-  }
+  Proto.decode_stat reply.Message.body

@@ -66,7 +66,7 @@ val truncate : t -> ?p_factor:int -> Amoeba_cap.Capability.t -> int -> Amoeba_ca
 
 val restrict : t -> Amoeba_cap.Capability.t -> Amoeba_cap.Rights.t -> Amoeba_cap.Capability.t
 
-type stat_info = {
+type stat_info = Proto.stat = {
   live_files : int;
   free_blocks : int;
   data_blocks : int;

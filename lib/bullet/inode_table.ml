@@ -79,7 +79,7 @@ let load mirror =
       done;
       let by_start =
         List.sort
-          (fun a b -> compare inodes.(a).Layout.first_block inodes.(b).Layout.first_block)
+          (fun a b -> Int.compare inodes.(a).Layout.first_block inodes.(b).Layout.first_block)
           !live
       in
       let rec check_overlaps = function
@@ -148,7 +148,7 @@ let alloc t =
 let free t i =
   check_index t i;
   t.inodes.(i) <- Layout.free_inode;
-  t.free_inodes <- List.merge compare [ i ] t.free_inodes
+  t.free_inodes <- List.merge Int.compare [ i ] t.free_inodes
 
 let free_count t = List.length t.free_inodes
 

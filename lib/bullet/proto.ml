@@ -21,6 +21,14 @@ let cmd_restrict = 9
 
 let cmd_stat = 10
 
+type stat = {
+  live_files : int;
+  free_blocks : int;
+  data_blocks : int;
+  cache_used : int;
+  cache_capacity : int;
+}
+
 (* stat reply body: five big-endian u32s *)
 let encode_stat server =
   let buf = Bytes.create 20 in
@@ -35,6 +43,22 @@ let encode_stat server =
   set 12 (Server.cache_used server);
   set 16 (Server.cache_capacity server);
   buf
+
+let decode_stat body =
+  let get off =
+    let v = ref 0 in
+    for i = 0 to 3 do
+      v := (!v lsl 8) lor Char.code (Bytes.get body (off + i))
+    done;
+    !v
+  in
+  {
+    live_files = get 0;
+    free_blocks = get 4;
+    data_blocks = get 8;
+    cache_used = get 12;
+    cache_capacity = get 16;
+  }
 
 let reply_of_result ~encode = function
   | Ok v -> encode v

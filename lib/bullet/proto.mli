@@ -24,6 +24,19 @@ val cmd_restrict : int
 
 val cmd_stat : int
 
+type stat = {
+  live_files : int;
+  free_blocks : int;
+  data_blocks : int;
+  cache_used : int;
+  cache_capacity : int;
+}
+(** The STAT reply: server occupancy counters, five big-endian u32s on
+    the wire. *)
+
+val decode_stat : bytes -> stat
+(** Decode a STAT reply body (the inverse of the dispatcher's encoder). *)
+
 val dispatch : Server.t -> Amoeba_rpc.Message.t -> Amoeba_rpc.Message.t
 (** Decode one request, run it against the server, encode the reply.
     Unknown commands and missing capabilities yield [Bad_request]. *)

@@ -312,7 +312,7 @@ let compact_disk t =
     Inode_table.iter_live t.table (fun obj inode ->
         if blocks_of t inode.Layout.size_bytes > 0 then live := (obj, inode) :: !live);
     let by_start =
-      List.sort (fun (_, a) (_, b) -> compare a.Layout.first_block b.Layout.first_block) !live
+      List.sort (fun (_, a) (_, b) -> Int.compare a.Layout.first_block b.Layout.first_block) !live
     in
     let moved = ref 0 in
     let next = ref data_lo in

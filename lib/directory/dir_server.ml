@@ -310,7 +310,7 @@ let repersist t =
      Bullet server; rewrite each through our own store. The old files
      belong to the peer and are left alone (persist only deletes files
      on its own store). *)
-  Hashtbl.iter
+  Amoeba_sim.Tbl.sorted_iter Int.compare
     (fun _obj dir ->
       dir.file <- None;
       persist t dir)
@@ -333,7 +333,7 @@ let checkpoint t =
       add_cap buf cap
     | None -> Buffer.add_char buf '\000'
   in
-  Hashtbl.iter encode_dir t.dirs;
+  Amoeba_sim.Tbl.sorted_iter Int.compare encode_dir t.dirs;
   match Bullet_core.Client.create t.store ~p_factor:t.config.p_factor (Buffer.to_bytes buf) with
   | fresh ->
     (match t.checkpoint_file with Some old -> bullet_delete_quietly t old | None -> ());

@@ -434,7 +434,7 @@ let remove t fh =
       (L.bitmap_start t.sb + bitmap_block)
       (Bytes.sub t.bitmap (bitmap_block * L.fs_block_bytes) L.fs_block_bytes)
   in
-  Hashtbl.iter flush_bitmap touched_bitmap_blocks;
+  Amoeba_sim.Tbl.sorted_iter Int.compare flush_bitmap touched_bitmap_blocks;
   write_inode t fh.ino L.free_inode;
   t.free_inos <- fh.ino :: t.free_inos;
   Amoeba_sim.Stats.incr t.stats "removes";

@@ -4,6 +4,22 @@ let golden_gamma = 0x9E3779B97F4A7C15L
 
 let create ~seed = { state = seed }
 
+(* FNV-1a, 64-bit. [Hashtbl.hash] is explicitly unspecified across
+   compiler versions, so names must never be turned into seeds with it;
+   this fold is the stable replacement. *)
+let fnv_offset_basis = 0xCBF29CE484222325L
+
+let fnv_prime = 0x100000001B3L
+
+let seed_of_string name =
+  let h = ref fnv_offset_basis in
+  String.iter
+    (fun c -> h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) fnv_prime)
+    name;
+  !h
+
+let of_name name = create ~seed:(seed_of_string name)
+
 (* SplitMix64 finalizer: Stafford's mix13 constants. *)
 let mix z =
   let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in

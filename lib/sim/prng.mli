@@ -11,6 +11,15 @@ type t
 val create : seed:int64 -> t
 (** A generator with the given seed; equal seeds yield equal streams. *)
 
+val seed_of_string : string -> int64
+(** FNV-1a (64-bit) fold over the string. Use this — never
+    [Hashtbl.hash], whose output is unspecified across compiler
+    versions — when a component derives its seed from a name. The empty
+    string maps to the FNV offset basis [0xCBF29CE484222325]. *)
+
+val of_name : string -> t
+(** [of_name s] is [create ~seed:(seed_of_string s)]. *)
+
 val next_int64 : t -> int64
 (** Next raw 64-bit output. *)
 

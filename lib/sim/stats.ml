@@ -123,7 +123,7 @@ let percentile t key q =
   | Some s when s.sample_count = 0 -> 0.
   | Some s ->
     let sorted = Array.sub s.samples 0 s.sample_count in
-    Array.sort compare sorted;
+    Array.sort Float.compare sorted;
     let q = Float.max 0. (Float.min 1. q) in
     let rank = int_of_float (q *. float_of_int (s.sample_count - 1)) in
     sorted.(rank)

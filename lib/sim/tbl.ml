@@ -1,0 +1,13 @@
+(* Hash tables hash with [Hashtbl.hash], so their iteration order is a
+   function of the hash implementation and the insertion/resize history —
+   never something a deterministic simulation may observe. These helpers
+   are the blessed way to walk a table: materialise the bindings, sort by
+   key under an explicit comparison, then iterate. *)
+
+let sorted_bindings cmp table =
+  List.sort (fun (a, _) (b, _) -> cmp a b) (Hashtbl.fold (fun k v acc -> (k, v) :: acc) table [])
+
+let sorted_keys cmp table =
+  List.sort cmp (Hashtbl.fold (fun k _ acc -> k :: acc) table [])
+
+let sorted_iter cmp f table = List.iter (fun (k, v) -> f k v) (sorted_bindings cmp table)

@@ -1,0 +1,20 @@
+(** Deterministic iteration over [Hashtbl.t].
+
+    [Hashtbl]'s own [iter]/[fold] visit bindings in hash-bucket order,
+    which depends on the unspecified [Hashtbl.hash] and on the table's
+    resize history. Any code whose observable behaviour (persisted
+    bytes, simulated event order, disk write order) depends on that
+    order breaks the repo's same-plan ⇒ same-bytes invariant — the
+    [no-hashtbl-iteration] lint rule flags it. Walk tables through these
+    helpers instead: they snapshot the bindings and sort them under an
+    explicit key comparison. *)
+
+val sorted_bindings : ('k -> 'k -> int) -> ('k, 'v) Hashtbl.t -> ('k * 'v) list
+(** All bindings, sorted by key under the given comparison. *)
+
+val sorted_keys : ('k -> 'k -> int) -> ('k, 'v) Hashtbl.t -> 'k list
+(** All keys, sorted under the given comparison. *)
+
+val sorted_iter : ('k -> 'k -> int) -> ('k -> 'v -> unit) -> ('k, 'v) Hashtbl.t -> unit
+(** [sorted_iter cmp f table] applies [f] to every binding in ascending
+    key order. *)

@@ -52,7 +52,10 @@ let boot_site ~clock ~transport ~sites ~sectors ~name ~region =
   let d2 = Amoeba_disk.Block_device.create ~id:(name ^ "-2") ~geometry ~clock in
   let mirror = Amoeba_disk.Mirror.create [ d1; d2 ] in
   Server.format mirror ~max_files:1024;
-  let seed = Int64.of_int (Hashtbl.hash name land 0xFFFFFF) in
+  (* FNV-1a over the site name: stable across compiler versions, unlike
+     Hashtbl.hash, so a federation built from the same site names always
+     mints the same capabilities. *)
+  let seed = Amoeba_sim.Prng.seed_of_string name in
   let server, _report = Result.get_ok (Server.start ~seed mirror) in
   Bullet_core.Proto.serve server transport;
   Hashtbl.replace sites name { region; server }
@@ -72,7 +75,7 @@ let add_site t ~name ~region =
   boot_site ~clock:t.clock ~transport:t.transport ~sites:t.sites ~sectors:t.site_sectors ~name
     ~region
 
-let sites t = List.sort compare (Hashtbl.fold (fun name _ acc -> name :: acc) t.sites [])
+let sites t = Amoeba_sim.Tbl.sorted_keys String.compare t.sites
 
 let bullet_port t site = Server.port (site_info t site).server
 
@@ -143,7 +146,7 @@ let pick_closest t ~from replicas =
   let rank (site, _) =
     match link_between t from site with Link.Local -> 0 | Link.Regional -> 1 | Link.Wide -> 2
   in
-  match List.sort (fun a b -> compare (rank a) (rank b)) replicas with
+  match List.sort (fun a b -> Int.compare (rank a) (rank b)) replicas with
   | best :: _ -> best
   | [] -> failwith "empty replica descriptor"
 

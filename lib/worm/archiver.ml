@@ -69,7 +69,7 @@ let recall t name ~sequence =
     | exception Status.Error e -> Error e)
 
 let catalog_names t =
-  List.sort compare (Hashtbl.fold (fun name _ acc -> name :: acc) t.catalog [])
+  Amoeba_sim.Tbl.sorted_keys String.compare t.catalog
 
 (* ---- catalog persistence ---- *)
 
@@ -103,7 +103,8 @@ let checkpoint t =
         add_u32 buf e.sequence)
       entries
   in
-  Hashtbl.iter encode_name t.catalog;
+  (* Sorted so the persisted catalog bytes never depend on hash order. *)
+  Amoeba_sim.Tbl.sorted_iter String.compare encode_name t.catalog;
   match Client.create t.store (Buffer.to_bytes buf) with
   | cap -> Ok cap
   | exception Status.Error e -> Error e

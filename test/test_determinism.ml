@@ -1,0 +1,57 @@
+(* The repo's core invariant, asserted directly: running the FAULTS
+   bench scenario twice in one process — same plans, same seeds — must
+   produce byte-identical stats dumps. CI diffs two separate processes;
+   this test catches in-process leaks (global mutable state, hash-order
+   dependence) that a fresh-process diff can hide. *)
+
+open Helpers
+module E = Experiments
+
+let dump_availability (a : E.availability_report) =
+  Printf.sprintf "avail ops=%d failed=%d p99=%.6f/%.6f degraded=%d resync=%.6f" a.E.avail_ops
+    a.E.avail_failed a.E.normal_p99_ms a.E.degraded_p99_ms a.E.degraded_reads a.E.resync_ms
+
+let dump_resync (points : E.resync_point list) =
+  String.concat ";"
+    (List.map (fun (p : E.resync_point) -> Printf.sprintf "%dMB=%.6f" p.E.disk_mb p.E.resync_ms) points)
+
+let dump_reboot (points : E.reboot_point list) =
+  String.concat ";"
+    (List.map
+       (fun (p : E.reboot_point) -> Printf.sprintf "%d=%.6f" p.E.table_files p.E.reboot_ms)
+       points)
+
+let dump_loss (points : E.loss_point list) =
+  String.concat ";"
+    (List.map
+       (fun (p : E.loss_point) ->
+         Printf.sprintf "loss=%.2f ops=%d done=%d retries=%d timeouts=%d dups=%d goodput=%.6f"
+           p.E.loss_pct p.E.loss_ops p.E.loss_completed p.E.loss_retries p.E.loss_timeouts
+           p.E.duplicate_executions p.E.goodput_kbs)
+       points)
+
+let dump_crash (c : E.crash_report) =
+  Printf.sprintf "crash ops=%d failed=%d outage=%.6f reboot=%.6f retries=%d precrash=%b"
+    c.E.crash_ops c.E.crash_failed c.E.outage_ms c.E.crash_reboot_ms c.E.crash_retries
+    c.E.pre_crash_file_ok
+
+(* One pass over the faults scenario, sweeps trimmed to keep the double
+   run quick; every record field lands in the dump. *)
+let faults_dump () =
+  String.concat "\n"
+    [
+      dump_availability (E.fault_availability ());
+      dump_resync (E.resync_sweep ~sector_counts:[ 16_384; 32_768 ] ());
+      dump_reboot (E.reboot_sweep ~max_files_list:[ 1_024; 8_192 ] ());
+      dump_loss (E.loss_sweep ~loss_rates:[ 0.02; 0.05 ] ());
+      dump_crash (E.crash_recovery ());
+    ]
+
+let test_faults_double_run () =
+  let first = faults_dump () in
+  let second = faults_dump () in
+  check_string "same plan, same bytes" first second
+
+let suite =
+  ( "determinism",
+    [ Alcotest.test_case "faults scenario twice, byte-identical" `Slow test_faults_double_run ] )

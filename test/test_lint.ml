@@ -1,0 +1,135 @@
+(* Tests for the determinism linter (Amoeba_analysis.Lint): each rule
+   fires on a minimal offending source, respects its path allowlist, and
+   honours suppression comments. The whole shipped tree is linted for
+   real by the root dune rule during `dune runtest`. *)
+
+open Helpers
+module Lint = Amoeba_analysis.Lint
+
+let rules_of diags = List.map (fun d -> d.Lint.rule) diags
+
+let lines_of diags = List.map (fun d -> d.Lint.line) diags
+
+let check_rules msg expected source =
+  Alcotest.(check (list string)) msg expected (rules_of (Lint.lint_source ~path:"lib/x/x.ml" source))
+
+(* ---- rule 1: wall clock, OS entropy, Marshal ---- *)
+
+let test_no_os_entropy () =
+  (* the acceptance-criteria case: Random.self_init in lib/bullet/server.ml *)
+  let diags =
+    Lint.lint_source ~path:"lib/bullet/server.ml" "let boot () = Random.self_init ()"
+  in
+  Alcotest.(check (list string)) "rule" [ "no-os-entropy" ] (rules_of diags);
+  Alcotest.(check (list int)) "line" [ 1 ] (lines_of diags);
+  check_rules "Random.int" [ "no-os-entropy" ] "let n = Random.int 6"
+
+let test_no_wallclock () =
+  check_rules "Sys.time" [ "no-wallclock" ] "let t = Sys.time ()";
+  check_rules "Unix.gettimeofday" [ "no-wallclock" ] "let t = Unix.gettimeofday ()";
+  check_rules "sim clock ok" [] "let t clock = Amoeba_sim.Clock.now clock"
+
+let test_no_marshal () =
+  check_rules "Marshal.to_bytes" [ "no-marshal" ] "let b x = Marshal.to_bytes x []"
+
+let test_carrier_allowlist () =
+  let source = "let t = Unix.gettimeofday () +. float_of_int (Random.int 6)" in
+  Alcotest.(check (list string))
+    "tcp carrier exempt" []
+    (rules_of (Lint.lint_source ~path:"lib/rpc/tcp.ml" source));
+  Alcotest.(check (list string))
+    "bin exempt" []
+    (rules_of (Lint.lint_source ~path:"bin/bulletd.ml" source))
+
+(* ---- rule 2: unstable hashes and polymorphic comparison ---- *)
+
+let test_no_unstable_hash () =
+  check_rules "Hashtbl.hash" [ "no-unstable-hash" ] "let seed name = Hashtbl.hash name";
+  check_rules "bare compare" [ "no-unstable-hash" ] "let s l = List.sort compare l";
+  check_rules "first-class (=)" [ "no-unstable-hash" ] "let f a l = List.filter ((=) a) l";
+  check_rules "typed compare ok" [] "let s l = List.sort String.compare l";
+  check_rules "applied (=) ok" [] "let f a b = a = b";
+  (* the rule is lib-hygiene: a path outside lib/ is not held to it *)
+  Alcotest.(check (list string))
+    "outside lib" []
+    (rules_of (Lint.lint_source ~path:"bench/main.ml" "let s l = List.sort compare l"))
+
+(* ---- rule 3: hash-table iteration in clock-coupled modules ---- *)
+
+let clocked_iter = "type t = { clock : Amoeba_sim.Clock.t }\nlet f h = Hashtbl.iter ignore h"
+
+let test_hashtbl_iteration () =
+  let diags = Lint.lint_source ~path:"lib/x/x.ml" clocked_iter in
+  Alcotest.(check (list string)) "clock-coupled" [ "no-hashtbl-iteration" ] (rules_of diags);
+  Alcotest.(check (list int)) "line" [ 2 ] (lines_of diags);
+  check_rules "no clock, no rule" [] "let f h = Hashtbl.iter ignore h";
+  check_rules "clock + sorted helper ok"
+    []
+    "type t = { clock : Amoeba_sim.Clock.t }\nlet f h = Amoeba_sim.Tbl.sorted_iter Int.compare (fun _ _ -> ()) h"
+
+(* ---- rule 7: wire symmetry ---- *)
+
+let test_wire_symmetry () =
+  check_rules "unpaired encoder" [ "wire-symmetry" ] "let encode_stat s = s";
+  check_rules "unpaired decoder" [ "wire-symmetry" ] "let decode_stat b = b";
+  check_rules "paired" [] "let encode_stat s = s\nlet decode_stat b = b";
+  check_rules "bare encode/decode pair" [] "let encode m = m\nlet decode p = p";
+  (* a local helper inside a function is not part of the wire vocabulary *)
+  check_rules "local binding ignored" [] "let persist t = let encode_name n = n in encode_name t"
+
+(* ---- suppression comments ---- *)
+
+let test_suppression () =
+  check_rules "same line"
+    []
+    "let seed name = Hashtbl.hash name (* lint: allow no-unstable-hash pinned by tests *)";
+  check_rules "line above"
+    []
+    "(* lint: allow no-os-entropy calibration only *)\nlet n = Random.int 6";
+  check_rules "wrong rule id does not silence"
+    [ "no-os-entropy" ]
+    "(* lint: allow no-wallclock *)\nlet n = Random.int 6";
+  check_rules "too far away"
+    [ "no-os-entropy" ]
+    "(* lint: allow no-os-entropy *)\n\n\nlet n = Random.int 6"
+
+(* ---- parse errors ---- *)
+
+let test_parse_error () =
+  check_rules "syntax error" [ "parse-error" ] "let let let"
+
+let test_rule_listing () =
+  (* every rule the scanner can emit is documented in Lint.rules *)
+  let documented = List.map fst Lint.rules in
+  List.iter
+    (fun rule -> check_bool (rule ^ " documented") true (List.mem rule documented))
+    [
+      "no-wallclock";
+      "no-os-entropy";
+      "no-marshal";
+      "no-unstable-hash";
+      "no-hashtbl-iteration";
+      "mli-coverage";
+      "wire-symmetry";
+      "parse-error";
+    ]
+
+let test_diagnostic_format () =
+  let d = { Lint.file = "lib/x.ml"; line = 7; rule = "no-wallclock"; message = "msg" } in
+  check_string "file:line rule message" "lib/x.ml:7 no-wallclock msg" (Lint.to_string d)
+
+let suite =
+  ( "lint",
+    [
+      Alcotest.test_case "no-os-entropy fires on Random.self_init" `Quick test_no_os_entropy;
+      Alcotest.test_case "no-wallclock" `Quick test_no_wallclock;
+      Alcotest.test_case "no-marshal" `Quick test_no_marshal;
+      Alcotest.test_case "carrier allowlist (tcp.ml, bin/)" `Quick test_carrier_allowlist;
+      Alcotest.test_case "no-unstable-hash" `Quick test_no_unstable_hash;
+      Alcotest.test_case "no-hashtbl-iteration needs a clock" `Quick test_hashtbl_iteration;
+      Alcotest.test_case "wire-symmetry" `Quick test_wire_symmetry;
+      Alcotest.test_case "suppression comments" `Quick test_suppression;
+      Alcotest.test_case "parse errors are diagnostics" `Quick test_parse_error;
+      Alcotest.test_case "every rule is documented" `Quick test_rule_listing;
+      Alcotest.test_case "diagnostic format" `Quick test_diagnostic_format;
+    ] )

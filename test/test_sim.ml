@@ -158,6 +158,23 @@ let test_stats_empty_summary () =
   check_int "count" 0 sum.Stats.count;
   Alcotest.(check (float 1e-9)) "mean" 0.0 sum.Stats.mean
 
+(* The per-site seeds minted from names must never move between compiler
+   versions (the Hashtbl.hash bug class): pin the FNV-1a values. *)
+let test_seed_of_string_pinned () =
+  let check_seed name expected =
+    Alcotest.(check int64) name expected (Prng.seed_of_string name)
+  in
+  check_seed "" 0xCBF29CE484222325L (* the FNV offset basis *);
+  check_seed "home" 0x402D1BCC7E6F9D6EL;
+  check_seed "paris" 0xBF595A7A1AAEC80L;
+  check_seed "tokyo" 0x2680B27D5079F639L
+
+let test_of_name_matches_seed () =
+  let a = Prng.of_name "home" and b = Prng.create ~seed:(Prng.seed_of_string "home") in
+  for _ = 1 to 16 do
+    Alcotest.(check int64) "same stream" (Prng.next_int64 b) (Prng.next_int64 a)
+  done
+
 let test_stats_reset () =
   let s = Stats.create "test" in
   Stats.incr s "a";
@@ -186,6 +203,8 @@ let suite =
       Alcotest.test_case "prng split independence" `Quick test_prng_split_independent;
       Alcotest.test_case "prng rejects zero bound" `Quick test_prng_int_zero_bound_rejected;
       Alcotest.test_case "prng bytes length" `Quick test_prng_bytes_length;
+      Alcotest.test_case "prng seed_of_string pinned (FNV-1a)" `Quick test_seed_of_string_pinned;
+      Alcotest.test_case "prng of_name matches seed_of_string" `Quick test_of_name_matches_seed;
       prop_int_in_bounds;
       prop_int_in_range;
       prop_float_in_bounds;

@@ -26,6 +26,7 @@ let messages_equal a b =
      | None, None -> true
      | _ -> false)
   && a.Message.arg0 = b.Message.arg0 && a.Message.arg1 = b.Message.arg1
+  && a.Message.xid = b.Message.xid
   && Bytes.equal a.Message.body b.Message.body
 
 let test_wire_roundtrip_request () =
@@ -67,6 +68,44 @@ let prop_wire_roundtrip =
           ~arg0 ~arg1 ~body:(Bytes.of_string body) ()
       in
       match roundtrip m with Ok m' -> messages_equal m m' | Error _ -> false)
+
+(* SplitMix64-driven fuzz: the same seed generates the same 1000
+   messages on every run, covering every field of Message.t — including
+   xid, which the qcheck property above predates. *)
+module Prng = Amoeba_sim.Prng
+
+let random_message prng =
+  let cap =
+    if Prng.bool prng then
+      Some
+        (Cap.v
+           ~port:(Port.of_int64 (Prng.next_int64 prng))
+           ~obj:(Prng.int prng 1_000_000)
+           ~rights:(Amoeba_cap.Rights.of_int (Prng.int prng 0x10000))
+           ~check:(Prng.next_int64 prng))
+    else None
+  in
+  {
+    Message.port = Port.of_int64 (Prng.next_int64 prng);
+    command = Prng.int prng 0x1000;
+    status = Status.of_int (Prng.int prng 9);
+    cap;
+    arg0 = Int64.to_int (Prng.next_int64 prng);
+    arg1 = Int64.to_int (Prng.next_int64 prng);
+    xid = Prng.int prng 1_000_000;
+    body = Prng.bytes prng (Prng.int prng 600);
+  }
+
+let test_wire_roundtrip_fuzz_1k () =
+  let prng = Prng.create ~seed:0xB0117EDL in
+  for i = 1 to 1000 do
+    let m = random_message prng in
+    match roundtrip m with
+    | Ok m' ->
+      if not (messages_equal m m') then
+        Alcotest.failf "message %d did not survive encode/decode (xid %d)" i m.Message.xid
+    | Error e -> Alcotest.failf "message %d failed to decode: %s" i e
+  done
 
 (* ---- TCP over loopback, echo server in a thread ---- *)
 
@@ -237,6 +276,8 @@ let suite =
       Alcotest.test_case "frame roundtrip (empty body)" `Quick test_wire_roundtrip_empty_body;
       Alcotest.test_case "short frame rejected" `Quick test_wire_rejects_short_frame;
       prop_wire_roundtrip;
+      Alcotest.test_case "frame roundtrip fuzz, 1k messages (SplitMix64)" `Quick
+        test_wire_roundtrip_fuzz_1k;
       Alcotest.test_case "tcp echo over loopback" `Quick test_tcp_echo;
       Alcotest.test_case "tcp handler exception" `Quick test_tcp_handler_exception;
       Alcotest.test_case "tcp full bullet service" `Quick test_tcp_full_bullet_service;
