@@ -40,6 +40,34 @@ let fig2 () =
         (E.bandwidth_kbs ~size:r.E.size ~us:r.E.write_us))
     rows
 
+(* ---- ATTRIB: Fig. 2 rows with per-layer time attribution ---- *)
+
+let attrib () =
+  header "ATTRIB - Fig. 2 rows with per-layer time attribution (trace spans)";
+  let rows = E.fig2_attrib () in
+  let pct part total = if total = 0 then 0. else 100. *. float_of_int part /. float_of_int total in
+  let table title pick =
+    Printf.printf "%s\n" title;
+    Printf.printf "  %-10s %10s %7s %7s %7s %7s %7s\n" "File Size" "total ms" "net%" "cpu%"
+      "cache%" "disk%" "other%";
+    List.iter
+      (fun (r : E.attrib_row) ->
+        let b : E.attrib_breakdown = pick r in
+        Printf.printf "  %-10s %10.2f %7.1f %7.1f %7.1f %7.1f %7.1f\n" (size_label r.E.at_size)
+          (ms b.E.at_total_us) (pct b.E.at_net_us b.E.at_total_us)
+          (pct b.E.at_cpu_us b.E.at_total_us) (pct b.E.at_cache_us b.E.at_total_us)
+          (pct b.E.at_disk_us b.E.at_total_us) (pct b.E.at_other_us b.E.at_total_us))
+      rows
+  in
+  table "(a) READ, file in server cache (paper: RPC + memcpy, no disk)"
+    (fun r -> r.E.at_read);
+  print_newline ();
+  table "(b) CREATE+DELETE, write-through to both disks (paper: disk-bound)"
+    (fun r -> r.E.at_write);
+  Printf.printf
+    "\n(every simulated microsecond is charged to exactly one layer; rows\n\
+    \ sum to 100%% by construction — see bin/bullet_trace for span trees)\n"
+
 (* ---- Fig. 3: SUN NFS ---- *)
 
 let fig3 () =
@@ -314,13 +342,13 @@ let faults () =
       Printf.printf "  %8d %16.1f\n" p.E.table_files p.E.reboot_ms)
     (E.reboot_sweep ());
   Printf.printf "\nGoodput under message loss (timeout 100 ms, <=10 attempts, xid dedup):\n";
-  Printf.printf "  %-8s %8s %10s %8s %9s %10s %12s\n" "Loss" "ops" "completed" "retries"
-    "timeouts" "dup execs" "goodput KB/s";
+  Printf.printf "  %-8s %8s %10s %8s %9s %10s %12s %8s %8s %8s\n" "Loss" "ops" "completed"
+    "retries" "timeouts" "dup execs" "goodput KB/s" "p50 ms" "p95 ms" "p99 ms";
   List.iter
     (fun (p : E.loss_point) ->
-      Printf.printf "  %5.0f %% %9d %10d %8d %9d %10d %12.1f\n" p.E.loss_pct p.E.loss_ops
-        p.E.loss_completed p.E.loss_retries p.E.loss_timeouts p.E.duplicate_executions
-        p.E.goodput_kbs)
+      Printf.printf "  %5.0f %% %9d %10d %8d %9d %10d %12.1f %8.1f %8.1f %8.1f\n" p.E.loss_pct
+        p.E.loss_ops p.E.loss_completed p.E.loss_retries p.E.loss_timeouts
+        p.E.duplicate_executions p.E.goodput_kbs p.E.loss_p50_ms p.E.loss_p95_ms p.E.loss_p99_ms)
     (E.loss_sweep ());
   let c = E.crash_recovery () in
   Printf.printf "\nServer crash at t=2s, reboot at t=2.5s, reads every 50 ms:\n";
@@ -414,6 +442,7 @@ let micro () =
 let all_benches =
   [
     ("fig2", fig2);
+    ("attrib", attrib);
     ("fig3", fig3);
     ("compare", compare_cmd);
     ("pfactor", pfactor);

@@ -17,6 +17,8 @@ let rules =
       "Hashtbl.hash and first-class polymorphic compare/(=) in lib/; unstable across versions" );
     ( "no-hashtbl-iteration",
       "Hashtbl.iter/fold in a clock-coupled module; order is unspecified, use Amoeba_sim.Tbl" );
+    ( "trace-no-wallclock",
+      "any Unix call or Sys.time in lib/trace or lib/sim; trace dumps must be pure simulation" );
     ("mli-coverage", "every lib/**/*.ml must have a matching .mli");
     ("wire-symmetry", "every top-level encode_* needs a decode_* in the same file, and vice versa");
     ("parse-error", "the file does not parse; nothing else can be checked");
@@ -138,10 +140,20 @@ let scan_structure ~path structure =
   let mentions_clock = ref false in
   let iteration_sites = ref [] in
   let note_clock lid = if List.exists (String.equal "Clock") (flatten lid) then mentions_clock := true in
+  let trace_scoped = lib_scoped && (under "trace" path || under "sim" path) in
   let check_ident loc lid =
     note_clock lid;
     let line = line_of loc in
     let name = String.concat "." (flatten lid) in
+    (* Stricter than no-wallclock: the trace/sim core feeds byte-diffed
+       dumps, so it may not touch the OS at all — any Unix call, not just
+       the clock reads, is grounds for failure. *)
+    (match flatten lid with
+    | "Unix" :: _ | "Stdlib" :: "Unix" :: _ | [ "Sys"; "time" ] | [ "Stdlib"; "Sys"; "time" ] ->
+      if trace_scoped then
+        emit line "trace-no-wallclock"
+          (Printf.sprintf "%s in the trace/sim core; dumps must be byte-identical across runs" name)
+    | _ -> ());
     match flatten lid with
     | [ "Sys"; "time" ] | [ "Stdlib"; "Sys"; "time" ] | [ "Unix"; "gettimeofday" ] | [ "Unix"; "time" ]
       ->

@@ -10,6 +10,7 @@ type t = {
   mutable tick : int;
   mutable resident : int;
   mutable used : int;
+  mutable tracer : Amoeba_trace.Trace.ctx option;
 }
 
 let create ~capacity ~max_rnodes ~on_evict =
@@ -29,7 +30,10 @@ let create ~capacity ~max_rnodes ~on_evict =
     tick = 0;
     resident = 0;
     used = 0;
+    tracer = None;
   }
+
+let set_tracer t tracer = t.tracer <- tracer
 
 let capacity t = Bytes.length t.storage
 
@@ -74,6 +78,11 @@ let evict_one t =
     drop t rnode;
     t.on_evict ~inode:e.inode ~rnode;
     Amoeba_sim.Stats.incr t.stats "evictions";
+    (match t.tracer with
+    | None -> ()
+    | Some tr ->
+      Amoeba_trace.Trace.event tr ~layer:Amoeba_trace.Sink.Cache ~name:"cache.evict"
+        [ ("inode", Amoeba_trace.Sink.I e.inode); ("bytes", Amoeba_trace.Sink.I e.length) ]);
     true
 
 (* Allocate [n] bytes and an rnode, evicting LRU files until both succeed

@@ -18,6 +18,11 @@ val create :
     can clear the inode's index field. Rnode indices are 1-based — index 0
     in an inode means "not cached". *)
 
+val set_tracer : t -> Amoeba_trace.Trace.ctx option -> unit
+(** Install (or with [None] remove) the tracer; traced caches emit a
+    [cache.evict] event per LRU eviction.  The cache's internal RAM
+    allocator stays untraced — [alloc.*] events mean disk extents. *)
+
 val capacity : t -> int
 
 val used_bytes : t -> int

@@ -8,6 +8,9 @@ type t = {
   attempts : int;
   backoff_us : int;
   stats : Amoeba_sim.Stats.t;
+  trans_hist : Amoeba_sim.Stats.Hist.t;
+      (* held directly so recording per-transaction latency never does a
+         by-name table lookup on the hot path *)
 }
 
 (* Transaction ids need only be unique per server dedup window; a
@@ -23,13 +26,15 @@ let fresh_xid () =
 let connect ?(model = Amoeba_rpc.Net_model.amoeba) ?(attempts = 1) ?(backoff_us = 50_000) transport
     service =
   if attempts < 1 then invalid_arg "Client.connect: attempts must be at least 1";
+  let stats = Amoeba_sim.Stats.create "bullet-client" in
   {
     transport;
     model;
     service;
     attempts;
     backoff_us;
-    stats = Amoeba_sim.Stats.create "bullet-client";
+    stats;
+    trans_hist = Amoeba_sim.Stats.hist stats "trans_us";
   }
 
 let port t = t.service
@@ -55,13 +60,22 @@ let trans t request =
       end
       else begin
         Amoeba_sim.Stats.incr t.stats "retries";
-        Amoeba_sim.Clock.advance clock (t.backoff_us * (1 lsl (attempt - 1)));
+        (match Amoeba_rpc.Transport.tracer t.transport with
+        | None -> Amoeba_sim.Clock.advance clock (t.backoff_us * (1 lsl (attempt - 1)))
+        | Some tr ->
+          Amoeba_trace.Trace.begin_root tr ~xid:request.Message.xid
+            ~layer:Amoeba_trace.Sink.Client ~name:"rpc.backoff";
+          Amoeba_sim.Clock.advance clock (t.backoff_us * (1 lsl (attempt - 1)));
+          Amoeba_trace.Trace.end_span_attrs tr [ ("attempt", Amoeba_trace.Sink.I attempt) ]);
         go (attempt + 1)
       end
     end
   in
   Amoeba_sim.Stats.incr t.stats "transactions";
-  go 1
+  let start = Amoeba_sim.Clock.now clock in
+  let reply = go 1 in
+  Amoeba_sim.Stats.Hist.record t.trans_hist (Amoeba_sim.Clock.now clock - start);
+  reply
 
 let checked t request =
   let reply = trans t request in

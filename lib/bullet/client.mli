@@ -36,7 +36,10 @@ val transport : t -> Amoeba_rpc.Transport.t
 val stats : t -> Amoeba_sim.Stats.t
 (** Counters: [transactions] (logical operations issued), [timeouts]
     (timed-out sends), [retries] (resends after a timeout), [exhausted]
-    (operations that failed after the last allowed attempt). *)
+    (operations that failed after the last allowed attempt).  The
+    [trans_us] histogram records each transaction's client-visible
+    latency in µs, retries and backoff included — the source of the
+    p50/p95/p99 columns in the loss-sweep reports. *)
 
 val create : t -> ?p_factor:int -> bytes -> Amoeba_cap.Capability.t
 (** [BULLET.CREATE]; [p_factor] defaults to 2 (both disks, as in the

@@ -7,6 +7,7 @@ type t = {
   range_start : int;
   range_length : int;
   mutable free_list : extent list; (* sorted by start, non-adjacent *)
+  mutable tracer : Amoeba_trace.Trace.ctx option;
 }
 
 let create ?(policy = First_fit) ~start ~length () =
@@ -16,9 +17,12 @@ let create ?(policy = First_fit) ~start ~length () =
     range_start = start;
     range_length = length;
     free_list = (if length = 0 then [] else [ { start; length } ]);
+    tracer = None;
   }
 
 let policy t = t.pol
+
+let set_tracer t tracer = t.tracer <- tracer
 
 let take_from t chosen n =
   let replace e =
@@ -27,6 +31,11 @@ let take_from t chosen n =
     else [ { start = e.start + n; length = e.length - n } ]
   in
   t.free_list <- List.concat_map replace t.free_list;
+  (match t.tracer with
+  | None -> ()
+  | Some tr ->
+    Amoeba_trace.Trace.event tr ~layer:Amoeba_trace.Sink.Alloc ~name:"alloc.take"
+      [ ("start", Amoeba_trace.Sink.I chosen.start); ("blocks", Amoeba_trace.Sink.I n) ]);
   Some chosen.start
 
 let alloc t n =
@@ -65,6 +74,11 @@ let insert_free t ex =
 let free t ~start ~length =
   if length <= 0 then invalid_arg "Extent_alloc.free: size must be positive";
   if not (in_range t ~start ~length) then invalid_arg "Extent_alloc.free: outside managed range";
+  (match t.tracer with
+  | None -> ()
+  | Some tr ->
+    Amoeba_trace.Trace.event tr ~layer:Amoeba_trace.Sink.Alloc ~name:"alloc.free"
+      [ ("start", Amoeba_trace.Sink.I start); ("blocks", Amoeba_trace.Sink.I length) ]);
   insert_free t { start; length }
 
 let reserve t ~start ~length =

@@ -19,6 +19,11 @@ val create : ?policy:policy -> start:int -> length:int -> unit -> t
 
 val policy : t -> policy
 
+val set_tracer : t -> Amoeba_trace.Trace.ctx option -> unit
+(** Install (or with [None] remove) the tracer; traced allocators emit
+    zero-length [alloc.take]/[alloc.free] events (extent bookkeeping
+    charges no simulated time). *)
+
 val alloc : t -> int -> int option
 (** [alloc t n] reserves [n] units and returns the extent start, or [None]
     if no free extent is large enough. [n] must be positive. *)

@@ -21,6 +21,19 @@ let cmd_restrict = 9
 
 let cmd_stat = 10
 
+let command_name command =
+  if command = cmd_create then "create"
+  else if command = cmd_size then "size"
+  else if command = cmd_read then "read"
+  else if command = cmd_delete then "delete"
+  else if command = cmd_read_range then "read_range"
+  else if command = cmd_modify then "modify"
+  else if command = cmd_append then "append"
+  else if command = cmd_truncate then "truncate"
+  else if command = cmd_restrict then "restrict"
+  else if command = cmd_stat then "stat"
+  else Printf.sprintf "cmd%d" command
+
 type stat = {
   live_files : int;
   free_blocks : int;
@@ -122,7 +135,7 @@ let dispatch server request =
    reply instead of executing again. The cache lives with the
    registration, not the server state — a reboot forgets it, which is the
    honest at-most-once window of the real protocol. *)
-let dedup ~capacity service =
+let dedup ?on_hit ~capacity service =
   let replies : (int, Message.t) Hashtbl.t = Hashtbl.create capacity in
   let order = Queue.create () in
   fun request ->
@@ -130,7 +143,9 @@ let dedup ~capacity service =
     if xid = 0 then service request
     else
       match Hashtbl.find_opt replies xid with
-      | Some reply -> reply
+      | Some reply ->
+        (match on_hit with None -> () | Some f -> f request);
+        reply
       | None ->
         let reply = service request in
         if Hashtbl.length replies >= capacity then Hashtbl.remove replies (Queue.pop order);
@@ -139,5 +154,22 @@ let dedup ~capacity service =
         reply
 
 let serve ?(dedup_capacity = 1024) server transport =
-  Amoeba_rpc.Transport.register transport (Server.port server)
-    (dedup ~capacity:dedup_capacity (dispatch server))
+  let on_hit request =
+    match Amoeba_rpc.Transport.tracer transport with
+    | None -> ()
+    | Some tr ->
+      (* No raw xid (process-global counter): the enclosing trace id
+         already identifies the deduplicated transaction. *)
+      Amoeba_trace.Trace.event tr ~layer:Amoeba_trace.Sink.Server ~name:"serve.dedup_hit"
+        [ ("cmd", Amoeba_trace.Sink.I request.Message.command) ]
+  in
+  let handler = dedup ~on_hit ~capacity:dedup_capacity (dispatch server) in
+  let service request =
+    match Amoeba_rpc.Transport.tracer transport with
+    | None -> handler request
+    | Some tr ->
+      Amoeba_trace.Trace.in_span tr ~layer:Amoeba_trace.Sink.Server
+        ~name:("serve." ^ command_name request.Message.command)
+        (fun () -> handler request)
+  in
+  Amoeba_rpc.Transport.register transport (Server.port server) service

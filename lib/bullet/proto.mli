@@ -24,6 +24,10 @@ val cmd_restrict : int
 
 val cmd_stat : int
 
+val command_name : int -> string
+(** Human-readable name of a command number ("create", "read", ...);
+    unknown numbers render as ["cmdN"].  Used to label trace spans. *)
+
 type stat = {
   live_files : int;
   free_blocks : int;
@@ -47,5 +51,7 @@ val serve : ?dedup_capacity:int -> Server.t -> Amoeba_rpc.Transport.t -> unit
     1024, FIFO eviction). A retried mutation whose first execution's
     reply was lost gets the remembered reply rather than running twice —
     at-most-once semantics. Requests with [xid = 0] (all reads) bypass
-    the cache. The cache is created fresh per registration, so a server
+    the cache. When the transport has a tracer installed, each dispatch
+    runs inside a [serve.<op>] span and dedup cache hits emit a
+    [serve.dedup_hit] event. The cache is created fresh per registration, so a server
     reboot forgets it. *)

@@ -30,6 +30,7 @@ type t = {
   stats : Amoeba_sim.Stats.t;
   block_size : int;
   mutable dead : bool;
+  mutable tracer : Amoeba_trace.Trace.ctx option;
 }
 
 let format mirror ~max_files =
@@ -75,6 +76,7 @@ let start ?(config = default_config) ?(seed = 0x42554C4C45545FL) mirror =
         stats = Amoeba_sim.Stats.create "bullet";
         block_size;
         dead = false;
+        tracer = None;
       }
     in
     Ok (server, report)
@@ -87,16 +89,37 @@ let mirror t = t.mirror
 
 let stats t = t.stats
 
+let set_tracer t tracer =
+  t.tracer <- tracer;
+  Cache.set_tracer t.cache tracer;
+  Extent_alloc.set_tracer t.disk_alloc tracer;
+  Amoeba_disk.Mirror.set_tracer t.mirror tracer
+
+let tracer t = t.tracer
+
 let crash t =
   t.dead <- true;
   Amoeba_disk.Mirror.crash t.mirror
 
 (* ---- internal helpers ---- *)
 
-let charge_cpu t = Amoeba_sim.Clock.advance t.clock t.config.cpu_request_us
+let charge_cpu t =
+  match t.tracer with
+  | None -> Amoeba_sim.Clock.advance t.clock t.config.cpu_request_us
+  | Some tr ->
+    Amoeba_trace.Trace.begin_span tr ~layer:Amoeba_trace.Sink.Cpu ~name:"cpu.request";
+    Amoeba_sim.Clock.advance t.clock t.config.cpu_request_us;
+    Amoeba_trace.Trace.end_span tr
 
 let charge_copy t bytes =
-  if bytes > 0 then Amoeba_sim.Clock.advance t.clock (bytes * 1_000_000 / t.config.copy_bytes_per_sec)
+  if bytes > 0 then begin
+    match t.tracer with
+    | None -> Amoeba_sim.Clock.advance t.clock (bytes * 1_000_000 / t.config.copy_bytes_per_sec)
+    | Some tr ->
+      Amoeba_trace.Trace.begin_span tr ~layer:Amoeba_trace.Sink.Cache ~name:"cache.memcpy";
+      Amoeba_sim.Clock.advance t.clock (bytes * 1_000_000 / t.config.copy_bytes_per_sec);
+      Amoeba_trace.Trace.end_span_attrs tr [ ("bytes", Amoeba_trace.Sink.I bytes) ]
+  end
 
 let blocks_of t bytes = (bytes + t.block_size - 1) / t.block_size
 
@@ -193,10 +216,23 @@ let size t cap =
 let ensure_cached t obj inode =
   if inode.Layout.index <> 0 then begin
     Amoeba_sim.Stats.incr t.stats "cache_hits";
+    (match t.tracer with
+    | None -> ()
+    | Some tr ->
+      Amoeba_trace.Trace.event tr ~layer:Amoeba_trace.Sink.Cache ~name:"cache.hit"
+        [ ("inode", Amoeba_trace.Sink.I obj) ]);
     Ok inode.Layout.index
   end
   else begin
     Amoeba_sim.Stats.incr t.stats "cache_misses";
+    (match t.tracer with
+    | None -> ()
+    | Some tr ->
+      Amoeba_trace.Trace.event tr ~layer:Amoeba_trace.Sink.Cache ~name:"cache.miss"
+        [
+          ("inode", Amoeba_trace.Sink.I obj);
+          ("bytes", Amoeba_trace.Sink.I inode.Layout.size_bytes);
+        ]);
     let size = inode.Layout.size_bytes in
     match Cache.reserve t.cache ~inode:obj size with
     | None -> Error Status.No_space

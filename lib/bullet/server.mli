@@ -51,6 +51,17 @@ val crash : t -> unit
     write-behind is discarded, and every subsequent operation fails with
     [Server_failure]. Boot again with {!start} on the same mirror. *)
 
+val set_tracer : t -> Amoeba_trace.Trace.ctx option -> unit
+(** Install (or with [None] remove) the tracer on the server and
+    everything below it: the cache ([cache.hit]/[cache.miss]/
+    [cache.evict] events, [cache.memcpy] spans), the disk extent
+    allocator ([alloc.take]/[alloc.free] events), and the mirror with its
+    drives (mirror and seek/rotate/transfer spans).  Per-request CPU
+    charges become [cpu.request] spans.  With [None] every hot path is
+    the exact untraced code. *)
+
+val tracer : t -> Amoeba_trace.Trace.ctx option
+
 (** {1 The Bullet interface} *)
 
 val create : t -> ?p_factor:int -> bytes -> (Amoeba_cap.Capability.t, Amoeba_rpc.Status.t) result

@@ -8,6 +8,7 @@ type t = {
   mutable head : int;
   mutable failed : bool;
   mutable fault_hook : (sector:int -> count:int -> write:bool -> bool) option;
+  mutable tracer : Amoeba_trace.Trace.ctx option;
 }
 
 exception Failure of string
@@ -23,6 +24,7 @@ let create ~id ~geometry ~clock =
     head = 0;
     failed = false;
     fault_hook = None;
+    tracer = None;
   }
 
 let id t = t.device_id
@@ -42,7 +44,39 @@ let check_range t ~sector ~count ~op =
 let charge t ~sector ~count ~write =
   let sequential = sector = t.head in
   let bytes = count * t.geometry.Geometry.sector_bytes in
-  Amoeba_sim.Clock.advance t.clock (Geometry.access_us t.geometry ~sequential ~write bytes);
+  (match t.tracer with
+  | None -> Amoeba_sim.Clock.advance t.clock (Geometry.access_us t.geometry ~sequential ~write bytes)
+  | Some tr ->
+    (* Split the access charge into its mechanical components.  The three
+       spans advance exactly [Geometry.access_us] in total, so traced and
+       untraced runs tell identical time. *)
+    let g = t.geometry in
+    let seek_us = if sequential then 0 else g.Geometry.avg_seek_us in
+    let rotate_us =
+      (if sequential then 0 else g.Geometry.rotation_us / 2)
+      + if write then g.Geometry.rotation_us / 2 else 0
+    in
+    let xfer_us = g.Geometry.controller_us + Geometry.transfer_us g bytes in
+    if seek_us > 0 then begin
+      Amoeba_trace.Trace.begin_span tr ~layer:Amoeba_trace.Sink.Disk ~name:"disk.seek";
+      Amoeba_sim.Clock.advance t.clock seek_us;
+      Amoeba_trace.Trace.end_span tr
+    end;
+    if rotate_us > 0 then begin
+      Amoeba_trace.Trace.begin_span tr ~layer:Amoeba_trace.Sink.Disk ~name:"disk.rotate";
+      Amoeba_sim.Clock.advance t.clock rotate_us;
+      Amoeba_trace.Trace.end_span tr
+    end;
+    Amoeba_trace.Trace.begin_span tr ~layer:Amoeba_trace.Sink.Disk ~name:"disk.xfer";
+    Amoeba_sim.Clock.advance t.clock xfer_us;
+    Amoeba_trace.Trace.end_span_attrs tr
+      [
+        ("drive", Amoeba_trace.Sink.S t.device_id);
+        ("sector", Amoeba_trace.Sink.I sector);
+        ("count", Amoeba_trace.Sink.I count);
+        ("bytes", Amoeba_trace.Sink.I bytes);
+        ("write", Amoeba_trace.Sink.I (if write then 1 else 0));
+      ]);
   if not sequential then Amoeba_sim.Stats.incr t.stats "seeks";
   t.head <- sector + count
 
@@ -57,6 +91,11 @@ let check_health t ~sector ~count ~write ~op =
     (* A transient media error: this access fails, the next may succeed.
        The drive still burned the access time before reporting it. *)
     Amoeba_sim.Stats.incr t.stats "transient_errors";
+    (match t.tracer with
+    | None -> ()
+    | Some tr ->
+      Amoeba_trace.Trace.event tr ~layer:Amoeba_trace.Sink.Disk ~name:"disk.transient_error"
+        [ ("drive", Amoeba_trace.Sink.S t.device_id); ("sector", Amoeba_trace.Sink.I sector) ]);
     charge t ~sector ~count ~write;
     raise (Failure (Printf.sprintf "%s: transient error at sector %d during %s" t.device_id sector op))
   | _ -> ()
@@ -64,7 +103,15 @@ let check_health t ~sector ~count ~write ~op =
 let read t ~sector ~count =
   check_range t ~sector ~count ~op:"read";
   check_health t ~sector ~count ~write:false ~op:"read";
+  (match t.tracer with
+  | None -> ()
+  | Some tr -> Amoeba_trace.Trace.begin_span tr ~layer:Amoeba_trace.Sink.Disk ~name:"disk.read");
   charge t ~sector ~count ~write:false;
+  (match t.tracer with
+  | None -> ()
+  | Some tr ->
+    Amoeba_trace.Trace.end_span_attrs tr
+      [ ("drive", Amoeba_trace.Sink.S t.device_id); ("sectors", Amoeba_trace.Sink.I count) ]);
   Amoeba_sim.Stats.incr t.stats "reads";
   Amoeba_sim.Stats.add t.stats "sectors_read" count;
   let sector_bytes = t.geometry.Geometry.sector_bytes in
@@ -78,7 +125,15 @@ let write t ~sector data =
   let count = len / sector_bytes in
   check_range t ~sector ~count ~op:"write";
   check_health t ~sector ~count ~write:true ~op:"write";
+  (match t.tracer with
+  | None -> ()
+  | Some tr -> Amoeba_trace.Trace.begin_span tr ~layer:Amoeba_trace.Sink.Disk ~name:"disk.write");
   charge t ~sector ~count ~write:true;
+  (match t.tracer with
+  | None -> ()
+  | Some tr ->
+    Amoeba_trace.Trace.end_span_attrs tr
+      [ ("drive", Amoeba_trace.Sink.S t.device_id); ("sectors", Amoeba_trace.Sink.I count) ]);
   Amoeba_sim.Stats.incr t.stats "writes";
   Amoeba_sim.Stats.add t.stats "sectors_written" count;
   Bytes.blit data 0 t.storage (sector * sector_bytes) len
@@ -90,6 +145,8 @@ let repair t = t.failed <- false
 let is_failed t = t.failed
 
 let set_fault_hook t hook = t.fault_hook <- hook
+
+let set_tracer t tracer = t.tracer <- tracer
 
 let set_bad_sector t sector = Hashtbl.replace t.bad_sectors sector ()
 

@@ -52,6 +52,13 @@ val set_fault_hook : t -> (sector:int -> count:int -> write:bool -> bool) option
     the same access retried may succeed. Used by [Amoeba_fault.Injector]
     for probabilistic sector-error plans. *)
 
+val set_tracer : t -> Amoeba_trace.Trace.ctx option -> unit
+(** Install (or with [None] remove) the tracer.  Traced accesses emit a
+    [disk.read]/[disk.write] span whose [disk.seek]/[disk.rotate]/
+    [disk.xfer] children split the access charge into its mechanical
+    components; the children advance exactly the same total time as the
+    untraced single charge. *)
+
 val set_bad_sector : t -> int -> unit
 (** Mark one sector as unreadable/unwritable. *)
 

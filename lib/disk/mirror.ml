@@ -5,6 +5,7 @@ type t = {
   clock : Amoeba_sim.Clock.t;
   pending : pending Queue.t;
   stats : Amoeba_sim.Stats.t;
+  mutable tracer : Amoeba_trace.Trace.ctx option;
 }
 
 exception No_live_drive
@@ -22,7 +23,12 @@ let create drives =
       clock = Block_device.clock first;
       pending = Queue.create ();
       stats = Amoeba_sim.Stats.create "mirror";
+      tracer = None;
     }
+
+let set_tracer t tracer =
+  t.tracer <- tracer;
+  List.iter (fun d -> Block_device.set_tracer d tracer) t.drives
 
 let drives t = t.drives
 
@@ -56,15 +62,29 @@ let rec read_from t ~sector ~count = function
     try Block_device.read drive ~sector ~count
     with Block_device.Failure _ ->
       Amoeba_sim.Stats.incr t.stats "read_failovers";
+      (match t.tracer with
+      | None -> ()
+      | Some tr ->
+        Amoeba_trace.Trace.event tr ~layer:Amoeba_trace.Sink.Disk ~name:"mirror.failover"
+          [ ("drive", Amoeba_trace.Sink.S (Block_device.id drive)) ]);
       read_from t ~sector ~count others)
 
 let read t ~sector ~count =
-  drain t;
-  if live_count t < List.length t.drives then Amoeba_sim.Stats.incr t.stats "degraded_reads";
-  read_from t ~sector ~count (live t)
+  match t.tracer with
+  | None ->
+    drain t;
+    if live_count t < List.length t.drives then Amoeba_sim.Stats.incr t.stats "degraded_reads";
+    read_from t ~sector ~count (live t)
+  | Some tr ->
+    Amoeba_trace.Trace.in_span tr ~layer:Amoeba_trace.Sink.Disk ~name:"mirror.read" (fun () ->
+        drain t;
+        if live_count t < List.length t.drives then begin
+          Amoeba_sim.Stats.incr t.stats "degraded_reads";
+          Amoeba_trace.Trace.event tr ~layer:Amoeba_trace.Sink.Disk ~name:"mirror.degraded" []
+        end;
+        read_from t ~sector ~count (live t))
 
-let write t ~sync ~sector data =
-  drain t;
+let write_live t ~sync ~sector data =
   match live t with
   | [] -> raise No_live_drive
   | targets ->
@@ -80,6 +100,16 @@ let write t ~sync ~sector data =
     let (_ : unit list) = Amoeba_sim.Clock.parallel t.clock (List.map write_to foreground) in
     let enqueue d = Queue.add { target = d; at_sector = sector; data = Bytes.copy data } t.pending in
     List.iter enqueue background
+
+let write t ~sync ~sector data =
+  match t.tracer with
+  | None ->
+    drain t;
+    write_live t ~sync ~sector data
+  | Some tr ->
+    Amoeba_trace.Trace.in_span tr ~layer:Amoeba_trace.Sink.Disk ~name:"mirror.write" (fun () ->
+        drain t;
+        write_live t ~sync ~sector data)
 
 let recover t =
   drain t;

@@ -59,6 +59,12 @@ val recover : t -> unit
     the paper's whole-disk-copy recovery. Raises {!No_live_drive} if there
     is no live drive to copy from. *)
 
+val set_tracer : t -> Amoeba_trace.Trace.ctx option -> unit
+(** Install the tracer on the mirror and all its drives.  Traced reads
+    and writes get [mirror.read]/[mirror.write] spans with the drives'
+    spans nested inside, plus [mirror.failover]/[mirror.degraded]
+    events. *)
+
 val stats : t -> Amoeba_sim.Stats.t
 (** Counters: [read_failovers] (a drive raised mid-read and the next live
     drive served it), [degraded_reads] (reads issued while at least one

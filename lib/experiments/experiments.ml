@@ -62,6 +62,68 @@ let time clock f =
 
 (* ---- Fig. 2: the Bullet server ---- *)
 
+(* ---- ATTRIB: where the microseconds of a Fig. 2 row go ---- *)
+
+type attrib_breakdown = {
+  at_total_us : int;
+  at_net_us : int;
+  at_cpu_us : int;
+  at_cache_us : int;
+  at_disk_us : int;
+  at_other_us : int;
+}
+
+type attrib_row = {
+  at_size : int;
+  at_read : attrib_breakdown; (* cached SIZE+READ pair *)
+  at_write : attrib_breakdown; (* CREATE+DELETE pair *)
+}
+
+let breakdown_of_totals (t : Amoeba_trace.Attrib.totals) =
+  {
+    at_total_us = t.Amoeba_trace.Attrib.total_us;
+    at_net_us = t.Amoeba_trace.Attrib.net_us;
+    at_cpu_us = t.Amoeba_trace.Attrib.cpu_us;
+    at_cache_us = t.Amoeba_trace.Attrib.cache_us;
+    at_disk_us = t.Amoeba_trace.Attrib.disk_us;
+    (* extent bookkeeping is instantaneous, so alloc time folds into the
+       server's self-time bucket *)
+    at_other_us = t.Amoeba_trace.Attrib.other_us + t.Amoeba_trace.Attrib.alloc_us;
+  }
+
+(* Rebuild Fig. 2's measurements with the tracer on and attribute every
+   simulated microsecond to a layer.  The paper's claim becomes a
+   measured table: a cached READ is network + server CPU (+ memcpy),
+   while CREATE+DELETE is dominated by the synchronous disk writes. *)
+let fig2_attrib ?(sizes = paper_sizes) () =
+  let run size =
+    let bed = make_bullet_bed () in
+    let tracer = Amoeba_trace.Trace.create ~clock:bed.b_clock () in
+    let sink = Amoeba_trace.Trace.sink tracer in
+    let attributed f =
+      Amoeba_trace.Sink.clear sink;
+      Amoeba_rpc.Transport.set_tracer (Client.transport bed.b_client) (Some tracer);
+      Server.set_tracer bed.b_server (Some tracer);
+      f ();
+      Amoeba_rpc.Transport.set_tracer (Client.transport bed.b_client) None;
+      Server.set_tracer bed.b_server None;
+      breakdown_of_totals (Amoeba_trace.Attrib.of_spans (Amoeba_trace.Sink.spans sink))
+    in
+    let data = Bytes.make size 'b' in
+    (* Same protocol as [fig2_bullet]: the read test runs against a file
+       already in cache; the write test is a traced create+delete. *)
+    let cap = Client.create bed.b_client ~p_factor:2 data in
+    let at_read = attributed (fun () -> ignore (Client.read bed.b_client cap)) in
+    Client.delete bed.b_client cap;
+    let at_write =
+      attributed (fun () ->
+          let cap = Client.create bed.b_client ~p_factor:2 data in
+          Client.delete bed.b_client cap)
+    in
+    { at_size = size; at_read; at_write }
+  in
+  List.map run sizes
+
 let fig2_bullet ?(sizes = paper_sizes) () =
   let bed = make_bullet_bed () in
   let run size =
@@ -894,6 +956,9 @@ type loss_point = {
   loss_timeouts : int;
   duplicate_executions : int;
   goodput_kbs : float;
+  loss_p50_ms : float;
+  loss_p95_ms : float;
+  loss_p99_ms : float;
 }
 
 (* Goodput of a create+read workload as the network degrades. Bounded
@@ -935,6 +1000,10 @@ let loss_sweep ?(loss_rates = [ 0.01; 0.02; 0.05; 0.10 ]) () =
     let client_stats = Client.stats client in
     let creates_done = Amoeba_sim.Stats.count (Server.stats server) "creates" in
     Injector.detach injector;
+    (* Per-transaction latency (retries and backoff included) from the
+       client's log2 histogram, the tail the goodput number hides. *)
+    let latency = Amoeba_sim.Stats.hist client_stats "trans_us" in
+    let pct q = float_of_int (Amoeba_sim.Stats.Hist.percentile latency q) /. 1000. in
     {
       loss_pct = loss *. 100.;
       loss_ops = !ops;
@@ -945,6 +1014,9 @@ let loss_sweep ?(loss_rates = [ 0.01; 0.02; 0.05; 0.10 ]) () =
       goodput_kbs =
         (if elapsed_us = 0 then 0.
          else float_of_int !read_bytes /. 1024. /. (float_of_int elapsed_us /. 1_000_000.));
+      loss_p50_ms = pct 0.50;
+      loss_p95_ms = pct 0.95;
+      loss_p99_ms = pct 0.99;
     }
   in
   List.map run loss_rates

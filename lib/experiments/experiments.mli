@@ -25,6 +25,28 @@ val fig2_bullet : ?sizes:int list -> unit -> row list
 (** The paper's Fig. 2: Bullet READ (file fully in server cache, as the
     paper states) and CREATE+DELETE with the file written to both disks. *)
 
+type attrib_breakdown = {
+  at_total_us : int;  (** end-to-end duration; equals the sum of the rest *)
+  at_net_us : int;  (** wire latency/transmit and timeout waits *)
+  at_cpu_us : int;  (** per-request server CPU charge *)
+  at_cache_us : int;  (** cache memcpy traffic *)
+  at_disk_us : int;  (** seek + rotation + transfer *)
+  at_other_us : int;  (** server/client self-time no deeper span claims *)
+}
+
+type attrib_row = {
+  at_size : int;
+  at_read : attrib_breakdown;  (** cached SIZE+READ pair *)
+  at_write : attrib_breakdown;  (** CREATE+DELETE pair *)
+}
+
+val fig2_attrib : ?sizes:int list -> unit -> attrib_row list
+(** Fig. 2 re-measured with the tracer on: every simulated microsecond of
+    each row charged to a layer by {!Amoeba_trace.Attrib}.  The cached
+    READ rows show only net + cpu (+ memcpy) time — the paper's §4 claim
+    as measured output — while CREATE+DELETE is dominated by the
+    synchronous disk writes. *)
+
 val fig3_nfs : ?sizes:int list -> unit -> row list
 (** The paper's Fig. 3: SUN NFS READ and CREATE, client caching disabled
     ([lockf]), one data disk, 3 MB server buffer cache aged between the
@@ -243,6 +265,9 @@ type loss_point = {
   loss_timeouts : int;
   duplicate_executions : int;  (** retried CREATEs run twice (claim: 0) *)
   goodput_kbs : float;
+  loss_p50_ms : float;  (** per-transaction latency percentiles, retries *)
+  loss_p95_ms : float;  (** and backoff included, from the client's log2 *)
+  loss_p99_ms : float;  (** histogram — the tail the goodput mean hides *)
 }
 
 val loss_sweep : ?loss_rates:float list -> unit -> loss_point list

@@ -17,6 +17,7 @@ type t = {
   services : service Port_table.t;
   stats : Amoeba_sim.Stats.t;
   mutable fault_hook : fault_hook option;
+  mutable tracer : Amoeba_trace.Trace.ctx option;
 }
 
 let create ~clock =
@@ -25,6 +26,7 @@ let create ~clock =
     services = Port_table.create 16;
     stats = Amoeba_sim.Stats.create "transport";
     fault_hook = None;
+    tracer = None;
   }
 
 let clock t = t.clock
@@ -41,9 +43,20 @@ let lookup t port = Port_table.find_opt t.services port
 
 let set_fault_hook t hook = t.fault_hook <- hook
 
+let set_tracer t tracer = t.tracer <- tracer
+
+let tracer t = t.tracer
+
 let log_src = Logs.Src.create "amoeba.rpc" ~doc:"Amoeba RPC transport"
 
 module Log = (val Logs.src_log log_src)
+
+let delivery_name = function
+  | Deliver -> "deliver"
+  | Drop_request -> "drop_request"
+  | Drop_reply -> "drop_reply"
+  | Duplicate_request -> "duplicate_request"
+  | Corrupt_reply -> "corrupt_reply"
 
 (* The client stub sent a request and no reply arrived: it learns nothing
    until its timer fires, so the transaction costs the full timeout
@@ -52,27 +65,66 @@ module Log = (val Logs.src_log log_src)
 let timed_out t ~model ~start reason =
   Amoeba_sim.Stats.incr t.stats reason;
   Amoeba_sim.Stats.incr t.stats "timeouts";
-  Amoeba_sim.Clock.advance_to t.clock (start + model.Net_model.timeout_us);
+  (match t.tracer with
+  | None -> Amoeba_sim.Clock.advance_to t.clock (start + model.Net_model.timeout_us)
+  | Some tr ->
+    Amoeba_trace.Trace.begin_span tr ~layer:Amoeba_trace.Sink.Net ~name:"net.timeout";
+    Amoeba_sim.Clock.advance_to t.clock (start + model.Net_model.timeout_us);
+    Amoeba_trace.Trace.end_span_attrs tr [ ("reason", Amoeba_trace.Sink.S reason) ]);
   Message.error Status.Timeout
+
+(* Close the transaction's root span on every exit path with the reply
+   status.  Top-level (not a closure inside [trans]) so the untraced hot
+   path allocates nothing. *)
+let finish t reply =
+  (match t.tracer with
+  | None -> ()
+  | Some tr ->
+    Amoeba_trace.Trace.end_span_attrs tr
+      [ ("status", Amoeba_trace.Sink.S (Status.to_string reply.Message.status)) ]);
+  reply
 
 let trans t ~model request =
   let start = Amoeba_sim.Clock.now t.clock in
   Amoeba_sim.Stats.incr t.stats "transactions";
+  (match t.tracer with
+  | None -> ()
+  | Some tr ->
+    Amoeba_trace.Trace.begin_root tr ~xid:request.Message.xid
+      ~layer:Amoeba_trace.Sink.Net ~name:"rpc";
+    (* No raw xid here: xids come from a process-global counter, and the
+       interned trace id already names the transaction — raw values would
+       make otherwise-identical dumps differ between runs in one process. *)
+    Amoeba_trace.Trace.event tr ~layer:Amoeba_trace.Sink.Client ~name:"rpc.request"
+      [ ("cmd", Amoeba_trace.Sink.I request.Message.command) ]);
   (* Consult the fault plan before delivery: the hook may also fire
      scheduled events (crash, reboot, drive failure) that are due now. *)
   let verdict = match t.fault_hook with None -> Deliver | Some hook -> hook request in
+  (match t.tracer with
+  | None -> ()
+  | Some tr ->
+    if verdict <> Deliver then
+      Amoeba_trace.Trace.event tr ~layer:Amoeba_trace.Sink.Net ~name:"net.fault"
+        [ ("verdict", Amoeba_trace.Sink.S (delivery_name verdict)) ]);
   let request_bytes = Message.wire_bytes request in
   Amoeba_sim.Stats.add t.stats "bytes_sent" request_bytes;
-  Amoeba_sim.Clock.advance t.clock model.Net_model.latency_us;
-  Amoeba_sim.Clock.advance t.clock (Net_model.transmit_us model request_bytes);
-  if verdict = Drop_request then timed_out t ~model ~start "dropped_requests"
+  (match t.tracer with
+  | None ->
+    Amoeba_sim.Clock.advance t.clock model.Net_model.latency_us;
+    Amoeba_sim.Clock.advance t.clock (Net_model.transmit_us model request_bytes)
+  | Some tr ->
+    Amoeba_trace.Trace.begin_span tr ~layer:Amoeba_trace.Sink.Net ~name:"net.send";
+    Amoeba_sim.Clock.advance t.clock model.Net_model.latency_us;
+    Amoeba_sim.Clock.advance t.clock (Net_model.transmit_us model request_bytes);
+    Amoeba_trace.Trace.end_span_attrs tr [ ("bytes", Amoeba_trace.Sink.I request_bytes) ]);
+  if verdict = Drop_request then finish t (timed_out t ~model ~start "dropped_requests")
   else
     match Port_table.find_opt t.services request.Message.port with
     | None ->
       (* Unbound (or crashed) port: nothing answers, so the client pays
          its timeout interval, not one network latency. *)
       Amoeba_sim.Stats.incr t.stats "unbound_port";
-      timed_out t ~model ~start "unbound_timeouts"
+      finish t (timed_out t ~model ~start "unbound_timeouts")
     | Some service ->
       let run () =
         try service request
@@ -92,15 +144,21 @@ let trans t ~model request =
         ignore (Amoeba_sim.Clock.unobserved t.clock run)
       end;
       (match verdict with
-      | Drop_reply -> timed_out t ~model ~start "dropped_replies"
+      | Drop_reply -> finish t (timed_out t ~model ~start "dropped_replies")
       | Corrupt_reply ->
         (* Per-packet checksums catch the damage; a corrupted reply is
            discarded by the client's RPC stub and surfaces as a loss. *)
-        timed_out t ~model ~start "corrupted_replies"
+        finish t (timed_out t ~model ~start "corrupted_replies")
       | Deliver | Duplicate_request | Drop_request ->
         let reply_bytes = Message.wire_bytes reply in
         Amoeba_sim.Stats.add t.stats "bytes_received" reply_bytes;
-        Amoeba_sim.Clock.advance t.clock (Net_model.transmit_us model reply_bytes);
-        reply)
+        (match t.tracer with
+        | None -> Amoeba_sim.Clock.advance t.clock (Net_model.transmit_us model reply_bytes)
+        | Some tr ->
+          Amoeba_trace.Trace.begin_span tr ~layer:Amoeba_trace.Sink.Net ~name:"net.recv";
+          Amoeba_sim.Clock.advance t.clock (Net_model.transmit_us model reply_bytes);
+          Amoeba_trace.Trace.end_span_attrs tr
+            [ ("bytes", Amoeba_trace.Sink.I reply_bytes) ]);
+        finish t reply)
 
 let stats t = t.stats

@@ -55,6 +55,16 @@ val lookup : t -> Amoeba_cap.Port.t -> service option
 val set_fault_hook : t -> fault_hook option -> unit
 (** Install (or with [None] remove) the delivery fault hook. *)
 
+val set_tracer : t -> Amoeba_trace.Trace.ctx option -> unit
+(** Install (or with [None] remove) the tracer.  With a tracer installed,
+    every [trans] opens a root span ([rpc], trace id derived from the
+    request xid) with [net.send]/[net.recv]/[net.timeout] children and a
+    [net.fault] event when the fault hook intervenes.  Services read the
+    tracer via {!tracer} to nest their own spans inside the transaction.
+    With [None] the hot path is the exact untraced code. *)
+
+val tracer : t -> Amoeba_trace.Trace.ctx option
+
 val trans : t -> model:Net_model.t -> Message.t -> Message.t
 (** One RPC transaction under the given wire-cost model. A request to an
     unbound port, or one whose request or reply the fault hook loses,

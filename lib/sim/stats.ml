@@ -3,7 +3,13 @@
 module Rng = struct
   type t = { mutable state : int }
 
-  let create () = { state = 0x9E3779B9 }
+  let default_seed = 0x9E3779B9
+
+  let create ?(seed = default_seed) () =
+    (* xorshift has a fixed point at 0; land max_int keeps the state in
+       the positive range [next] expects *)
+    let seed = seed land max_int in
+    { state = (if seed = 0 then default_seed else seed) }
 
   let next t bound =
     let x = t.state in
@@ -12,6 +18,94 @@ module Rng = struct
     let x = x lxor (x lsl 17) in
     t.state <- x land max_int;
     t.state mod bound
+end
+
+(* Fixed-bucket log2 histograms: exact bucket counts (no sampling), cheap
+   to merge, and integer-only on the record path so a hot loop can record
+   without boxing a float.  Bucket 0 holds values <= 0; bucket k holds
+   [2^(k-1), 2^k).  Designed for microsecond latencies: 62 buckets cover
+   the whole positive int range. *)
+module Hist = struct
+  let bucket_count = 63
+
+  type t = {
+    counts : int array;
+    mutable h_count : int;
+    mutable h_sum : int;
+    mutable h_min : int;
+    mutable h_max : int;
+  }
+
+  let create () =
+    { counts = Array.make bucket_count 0; h_count = 0; h_sum = 0; h_min = max_int; h_max = min_int }
+
+  let bucket_of v =
+    if v <= 0 then 0
+    else begin
+      let k = ref 0 in
+      while v lsr !k <> 0 do
+        Stdlib.incr k
+      done;
+      min !k (bucket_count - 1)
+    end
+
+  let record t v =
+    let b = t.counts.(bucket_of v) in
+    t.counts.(bucket_of v) <- b + 1;
+    t.h_count <- t.h_count + 1;
+    t.h_sum <- t.h_sum + v;
+    if v < t.h_min then t.h_min <- v;
+    if v > t.h_max then t.h_max <- v
+
+  let count t = t.h_count
+  let sum t = t.h_sum
+  let min_value t = if t.h_count = 0 then 0 else t.h_min
+  let max_value t = if t.h_count = 0 then 0 else t.h_max
+  let mean t = if t.h_count = 0 then 0. else float_of_int t.h_sum /. float_of_int t.h_count
+
+  let merge ~into src =
+    Array.iteri (fun i n -> into.counts.(i) <- into.counts.(i) + n) src.counts;
+    into.h_count <- into.h_count + src.h_count;
+    into.h_sum <- into.h_sum + src.h_sum;
+    if src.h_count > 0 then begin
+      if src.h_min < into.h_min then into.h_min <- src.h_min;
+      if src.h_max > into.h_max then into.h_max <- src.h_max
+    end
+
+  (* Nearest-rank over the buckets, mirroring [percentile]'s convention on
+     the reservoir: 0-based rank q*(n-1).  The answer is the upper bound
+     of the bucket holding that rank, clamped to the observed [min, max] —
+     exact for the extremes, within a factor of two in between. *)
+  let percentile t q =
+    if t.h_count = 0 then 0
+    else begin
+      let q = Float.max 0. (Float.min 1. q) in
+      let rank = int_of_float (q *. float_of_int (t.h_count - 1)) in
+      let bucket = ref 0 in
+      let seen = ref 0 in
+      (try
+         for i = 0 to bucket_count - 1 do
+           seen := !seen + t.counts.(i);
+           if !seen > rank then begin
+             bucket := i;
+             raise Exit
+           end
+         done
+       with Exit -> ());
+      let upper = if !bucket = 0 then 0 else (1 lsl !bucket) - 1 in
+      Stdlib.max t.h_min (Stdlib.min upper t.h_max)
+    end
+
+  let buckets t =
+    let out = ref [] in
+    for i = bucket_count - 1 downto 0 do
+      if t.counts.(i) > 0 then begin
+        let lo = if i = 0 then min_int else 1 lsl (i - 1) in
+        let hi = if i = 0 then 0 else (1 lsl i) - 1 in
+        out := (lo, hi, t.counts.(i)) :: !out
+      end
+    done;
+    !out
 end
 
 type series = {
@@ -27,6 +121,7 @@ type t = {
   label : string;
   counts : (string, int ref) Hashtbl.t;
   series_table : (string, series) Hashtbl.t;
+  hist_table : (string, Hist.t) Hashtbl.t;
   reservoir_rng : Rng.t;
 }
 
@@ -40,12 +135,13 @@ type summary = {
 
 let reservoir_cap = 65_536
 
-let create label =
+let create ?seed label =
   {
     label;
     counts = Hashtbl.create 16;
     series_table = Hashtbl.create 16;
-    reservoir_rng = Rng.create ();
+    hist_table = Hashtbl.create 16;
+    reservoir_rng = Rng.create ?seed ();
   }
 
 let name t = t.label
@@ -128,9 +224,24 @@ let percentile t key q =
     let rank = int_of_float (q *. float_of_int (s.sample_count - 1)) in
     sorted.(rank)
 
+let hist t key =
+  match Hashtbl.find_opt t.hist_table key with
+  | Some h -> h
+  | None ->
+    let h = Hist.create () in
+    Hashtbl.add t.hist_table key h;
+    h
+
+let record t key v = Hist.record (hist t key) v
+
+let hists t =
+  Hashtbl.fold (fun key h acc -> (key, h) :: acc) t.hist_table []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
 let reset t =
   Hashtbl.reset t.counts;
-  Hashtbl.reset t.series_table
+  Hashtbl.reset t.series_table;
+  Hashtbl.reset t.hist_table
 
 let counters t =
   Hashtbl.fold (fun key cell acc -> (key, !cell) :: acc) t.counts []

@@ -1,0 +1,142 @@
+(* Time attribution: charge every simulated microsecond of a trace to
+   exactly one layer.
+
+   The sweep walks the elementary segments between span boundaries and
+   charges each segment to the deepest span covering it (ties broken by
+   the later-begun span).  Only segments inside the union of the trace's
+   root intervals count, which keeps the books balanced in two awkward
+   cases: work replayed under [Clock.unobserved] (its spans can end after
+   the enclosing span's rewound end) and branches run under
+   [Clock.parallel] (sibling spans overlap in simulated time).  With that
+   clipping, the per-layer sums partition the end-to-end duration exactly:
+   total = net + cpu + cache + disk + alloc + other. *)
+
+type totals = {
+  total_us : int;
+  net_us : int;
+  cpu_us : int;
+  cache_us : int;
+  disk_us : int;
+  alloc_us : int;
+  other_us : int; (* Server/Client self-time not claimed by a deeper span *)
+}
+
+let zero =
+  { total_us = 0; net_us = 0; cpu_us = 0; cache_us = 0; disk_us = 0; alloc_us = 0; other_us = 0 }
+
+let add a b =
+  {
+    total_us = a.total_us + b.total_us;
+    net_us = a.net_us + b.net_us;
+    cpu_us = a.cpu_us + b.cpu_us;
+    cache_us = a.cache_us + b.cache_us;
+    disk_us = a.disk_us + b.disk_us;
+    alloc_us = a.alloc_us + b.alloc_us;
+    other_us = a.other_us + b.other_us;
+  }
+
+let charge t layer us =
+  match (layer : Sink.layer) with
+  | Sink.Net -> { t with total_us = t.total_us + us; net_us = t.net_us + us }
+  | Sink.Cpu -> { t with total_us = t.total_us + us; cpu_us = t.cpu_us + us }
+  | Sink.Cache -> { t with total_us = t.total_us + us; cache_us = t.cache_us + us }
+  | Sink.Disk -> { t with total_us = t.total_us + us; disk_us = t.disk_us + us }
+  | Sink.Alloc -> { t with total_us = t.total_us + us; alloc_us = t.alloc_us + us }
+  | Sink.Server | Sink.Client ->
+    { t with total_us = t.total_us + us; other_us = t.other_us + us }
+
+(* Preserves first-appearance order so reports are deterministic. *)
+let by_trace spans =
+  let groups =
+    List.fold_left
+      (fun acc (s : Sink.span) ->
+        match List.assoc_opt s.Sink.trace_id acc with
+        | Some bucket ->
+          bucket := s :: !bucket;
+          acc
+        | None -> (s.Sink.trace_id, ref [ s ]) :: acc)
+      [] spans
+  in
+  List.rev_map (fun (id, bucket) -> (id, List.rev !bucket)) groups
+
+let root_duration_us spans =
+  List.fold_left
+    (fun acc (s : Sink.span) ->
+      if s.Sink.parent_id = 0 then acc + (s.Sink.end_us - s.Sink.begin_us) else acc)
+    0 spans
+
+(* The op class of a trace: the name of its earliest server-side dispatch
+   span ("serve.read", ...), falling back to the first root's name. *)
+let op_class spans =
+  let best =
+    List.fold_left
+      (fun acc (s : Sink.span) ->
+        match (s.Sink.layer : Sink.layer) with
+        | Sink.Server -> (
+          match acc with
+          | Some (b, _) when b <= s.Sink.begin_us -> acc
+          | _ -> Some (s.Sink.begin_us, s.Sink.name))
+        | _ -> acc)
+      None spans
+  in
+  match best with
+  | Some (_, name) -> name
+  | None -> (
+    match List.find_opt (fun (s : Sink.span) -> s.Sink.parent_id = 0) spans with
+    | Some root -> root.Sink.name
+    | None -> "?")
+
+let sweep spans =
+  let roots = List.filter (fun (s : Sink.span) -> s.Sink.parent_id = 0) spans in
+  let bounds =
+    List.sort_uniq Int.compare
+      (List.concat_map (fun (s : Sink.span) -> [ s.Sink.begin_us; s.Sink.end_us ]) spans)
+  in
+  let in_root a b =
+    List.exists (fun (r : Sink.span) -> r.Sink.begin_us <= a && b <= r.Sink.end_us) roots
+  in
+  let winner a b =
+    List.fold_left
+      (fun acc (s : Sink.span) ->
+        if s.Sink.begin_us <= a && b <= s.Sink.end_us && s.Sink.end_us > s.Sink.begin_us then
+          match acc with
+          | Some (w : Sink.span)
+            when w.Sink.depth > s.Sink.depth
+                 || (w.Sink.depth = s.Sink.depth && w.Sink.span_id > s.Sink.span_id) ->
+            acc
+          | _ -> Some s
+        else acc)
+      None spans
+  in
+  let rec go acc = function
+    | a :: (b :: _ as rest) ->
+      let acc =
+        if b > a && in_root a b then
+          match winner a b with
+          | Some s -> charge acc s.Sink.layer (b - a)
+          | None -> acc
+        else acc
+      in
+      go acc rest
+    | _ -> acc
+  in
+  go zero bounds
+
+let of_spans spans =
+  List.fold_left (fun acc (_, trace) -> add acc (sweep trace)) zero (by_trace spans)
+
+let by_class spans =
+  List.fold_left
+    (fun acc (_, trace) ->
+      let cls = op_class trace in
+      let t = sweep trace in
+      match List.assoc_opt cls acc with
+      | Some cell ->
+        let count, sum = !cell in
+        cell := (count + 1, add sum t);
+        acc
+      | None -> acc @ [ (cls, ref (1, t)) ])
+    [] (by_trace spans)
+  |> List.map (fun (cls, cell) ->
+         let count, sum = !cell in
+         (cls, count, sum))

@@ -1,0 +1,41 @@
+(** Time attribution over recorded spans.
+
+    Every simulated microsecond inside a trace's root interval(s) is
+    charged to exactly one layer — the deepest span covering it — so the
+    per-layer sums partition the end-to-end duration with no residue.
+    Time the root covers but no deeper span claims lands in [other_us]
+    (server/client self-time). *)
+
+type totals = {
+  total_us : int;
+  net_us : int;
+  cpu_us : int;
+  cache_us : int;
+  disk_us : int;
+  alloc_us : int;
+  other_us : int;
+}
+
+val zero : totals
+val add : totals -> totals -> totals
+
+val sweep : Sink.span list -> totals
+(** Attribute one trace's spans.  [total_us] equals the length of the
+    union of root intervals; for sequential roots that is the sum of root
+    durations (see {!root_duration_us}). *)
+
+val of_spans : Sink.span list -> totals
+(** Group by trace id, sweep each trace, and sum. *)
+
+val by_trace : Sink.span list -> (int * Sink.span list) list
+(** Group spans by trace id, first-appearance order preserved. *)
+
+val by_class : Sink.span list -> (string * int * totals) list
+(** Per op class: (class, number of traces, summed totals). *)
+
+val op_class : Sink.span list -> string
+(** The op class of one trace: the name of its earliest [Server]-layer
+    span (e.g. ["serve.read"]), else the first root's name. *)
+
+val root_duration_us : Sink.span list -> int
+(** Sum of root-span durations in the list. *)

@@ -1,0 +1,240 @@
+(* Span records and the ring-buffer collector.
+
+   A span is a closed interval of simulated time attributed to one layer
+   of the stack; zero-length spans double as point events.  The sink is a
+   fixed-capacity ring: when it wraps, the oldest spans are discarded and
+   counted in [dropped], so a long traced run degrades gracefully instead
+   of growing without bound.
+
+   The JSONL rendering is part of the determinism contract: fields are
+   emitted in a fixed order with no whitespace, so two identical runs
+   produce byte-identical dumps. *)
+
+type layer = Net | Server | Cpu | Cache | Disk | Alloc | Client
+
+type value = I of int | S of string
+
+type span = {
+  trace_id : int;
+  span_id : int;
+  parent_id : int; (* 0 = root of its trace *)
+  depth : int;
+  layer : layer;
+  name : string;
+  begin_us : int;
+  end_us : int;
+  attrs : (string * value) list;
+}
+
+type t = {
+  ring : span option array;
+  mutable next : int; (* index of the next write *)
+  mutable stored : int; (* live spans, <= capacity *)
+  mutable dropped : int;
+}
+
+let create ?(capacity = 65_536) () =
+  if capacity <= 0 then invalid_arg "Sink.create: capacity must be positive";
+  { ring = Array.make capacity None; next = 0; stored = 0; dropped = 0 }
+
+let capacity t = Array.length t.ring
+let length t = t.stored
+let dropped t = t.dropped
+
+let emit t span =
+  let cap = Array.length t.ring in
+  if t.stored = cap then t.dropped <- t.dropped + 1
+  else t.stored <- t.stored + 1;
+  t.ring.(t.next) <- Some span;
+  t.next <- (t.next + 1) mod cap
+
+let clear t =
+  Array.fill t.ring 0 (Array.length t.ring) None;
+  t.next <- 0;
+  t.stored <- 0;
+  t.dropped <- 0
+
+(* Oldest-first, which for a non-wrapped ring is emission order. *)
+let spans t =
+  let cap = Array.length t.ring in
+  let first = (t.next - t.stored + cap) mod cap in
+  List.init t.stored (fun i ->
+      match t.ring.((first + i) mod cap) with
+      | Some s -> s
+      | None -> assert false)
+
+let iter t f = List.iter f (spans t)
+
+let layer_name = function
+  | Net -> "net"
+  | Server -> "server"
+  | Cpu -> "cpu"
+  | Cache -> "cache"
+  | Disk -> "disk"
+  | Alloc -> "alloc"
+  | Client -> "client"
+
+let layer_of_name = function
+  | "net" -> Some Net
+  | "server" -> Some Server
+  | "cpu" -> Some Cpu
+  | "cache" -> Some Cache
+  | "disk" -> Some Disk
+  | "alloc" -> Some Alloc
+  | "client" -> Some Client
+  | _ -> None
+
+(* ---- JSONL ---- *)
+
+let add_json_string buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let line_of_span s =
+  let buf = Buffer.create 160 in
+  Buffer.add_string buf "{\"t\":";
+  Buffer.add_string buf (string_of_int s.trace_id);
+  Buffer.add_string buf ",\"s\":";
+  Buffer.add_string buf (string_of_int s.span_id);
+  Buffer.add_string buf ",\"p\":";
+  Buffer.add_string buf (string_of_int s.parent_id);
+  Buffer.add_string buf ",\"d\":";
+  Buffer.add_string buf (string_of_int s.depth);
+  Buffer.add_string buf ",\"l\":";
+  add_json_string buf (layer_name s.layer);
+  Buffer.add_string buf ",\"n\":";
+  add_json_string buf s.name;
+  Buffer.add_string buf ",\"b\":";
+  Buffer.add_string buf (string_of_int s.begin_us);
+  Buffer.add_string buf ",\"e\":";
+  Buffer.add_string buf (string_of_int s.end_us);
+  Buffer.add_string buf ",\"a\":{";
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Buffer.add_char buf ',';
+      add_json_string buf k;
+      Buffer.add_char buf ':';
+      match v with
+      | I n -> Buffer.add_string buf (string_of_int n)
+      | S str -> add_json_string buf str)
+    s.attrs;
+  Buffer.add_string buf "}}";
+  Buffer.contents buf
+
+let to_jsonl t =
+  let buf = Buffer.create 4096 in
+  iter t (fun s ->
+      Buffer.add_string buf (line_of_span s);
+      Buffer.add_char buf '\n');
+  Buffer.contents buf
+
+(* Minimal parser for the subset of JSON [line_of_span] emits.  Tolerates
+   nothing fancier — it exists so bullet_trace can reload its own dumps. *)
+
+exception Parse of string
+
+let span_of_line line =
+  let n = String.length line in
+  let pos = ref 0 in
+  let fail msg = raise (Parse (Printf.sprintf "%s at byte %d" msg !pos)) in
+  let peek () = if !pos < n then line.[!pos] else fail "unexpected end" in
+  let next () =
+    let c = peek () in
+    incr pos;
+    c
+  in
+  let expect c = if next () <> c then fail (Printf.sprintf "expected %c" c) in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      match next () with
+      | '"' -> Buffer.contents buf
+      | '\\' -> (
+        match next () with
+        | '"' -> Buffer.add_char buf '"'; go ()
+        | '\\' -> Buffer.add_char buf '\\'; go ()
+        | 'n' -> Buffer.add_char buf '\n'; go ()
+        | 't' -> Buffer.add_char buf '\t'; go ()
+        | 'u' ->
+          let hex = String.sub line !pos 4 in
+          pos := !pos + 4;
+          Buffer.add_char buf (Char.chr (int_of_string ("0x" ^ hex) land 0xff));
+          go ()
+        | _ -> fail "bad escape")
+      | c -> Buffer.add_char buf c; go ()
+    in
+    go ()
+  in
+  let parse_int () =
+    let start = !pos in
+    if peek () = '-' then incr pos;
+    while !pos < n && (match line.[!pos] with '0' .. '9' -> true | _ -> false) do
+      incr pos
+    done;
+    if !pos = start then fail "expected integer";
+    int_of_string (String.sub line start (!pos - start))
+  in
+  let parse_attrs () =
+    expect '{';
+    if peek () = '}' then (incr pos; [])
+    else begin
+      let rec go acc =
+        let k = parse_string () in
+        expect ':';
+        let v = if peek () = '"' then S (parse_string ()) else I (parse_int ()) in
+        match next () with
+        | ',' -> go ((k, v) :: acc)
+        | '}' -> List.rev ((k, v) :: acc)
+        | _ -> fail "expected , or } in attrs"
+      in
+      go []
+    end
+  in
+  let field key =
+    let k = parse_string () in
+    if String.compare k key <> 0 then fail (Printf.sprintf "expected field %S" key);
+    expect ':'
+  in
+  match
+    expect '{';
+    field "t";
+    let trace_id = parse_int () in
+    expect ','; field "s";
+    let span_id = parse_int () in
+    expect ','; field "p";
+    let parent_id = parse_int () in
+    expect ','; field "d";
+    let depth = parse_int () in
+    expect ','; field "l";
+    let layer =
+      let name = parse_string () in
+      match layer_of_name name with
+      | Some l -> l
+      | None -> fail (Printf.sprintf "unknown layer %S" name)
+    in
+    expect ','; field "n";
+    let name = parse_string () in
+    expect ','; field "b";
+    let begin_us = parse_int () in
+    expect ','; field "e";
+    let end_us = parse_int () in
+    expect ','; field "a";
+    let attrs = parse_attrs () in
+    expect '}';
+    { trace_id; span_id; parent_id; depth; layer; name; begin_us; end_us; attrs }
+  with
+  | span -> Ok span
+  | exception Parse msg -> Error msg
+  | exception _ -> Error "malformed span line"

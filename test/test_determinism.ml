@@ -25,9 +25,11 @@ let dump_loss (points : E.loss_point list) =
   String.concat ";"
     (List.map
        (fun (p : E.loss_point) ->
-         Printf.sprintf "loss=%.2f ops=%d done=%d retries=%d timeouts=%d dups=%d goodput=%.6f"
+         Printf.sprintf
+           "loss=%.2f ops=%d done=%d retries=%d timeouts=%d dups=%d goodput=%.6f \
+            p50=%.6f p95=%.6f p99=%.6f"
            p.E.loss_pct p.E.loss_ops p.E.loss_completed p.E.loss_retries p.E.loss_timeouts
-           p.E.duplicate_executions p.E.goodput_kbs)
+           p.E.duplicate_executions p.E.goodput_kbs p.E.loss_p50_ms p.E.loss_p95_ms p.E.loss_p99_ms)
        points)
 
 let dump_crash (c : E.crash_report) =

@@ -41,6 +41,25 @@ let test_carrier_allowlist () =
     "bin exempt" []
     (rules_of (Lint.lint_source ~path:"bin/bulletd.ml" source))
 
+(* ---- trace-no-wallclock: the trace/sim core may not touch the OS ---- *)
+
+let test_trace_no_wallclock () =
+  let rules_at path source = rules_of (Lint.lint_source ~path source) in
+  Alcotest.(check (list string))
+    "any Unix call in lib/trace"
+    [ "trace-no-wallclock" ]
+    (rules_at "lib/trace/sink.ml" "let now () = Unix.getpid ()");
+  Alcotest.(check (list string))
+    "Sys.time in lib/sim fires both clock rules"
+    [ "no-wallclock"; "trace-no-wallclock" ]
+    (List.sort String.compare (rules_at "lib/sim/clock.ml" "let t = Sys.time ()"));
+  Alcotest.(check (list string))
+    "other lib code is only held to no-wallclock" []
+    (rules_at "lib/bullet/server.ml" "let pid = Unix.getpid ()");
+  Alcotest.(check (list string))
+    "simulated clock is the sanctioned source" []
+    (rules_at "lib/trace/trace.ml" "let now clock = Amoeba_sim.Clock.now clock")
+
 (* ---- rule 2: unstable hashes and polymorphic comparison ---- *)
 
 let test_no_unstable_hash () =
@@ -109,6 +128,7 @@ let test_rule_listing () =
       "no-marshal";
       "no-unstable-hash";
       "no-hashtbl-iteration";
+      "trace-no-wallclock";
       "mli-coverage";
       "wire-symmetry";
       "parse-error";
@@ -127,6 +147,8 @@ let suite =
       Alcotest.test_case "carrier allowlist (tcp.ml, bin/)" `Quick test_carrier_allowlist;
       Alcotest.test_case "no-unstable-hash" `Quick test_no_unstable_hash;
       Alcotest.test_case "no-hashtbl-iteration needs a clock" `Quick test_hashtbl_iteration;
+      Alcotest.test_case "trace-no-wallclock scopes to lib/trace + lib/sim" `Quick
+        test_trace_no_wallclock;
       Alcotest.test_case "wire-symmetry" `Quick test_wire_symmetry;
       Alcotest.test_case "suppression comments" `Quick test_suppression;
       Alcotest.test_case "parse errors are diagnostics" `Quick test_parse_error;

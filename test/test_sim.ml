@@ -183,6 +183,91 @@ let test_stats_reset () =
   check_int "counter gone" 0 (Stats.count s "a");
   check_int "series gone" 0 (Stats.summary s "x").Stats.count
 
+(* Reservoir replacement is driven by a private xorshift; with the same
+   seed, two collections fed the same over-capacity series must retain
+   the same samples and so report the same percentiles. *)
+let test_stats_seed_determinism () =
+  let feed seed =
+    let s = Stats.create ~seed "test" in
+    for i = 1 to 80_000 do
+      Stats.observe s "lat" (float_of_int ((i * 2_654_435_761) land 0xFFFFF))
+    done;
+    s
+  in
+  let a = feed 42 and b = feed 42 in
+  List.iter
+    (fun q ->
+      Alcotest.(check (float 1e-9))
+        (Printf.sprintf "q=%.2f" q)
+        (Stats.percentile a "lat" q) (Stats.percentile b "lat" q))
+    [ 0.0; 0.5; 0.95; 0.99; 1.0 ];
+  (* and a different seed is allowed to retain a different reservoir *)
+  let c = feed 7 in
+  check_bool "different seed may differ" true
+    (List.exists
+       (fun q -> Stats.percentile a "lat" q <> Stats.percentile c "lat" q)
+       [ 0.5; 0.95; 0.99 ])
+
+let test_percentile_edges () =
+  let s = Stats.create "test" in
+  Alcotest.(check (float 1e-9)) "empty" 0.0 (Stats.percentile s "lat" 0.5);
+  Stats.observe s "lat" 7.0;
+  Alcotest.(check (float 1e-9)) "single q=0" 7.0 (Stats.percentile s "lat" 0.0);
+  Alcotest.(check (float 1e-9)) "single q=1" 7.0 (Stats.percentile s "lat" 1.0);
+  List.iter (fun v -> Stats.observe s "lat" v) [ 1.0; 2.0; 3.0; 4.0 ];
+  Alcotest.(check (float 1e-9)) "q=0 is the min" 1.0 (Stats.percentile s "lat" 0.0);
+  Alcotest.(check (float 1e-9)) "q=1 is the max" 7.0 (Stats.percentile s "lat" 1.0)
+
+(* ---- the log2 histogram behind the latency columns ---- *)
+
+let test_hist_basics () =
+  let h = Stats.Hist.create () in
+  check_int "empty count" 0 (Stats.Hist.count h);
+  check_int "empty percentile" 0 (Stats.Hist.percentile h 0.5);
+  List.iter (fun v -> Stats.Hist.record h v) [ 3; 5; 100; 1000; 0 ];
+  check_int "count" 5 (Stats.Hist.count h);
+  check_int "sum" 1108 (Stats.Hist.sum h);
+  check_int "min" 0 (Stats.Hist.min_value h);
+  check_int "max" 1000 (Stats.Hist.max_value h);
+  Alcotest.(check (float 1e-9)) "mean" 221.6 (Stats.Hist.mean h);
+  check_int "q=0 exact min" 0 (Stats.Hist.percentile h 0.0);
+  check_int "q=1 exact max" 1000 (Stats.Hist.percentile h 1.0);
+  (* mid-quantiles land on a bucket upper bound: the true median 5 sits
+     in [4, 8), so the reported p50 is 7 — within 2x of the truth *)
+  check_int "p50 is its bucket's upper bound" 7 (Stats.Hist.percentile h 0.5)
+
+let test_hist_merge_exact () =
+  let all = Stats.Hist.create () in
+  let parts = [ Stats.Hist.create (); Stats.Hist.create () ] in
+  for i = 1 to 1_000 do
+    let v = (i * 37) land 0xFFFF in
+    Stats.Hist.record all v;
+    Stats.Hist.record (List.nth parts (i land 1)) v
+  done;
+  let merged = Stats.Hist.create () in
+  List.iter (fun p -> Stats.Hist.merge ~into:merged p) parts;
+  check_int "count" (Stats.Hist.count all) (Stats.Hist.count merged);
+  check_int "sum" (Stats.Hist.sum all) (Stats.Hist.sum merged);
+  check_int "min" (Stats.Hist.min_value all) (Stats.Hist.min_value merged);
+  check_int "max" (Stats.Hist.max_value all) (Stats.Hist.max_value merged);
+  check_bool "buckets identical" true (Stats.Hist.buckets all = Stats.Hist.buckets merged);
+  List.iter
+    (fun q ->
+      check_int
+        (Printf.sprintf "q=%.2f" q)
+        (Stats.Hist.percentile all q) (Stats.Hist.percentile merged q))
+    [ 0.0; 0.5; 0.95; 0.99; 1.0 ]
+
+let test_hist_via_stats () =
+  let s = Stats.create "test" in
+  Stats.record s "trans_us" 10;
+  Stats.record s "trans_us" 20;
+  let h = Stats.hist s "trans_us" in
+  check_int "shared handle" 2 (Stats.Hist.count h);
+  check_bool "listed" true (List.map fst (Stats.hists s) = [ "trans_us" ]);
+  Stats.reset s;
+  check_int "reset clears" 0 (Stats.Hist.count (Stats.hist s "trans_us"))
+
 let suite =
   ( "sim",
     [
@@ -213,4 +298,9 @@ let suite =
       Alcotest.test_case "stats summary" `Quick test_stats_summary;
       Alcotest.test_case "stats empty summary" `Quick test_stats_empty_summary;
       Alcotest.test_case "stats reset" `Quick test_stats_reset;
+      Alcotest.test_case "stats reservoir seed determinism" `Quick test_stats_seed_determinism;
+      Alcotest.test_case "stats percentile edges" `Quick test_percentile_edges;
+      Alcotest.test_case "hist record and percentile bounds" `Quick test_hist_basics;
+      Alcotest.test_case "hist merge is exact" `Quick test_hist_merge_exact;
+      Alcotest.test_case "hist via stats table" `Quick test_hist_via_stats;
     ] )

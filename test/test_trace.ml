@@ -1,0 +1,253 @@
+(* Tests for the tracing subsystem (Amoeba_trace): span mechanics, trace
+   id interning, JSONL round-trips, the ring buffer, the attribution
+   sweep's exactness on a live rig, and the determinism and zero-cost
+   guarantees the observability layer is sold on. *)
+
+open Helpers
+module Sink = Amoeba_trace.Sink
+module Trace = Amoeba_trace.Trace
+module Attrib = Amoeba_trace.Attrib
+module Clock = Amoeba_sim.Clock
+module Client = Bullet_core.Client
+module Server = Bullet_core.Server
+
+let names spans = List.map (fun (s : Sink.span) -> s.Sink.name) spans
+
+(* ---- span mechanics ---- *)
+
+let test_nesting () =
+  let clock = Clock.create () in
+  let ctx = Trace.create ~clock () in
+  Trace.begin_root ctx ~xid:7 ~layer:Sink.Net ~name:"rpc";
+  Clock.advance clock 10;
+  Trace.begin_span ctx ~layer:Sink.Disk ~name:"disk.read";
+  Clock.advance clock 5;
+  Trace.end_span ctx;
+  Clock.advance clock 3;
+  Trace.end_span ctx;
+  match Sink.spans (Trace.sink ctx) with
+  | [ child; root ] ->
+    (* children close (and emit) before their parents *)
+    check_string "child name" "disk.read" child.Sink.name;
+    check_int "child depth" 1 child.Sink.depth;
+    check_int "child parent" root.Sink.span_id child.Sink.parent_id;
+    check_int "child begin" 10 child.Sink.begin_us;
+    check_int "child end" 15 child.Sink.end_us;
+    check_string "root name" "rpc" root.Sink.name;
+    check_int "root depth" 0 root.Sink.depth;
+    check_int "root parent" 0 root.Sink.parent_id;
+    check_int "root end" 18 root.Sink.end_us;
+    check_int "same trace" child.Sink.trace_id root.Sink.trace_id
+  | spans -> Alcotest.failf "expected 2 spans, got %d" (List.length spans)
+
+let test_end_without_begin () =
+  let ctx = Trace.create ~clock:(Clock.create ()) () in
+  check_int "stack empty" 0 (Trace.open_spans ctx);
+  Alcotest.check_raises "end on empty stack"
+    (Invalid_argument "Trace.end_span: no open span") (fun () -> Trace.end_span ctx)
+
+let test_in_span_exception_safe () =
+  let ctx = Trace.create ~clock:(Clock.create ()) () in
+  (try Trace.in_span ctx ~layer:Sink.Server ~name:"boom" (fun () -> raise Exit)
+   with Exit -> ());
+  check_int "stack unwound" 0 (Trace.open_spans ctx);
+  match Sink.spans (Trace.sink ctx) with
+  | [ s ] ->
+    check_string "span closed" "boom" s.Sink.name;
+    check_bool "raised attr" true (List.mem_assoc "raised" s.Sink.attrs)
+  | _ -> Alcotest.fail "expected exactly one span"
+
+(* ---- trace id interning ---- *)
+
+let test_xid_interning () =
+  let ctx = Trace.create ~clock:(Clock.create ()) () in
+  let root xid =
+    Trace.begin_root ctx ~xid ~layer:Sink.Net ~name:"rpc";
+    Trace.end_span ctx
+  in
+  (* first-seen order mints 1, 2, ...; a retried xid rejoins its trace;
+     xid-less roots count down from -1 *)
+  List.iter root [ 99; 42; 99; 0; 0 ];
+  Alcotest.(check (list int))
+    "interned ids" [ 1; 2; 1; -1; -2 ]
+    (List.map (fun (s : Sink.span) -> s.Sink.trace_id) (Sink.spans (Trace.sink ctx)))
+
+let test_nested_root_joins_enclosing_trace () =
+  let ctx = Trace.create ~clock:(Clock.create ()) () in
+  Trace.begin_root ctx ~xid:5 ~layer:Sink.Net ~name:"rpc";
+  (* a nested RPC (e.g. server calling another server) must not start a
+     fresh trace: the tree stays connected *)
+  Trace.begin_root ctx ~xid:6 ~layer:Sink.Net ~name:"rpc";
+  Trace.end_span ctx;
+  Trace.end_span ctx;
+  match Sink.spans (Trace.sink ctx) with
+  | [ inner; outer ] ->
+    check_int "joined" outer.Sink.trace_id inner.Sink.trace_id;
+    check_int "child of outer" outer.Sink.span_id inner.Sink.parent_id
+  | _ -> Alcotest.fail "expected two spans"
+
+(* ---- ring buffer ---- *)
+
+let test_ring_overflow () =
+  let ctx = Trace.create ~capacity:4 ~clock:(Clock.create ()) () in
+  for i = 1 to 6 do
+    Trace.event ctx ~layer:Sink.Net ~name:(Printf.sprintf "e%d" i) []
+  done;
+  let sink = Trace.sink ctx in
+  check_int "capacity" 4 (Sink.capacity sink);
+  check_int "length" 4 (Sink.length sink);
+  check_int "dropped" 2 (Sink.dropped sink);
+  Alcotest.(check (list string)) "oldest evicted first" [ "e3"; "e4"; "e5"; "e6" ]
+    (names (Sink.spans sink))
+
+(* ---- JSONL round-trip ---- *)
+
+let test_jsonl_roundtrip () =
+  let span =
+    {
+      Sink.trace_id = -3;
+      span_id = 17;
+      parent_id = 4;
+      depth = 2;
+      layer = Sink.Disk;
+      name = "disk.xfer";
+      begin_us = 1_234;
+      end_us = 5_678;
+      attrs =
+        [ ("bytes", Sink.I 4096); ("drive", Sink.S "bullet-1"); ("odd", Sink.S "a\"b\\c\nd") ];
+    }
+  in
+  match Sink.span_of_line (Sink.line_of_span span) with
+  | Ok parsed -> check_bool "identical" true (parsed = span)
+  | Error e -> Alcotest.failf "parse failed: %s" e
+
+let test_jsonl_rejects_garbage () =
+  List.iter
+    (fun line ->
+      match Sink.span_of_line line with
+      | Ok _ -> Alcotest.failf "accepted %S" line
+      | Error _ -> ())
+    [ ""; "{"; "nonsense"; "{\"t\":1}" ]
+
+(* ---- the live rig: one READ down to sector transfers ---- *)
+
+(* A bullet rig wearing a tracer: the 512 KB test cache means a second
+   create evicts the first file, so the traced READ genuinely hits disk. *)
+let traced_scenario () =
+  let b = make_bullet () in
+  let cap = Client.create b.client ~p_factor:2 (payload (256 * 1024)) in
+  let filler = Client.create b.client ~p_factor:2 (payload (512 * 1024)) in
+  ignore (Client.read_now b.client filler);
+  let ctx = Trace.create ~clock:b.rig.clock () in
+  Amoeba_rpc.Transport.set_tracer b.transport (Some ctx);
+  Server.set_tracer b.server (Some ctx);
+  ignore (Client.read_now b.client cap) (* cold: cache miss, disk *);
+  ignore (Client.read_now b.client cap) (* hot: cache hit, no disk *);
+  let cap2 = Client.create b.client ~p_factor:2 (payload 4096) in
+  Client.delete b.client cap2;
+  Amoeba_rpc.Transport.set_tracer b.transport None;
+  Server.set_tracer b.server None;
+  Sink.spans (Trace.sink ctx)
+
+let test_cold_read_reaches_sectors () =
+  let spans = traced_scenario () in
+  match Attrib.by_trace spans with
+  | (_, cold) :: _ ->
+    check_string "cold read class" "serve.read" (Attrib.op_class cold);
+    List.iter
+      (fun name -> check_bool (name ^ " present") true (List.mem name (names cold)))
+      [ "rpc"; "net.send"; "serve.read"; "cpu.request"; "cache.miss"; "mirror.read";
+        "disk.read"; "disk.seek"; "disk.rotate"; "disk.xfer"; "net.recv" ]
+  | [] -> Alcotest.fail "no traces recorded"
+
+let test_attribution_exact () =
+  let spans = traced_scenario () in
+  check_bool "several traces" true (List.length (Attrib.by_trace spans) >= 4);
+  List.iter
+    (fun (tid, trace) ->
+      let t = Attrib.sweep trace in
+      let parts =
+        t.Attrib.net_us + t.Attrib.cpu_us + t.Attrib.cache_us + t.Attrib.disk_us
+        + t.Attrib.alloc_us + t.Attrib.other_us
+      in
+      check_int (Printf.sprintf "trace %d: layers partition the total" tid) t.Attrib.total_us
+        parts;
+      check_int
+        (Printf.sprintf "trace %d: total is the end-to-end duration" tid)
+        (Attrib.root_duration_us trace) t.Attrib.total_us)
+    (Attrib.by_trace spans)
+
+let test_cached_read_is_net_plus_cpu () =
+  let spans = traced_scenario () in
+  match Attrib.by_trace spans with
+  | _ :: (_, hot) :: _ ->
+    check_string "hot read class" "serve.read" (Attrib.op_class hot);
+    check_bool "cache hit" true (List.mem "cache.hit" (names hot));
+    let t = Attrib.sweep hot in
+    check_int "no disk time" 0 t.Attrib.disk_us;
+    check_int "no unattributed time" 0 t.Attrib.other_us;
+    check_int "net + cpu is everything" t.Attrib.total_us (t.Attrib.net_us + t.Attrib.cpu_us)
+  | _ -> Alcotest.fail "expected at least two traces"
+
+(* ---- determinism: two fresh rigs, byte-identical dumps ---- *)
+
+let test_double_run_byte_identical () =
+  let dump () =
+    String.concat "\n" (List.map Sink.line_of_span (traced_scenario ()))
+  in
+  check_string "same scenario, same bytes" (dump ()) (dump ())
+
+(* ---- zero-cost when off ---- *)
+
+(* The discipline: instrumented modules match on [tracer] before building
+   any name, attr or closure, so a rig whose tracer was removed allocates
+   exactly what a never-traced rig does.  Allocation in this runtime is
+   deterministic; any drift here means a hidden tracer-path allocation. *)
+let test_tracer_off_allocates_nothing_extra () =
+  let hot_read_words b cap =
+    ignore (Client.read_now b.client cap) (* warm the cache and the path *);
+    let before = Gc.minor_words () in
+    for _ = 1 to 32 do
+      ignore (Client.read_now b.client cap)
+    done;
+    Gc.minor_words () -. before
+  in
+  let baseline =
+    let b = make_bullet () in
+    let cap = Client.create b.client ~p_factor:2 (payload 4096) in
+    hot_read_words b cap
+  in
+  let after_tracing =
+    let b = make_bullet () in
+    let cap = Client.create b.client ~p_factor:2 (payload 4096) in
+    let ctx = Trace.create ~clock:b.rig.clock () in
+    Amoeba_rpc.Transport.set_tracer b.transport (Some ctx);
+    Server.set_tracer b.server (Some ctx);
+    ignore (Client.read_now b.client cap);
+    Amoeba_rpc.Transport.set_tracer b.transport None;
+    Server.set_tracer b.server None;
+    hot_read_words b cap
+  in
+  Alcotest.(check (float 0.0)) "words per batch" baseline after_tracing
+
+let suite =
+  ( "trace",
+    [
+      Alcotest.test_case "span nesting and timestamps" `Quick test_nesting;
+      Alcotest.test_case "end_span without begin raises" `Quick test_end_without_begin;
+      Alcotest.test_case "in_span closes on raise" `Quick test_in_span_exception_safe;
+      Alcotest.test_case "xid interning mints stable trace ids" `Quick test_xid_interning;
+      Alcotest.test_case "nested root joins the enclosing trace" `Quick
+        test_nested_root_joins_enclosing_trace;
+      Alcotest.test_case "ring buffer overwrites oldest" `Quick test_ring_overflow;
+      Alcotest.test_case "jsonl round-trip" `Quick test_jsonl_roundtrip;
+      Alcotest.test_case "jsonl rejects garbage" `Quick test_jsonl_rejects_garbage;
+      Alcotest.test_case "cold read reaches sector transfers" `Quick
+        test_cold_read_reaches_sectors;
+      Alcotest.test_case "attribution partitions the duration exactly" `Quick
+        test_attribution_exact;
+      Alcotest.test_case "cached read is net + cpu only" `Quick test_cached_read_is_net_plus_cpu;
+      Alcotest.test_case "double run, byte-identical dump" `Quick test_double_run_byte_identical;
+      Alcotest.test_case "tracer off allocates nothing extra" `Quick
+        test_tracer_off_allocates_nothing_extra;
+    ] )
