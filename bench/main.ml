@@ -360,6 +360,65 @@ let faults () =
   Printf.printf "  pre-crash capability still valid     %12s\n"
     (if c.E.pre_crash_file_ok then "yes" else "NO")
 
+(* ---- RESYNC: online resync racing foreground reads ---- *)
+
+let resync () =
+  header "RESYNC - drive rejoin with online sectored resync (fail 2s, rejoin 4s)";
+  let r = E.resync_experiment () in
+  Printf.printf
+    "Foreground reads every 10 ms; the rejoined drive drains one %s\n\
+     batch per poll point, charged against the same disk clock:\n\n"
+    "bounded";
+  Printf.printf "  %-8s %-16s %10s %6s %9s %9s %9s\n" "window" "mirror state" "backlog"
+    "reads" "p50 ms" "p95 ms" "p99 ms";
+  List.iter
+    (fun (w : E.resync_window) ->
+      Printf.printf "  %5d ms %-16s %10d %6d %9.1f %9.1f %9.1f\n" w.E.w_start_ms w.E.w_state
+        w.E.w_remaining w.E.w_ops w.E.w_p50_ms w.E.w_p95_ms w.E.w_p99_ms)
+    r.E.rw_windows;
+  Printf.printf "\n  client reads issued                  %12d\n" r.E.rw_ops;
+  Printf.printf "  failed client reads                  %12d   (claim: 0)\n" r.E.rw_failed;
+  Printf.printf "  resync steps / sectors copied        %8d / %d\n" r.E.rw_resync_steps
+    r.E.rw_resync_sectors;
+  Printf.printf "  reads that outran the scan (repairs) %8d / %d\n" r.E.rw_fallthroughs
+    r.E.rw_read_repairs;
+  Printf.printf "  online resync, rejoin to clean       %12.1f ms\n" r.E.rw_online_resync_ms;
+  Printf.printf "  one resync batch costs at most       %12.1f ms\n" r.E.rw_step_cost_ms;
+  Printf.printf "  slowest op, both drives clean        %12.1f ms\n" r.E.rw_normal_max_ms;
+  Printf.printf "  slowest op anywhere                  %12.1f ms   (claim: << resync)\n"
+    r.E.rw_max_op_ms;
+  Printf.printf "  mirror clean at end                  %12s\n"
+    (if r.E.rw_clean_at_end then "yes" else "NO");
+  Printf.printf
+    "  (no op waits for the whole copy: the worst op pays its own I/O\n\
+    \   plus a couple of batches, vs the paper's stop-and-copy recovery)\n";
+  let w = E.wan_fault_experiment () in
+  Printf.printf "\nWAN link faults (25%% loss, then partition, then heal) on the wide line:\n";
+  Printf.printf "  wide fetches under loss, failed      %8d / %d\n" w.E.wf_wide_failed
+    w.E.wf_wide_ops;
+  Printf.printf "  wide fetches under partition, failed %8d / %d   (claim: all)\n"
+    w.E.wf_partition_failed w.E.wf_partition_ops;
+  Printf.printf "  wide fetch after heal                %12s\n"
+    (if w.E.wf_healed_ok then "ok" else "FAILED");
+  Printf.printf "  local fetches throughout, failed     %8d / %d   (claim: 0)\n"
+    w.E.wf_local_failed w.E.wf_local_ops;
+  Printf.printf "  link drops (req / reply / partition) %6d / %d / %d\n"
+    w.E.wf_link_request_drops w.E.wf_link_reply_drops w.E.wf_partition_drops;
+  Printf.printf "  retries spent riding out the faults  %12d\n" w.E.wf_retries;
+  Printf.printf "  local fetch, quiet vs faulted        %8d vs %d us   (claim: equal)\n"
+    w.E.wf_quiet_local_us w.E.wf_faulted_local_us;
+  let p = E.dir_pair_recovery () in
+  Printf.printf "\nDirectory pair: primary crash mid-stream at 1s, heal at 3s:\n";
+  Printf.printf "  directory mutations issued           %12d\n" p.E.pr_ops;
+  Printf.printf "  failed mutations                     %12d   (claim: 0)\n" p.E.pr_failed;
+  Printf.printf "  served by the survivor alone         %12d\n" p.E.pr_outage_ops;
+  Printf.printf "  replicas diverged                    %12s\n"
+    (match p.E.pr_diverged with None -> "no" | Some path -> "at " ^ path);
+  Printf.printf "  canonical dumps byte-identical       %12s\n"
+    (if p.E.pr_state_match then "yes" else "NO");
+  Printf.printf "  primary back in duplex               %12s\n"
+    (if p.E.pr_healed then "yes" else "NO")
+
 let micro () =
   header "MICRO - Bechamel microbenchmarks (real wall-clock, ns/run)";
   let open Bechamel in
@@ -455,6 +514,7 @@ let all_benches =
     ("naming", naming);
     ("geo", geo);
     ("faults", faults);
+    ("resync", resync);
     ("micro", micro);
   ]
 

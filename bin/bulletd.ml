@@ -21,7 +21,7 @@ module Port = Amoeba_cap.Port
 
 let cmd_hello = 0
 
-let run tcp_port data_dir size_mb max_files cache_mb =
+let run tcp_port data_dir size_mb max_files cache_mb fault_plan =
   if not (Sys.file_exists data_dir) then Unix.mkdir data_dir 0o755;
   let clock = Amoeba_sim.Clock.create () in
   let geometry = Amoeba_disk.Geometry.small ~sectors:(size_mb * 2048) in
@@ -99,6 +99,28 @@ let run tcp_port data_dir size_mb max_files cache_mb =
     Amoeba_disk.Image.save drive1 (Filename.concat data_dir "drive1.img");
     Amoeba_disk.Image.save drive2 (Filename.concat data_dir "drive2.img")
   in
+  (* --fault-plan: the daemon consults a deterministic injector before
+     each frame. Plan times count {e request frames}, not microseconds —
+     the injector gets a dedicated clock advanced by 1 per incoming
+     request, so "at 5 loss 0.5" means "from the 5th request on". Drive
+     events apply to the daemon's own mirror. *)
+  let fault_clock = Amoeba_sim.Clock.create () in
+  let injector =
+    match fault_plan with
+    | None -> None
+    | Some path -> (
+      let ic = open_in_bin path in
+      let text = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      match Amoeba_fault.Plan.parse text with
+      | Error e ->
+        Printf.eprintf "cannot parse fault plan %s: %s\n" path e;
+        exit 1
+      | Ok plan ->
+        Printf.printf "fault plan loaded from %s (%d events)\n%!" path
+          (List.length (Amoeba_fault.Plan.steps plan));
+        Some (Amoeba_fault.Injector.attach ~mirror ~clock:fault_clock plan))
+  in
   let requests = ref 0 in
   let hello_reply () =
     (* bullet port in the capability slot, directory port in the body *)
@@ -110,14 +132,40 @@ let run tcp_port data_dir size_mb max_files cache_mb =
            ~check:0L)
       ~body ()
   in
+  let dispatch request =
+    if request.Message.command = cmd_hello && Port.equal request.Message.port (Port.of_int64 0L)
+    then hello_reply ()
+    else if Port.equal request.Message.port (Dir.port dirs) then
+      Amoeba_dir.Dir_proto.dispatch dirs request
+    else Bullet_core.Proto.dispatch server request
+  in
   let handler request =
     incr requests;
+    let verdict =
+      match injector with
+      | None -> Amoeba_rpc.Transport.Deliver
+      | Some inj ->
+        Amoeba_sim.Clock.advance fault_clock 1;
+        Amoeba_fault.Injector.verdict inj ~link:None request
+    in
     let reply =
-      if request.Message.command = cmd_hello && Port.equal request.Message.port (Port.of_int64 0L)
-      then hello_reply ()
-      else if Port.equal request.Message.port (Dir.port dirs) then
-        Amoeba_dir.Dir_proto.dispatch dirs request
-      else Bullet_core.Proto.dispatch server request
+      match verdict with
+      | Amoeba_rpc.Transport.Drop_request ->
+        (* the request "never arrived": no execution, no reply *)
+        None
+      | Amoeba_rpc.Transport.Deliver -> Some (dispatch request)
+      | Amoeba_rpc.Transport.Drop_reply | Amoeba_rpc.Transport.Corrupt_reply ->
+        (* the server executes (side effects happen) but the client
+           never hears back; a corrupted reply fails its checksum and
+           is equally lost *)
+        let (_ : Message.t) = dispatch request in
+        None
+      | Amoeba_rpc.Transport.Duplicate_request ->
+        (* the frame arrives twice; xid dedup in the services absorbs
+           the second execution of mutations *)
+        let reply = dispatch request in
+        let (_ : Message.t) = dispatch request in
+        Some reply
     in
     if !requests mod 16 = 0 then save_state ();
     reply
@@ -155,10 +203,21 @@ let max_files =
 let cache_mb =
   Arg.(value & opt int 12 & info [ "cache-mb" ] ~docv:"MB" ~doc:"RAM file cache size.")
 
+let fault_plan =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "fault-plan" ]
+        ~docv:"FILE"
+        ~doc:
+          "Deterministic fault plan (see Amoeba_fault.Plan.parse). Plan times count request \
+           frames: \"at 5 loss 0.5\" starts dropping from the 5th request. Dropped requests \
+           and replies close the connection without answering.")
+
 let cmd =
   let doc = "the Bullet file server daemon (contiguous immutable files, mirrored drives)" in
   Cmd.v
     (Cmd.info "bulletd" ~doc)
-    Term.(const run $ tcp_port $ data_dir $ size_mb $ max_files $ cache_mb)
+    Term.(const run $ tcp_port $ data_dir $ size_mb $ max_files $ cache_mb $ fault_plan)
 
 let () = exit (Cmd.eval cmd)

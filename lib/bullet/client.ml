@@ -4,6 +4,7 @@ module Status = Amoeba_rpc.Status
 type t = {
   transport : Amoeba_rpc.Transport.t;
   model : Amoeba_rpc.Net_model.t;
+  link : Amoeba_rpc.Link.t option;
   service : Amoeba_cap.Port.t;
   attempts : int;
   backoff_us : int;
@@ -23,13 +24,14 @@ let fresh_xid () =
   incr xid_counter;
   !xid_counter
 
-let connect ?(model = Amoeba_rpc.Net_model.amoeba) ?(attempts = 1) ?(backoff_us = 50_000) transport
-    service =
+let connect ?(model = Amoeba_rpc.Net_model.amoeba) ?link ?(attempts = 1) ?(backoff_us = 50_000)
+    transport service =
   if attempts < 1 then invalid_arg "Client.connect: attempts must be at least 1";
   let stats = Amoeba_sim.Stats.create "bullet-client" in
   {
     transport;
     model;
+    link;
     service;
     attempts;
     backoff_us;
@@ -50,7 +52,7 @@ let stats t = t.stats
 let trans t request =
   let clock = Amoeba_rpc.Transport.clock t.transport in
   let rec go attempt =
-    let reply = Amoeba_rpc.Transport.trans t.transport ~model:t.model request in
+    let reply = Amoeba_rpc.Transport.trans ?link:t.link t.transport ~model:t.model request in
     if reply.Message.status <> Status.Timeout then reply
     else begin
       Amoeba_sim.Stats.incr t.stats "timeouts";

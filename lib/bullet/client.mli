@@ -18,13 +18,16 @@ type t
 
 val connect :
   ?model:Amoeba_rpc.Net_model.t ->
+  ?link:Amoeba_rpc.Link.t ->
   ?attempts:int ->
   ?backoff_us:int ->
   Amoeba_rpc.Transport.t ->
   Amoeba_cap.Port.t ->
   t
 (** A client of the Bullet service on the given port; [model] defaults to
-    {!Amoeba_rpc.Net_model.amoeba}. [attempts] (default 1, i.e. no
+    {!Amoeba_rpc.Net_model.amoeba}. [link] tags every transaction with a
+    link class for link-scoped fault plans (the federation sets it to the
+    link it derived [model] from). [attempts] (default 1, i.e. no
     retries) bounds the total number of sends per operation; after the
     [k]th timeout the stub waits [backoff_us * 2{^ k-1}] (default base
     50 ms) before resending. *)

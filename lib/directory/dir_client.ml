@@ -5,14 +5,15 @@ module Cap = Amoeba_cap.Capability
 type t = {
   transport : Amoeba_rpc.Transport.t;
   model : Amoeba_rpc.Net_model.t;
+  link : Amoeba_rpc.Link.t option;
   service : Amoeba_cap.Port.t;
 }
 
-let connect ?(model = Amoeba_rpc.Net_model.amoeba) transport service =
-  { transport; model; service }
+let connect ?(model = Amoeba_rpc.Net_model.amoeba) ?link transport service =
+  { transport; model; link; service }
 
 let checked t request =
-  let reply = Amoeba_rpc.Transport.trans t.transport ~model:t.model request in
+  let reply = Amoeba_rpc.Transport.trans ?link:t.link t.transport ~model:t.model request in
   Status.check reply.Message.status;
   reply
 

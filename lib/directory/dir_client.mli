@@ -6,7 +6,13 @@
 type t
 
 val connect :
-  ?model:Amoeba_rpc.Net_model.t -> Amoeba_rpc.Transport.t -> Amoeba_cap.Port.t -> t
+  ?model:Amoeba_rpc.Net_model.t ->
+  ?link:Amoeba_rpc.Link.t ->
+  Amoeba_rpc.Transport.t ->
+  Amoeba_cap.Port.t ->
+  t
+(** [link] tags every transaction with a link class so link-scoped fault
+    plans can target it; see {!Amoeba_rpc.Transport.trans}. *)
 
 val get_root : t -> Amoeba_cap.Capability.t
 

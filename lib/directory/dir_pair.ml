@@ -73,6 +73,42 @@ let dispatch t request =
 let serve t transport = Amoeba_rpc.Transport.register transport (port t) (dispatch t)
 
 (* recursive comparison of the two replicas' name spaces *)
+let primary t = t.primary
+
+let backup t = t.backup
+
+(* A canonical, byte-comparable rendering of one replica's directory
+   state: every path with its capability, in listing order. Two replicas
+   that converged produce identical strings — same names, same object
+   numbers, same seals. *)
+let dump_replica server =
+  let service = Dir_server.port server in
+  let buf = Buffer.create 256 in
+  let rec walk path cap =
+    Buffer.add_string buf path;
+    Buffer.add_char buf ' ';
+    Buffer.add_string buf (Cap.to_string cap);
+    Buffer.add_char buf '\n';
+    match Dir_server.list server cap with
+    | Error _ -> ()
+    | Ok rows ->
+      List.iter
+        (fun (name, child) ->
+          let child_path = path ^ "/" ^ name in
+          if Amoeba_cap.Port.equal child.Cap.port service then walk child_path child
+          else begin
+            Buffer.add_string buf child_path;
+            Buffer.add_char buf ' ';
+            Buffer.add_string buf (Cap.to_string child);
+            Buffer.add_char buf '\n'
+          end)
+        rows
+  in
+  walk "" (Dir_server.root server);
+  Buffer.contents buf
+
+let replica_dumps t = (dump_replica t.primary, dump_replica t.backup)
+
 let divergence t =
   let service = port t in
   let rec compare_dir path cap_a cap_b =

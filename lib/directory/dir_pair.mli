@@ -52,3 +52,16 @@ val divergence : t -> string option
 (** Compare the two replicas' listings recursively from the root;
     [None] when they agree, [Some path] naming the first disagreement
     otherwise. For tests and fsck-style auditing. *)
+
+val primary : t -> Dir_server.t
+(** The primary replica, for audits (e.g. comparing checkpoints byte
+    for byte after a heal). *)
+
+val backup : t -> Dir_server.t
+
+val replica_dumps : t -> string * string
+(** A canonical rendering (path + capability per line, recursively from
+    the root) of each replica's directory state. Converged replicas
+    produce byte-identical strings — stronger than {!divergence}, which
+    recurses through directory capabilities instead of comparing
+    them. *)

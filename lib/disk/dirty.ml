@@ -1,0 +1,77 @@
+type t = {
+  bits : Bytes.t; (* one bit per sector *)
+  sectors : int;
+  mutable remaining : int;
+  mutable cursor : int; (* where the resync scan resumes *)
+}
+
+let create ~sectors =
+  if sectors <= 0 then invalid_arg "Dirty.create: sectors must be positive";
+  { bits = Bytes.make ((sectors + 7) / 8) '\000'; sectors; remaining = 0; cursor = 0 }
+
+let sectors t = t.sectors
+
+let remaining t = t.remaining
+
+let check_range t ~sector ~count ~op =
+  if count <= 0 || sector < 0 || sector + count > t.sectors then
+    invalid_arg
+      (Printf.sprintf "Dirty.%s: range [%d, %d) out of bounds (%d sectors)" op sector
+         (sector + count) t.sectors)
+
+let get t s = Char.code (Bytes.get t.bits (s lsr 3)) land (1 lsl (s land 7)) <> 0
+
+let set t s v =
+  let i = s lsr 3 in
+  let mask = 1 lsl (s land 7) in
+  let b = Char.code (Bytes.get t.bits i) in
+  Bytes.set t.bits i (Char.chr (if v then b lor mask else b land lnot mask))
+
+let mark t ~sector ~count =
+  check_range t ~sector ~count ~op:"mark";
+  for s = sector to sector + count - 1 do
+    if not (get t s) then begin
+      set t s true;
+      t.remaining <- t.remaining + 1
+    end
+  done
+
+let mark_all t = mark t ~sector:0 ~count:t.sectors
+
+let clear t ~sector ~count =
+  check_range t ~sector ~count ~op:"clear";
+  for s = sector to sector + count - 1 do
+    if get t s then begin
+      set t s false;
+      t.remaining <- t.remaining - 1
+    end
+  done
+
+let is_dirty t ~sector ~count =
+  check_range t ~sector ~count ~op:"is_dirty";
+  let rec scan s = s < sector + count && (get t s || scan (s + 1)) in
+  scan sector
+
+(* The next run of dirty sectors, at most [limit] long, scanning
+   circularly from the cursor: contiguity keeps the resync reads mostly
+   sequential, and the wrap means foreground write traffic behind the
+   scan cannot starve the sectors ahead of it. *)
+let next_run t ~limit =
+  if limit <= 0 then invalid_arg "Dirty.next_run: limit must be positive";
+  if t.remaining = 0 then None
+  else begin
+    let rec find s steps =
+      if steps >= t.sectors then None
+      else
+        let s = if s >= t.sectors then 0 else s in
+        if get t s then Some s else find (s + 1) (steps + 1)
+    in
+    match find t.cursor 0 with
+    | None -> None
+    | Some start ->
+      let stop = min t.sectors (start + limit) in
+      let rec extend s = if s < stop && get t s then extend (s + 1) else s in
+      let stop = extend start in
+      t.cursor <- (if stop >= t.sectors then 0 else stop);
+      Some (start, stop - start)
+  end

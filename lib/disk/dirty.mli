@@ -1,0 +1,46 @@
+(** Per-drive dirty-sector tracking for online mirror resync.
+
+    A bitmap with one bit per sector plus a scan cursor. A sector is
+    {e dirty} on a drive when the drive may not hold the mirror's
+    current contents for it: writes that landed while the drive was
+    offline mark their range, and a drive rejoining after a failure is
+    conservatively marked fully dirty. The resync scheduler drains
+    dirtiness in bounded contiguous runs ({!next_run}); foreground
+    writes and read-repair {!clear} regions as fresh data lands on the
+    drive.
+
+    Pure data, no clock, no randomness — the state is a deterministic
+    function of the mark/clear history, which is what makes a resync
+    schedule reproducible. *)
+
+type t
+
+val create : sectors:int -> t
+(** All-clean tracker for a drive of [sectors] sectors. Raises
+    [Invalid_argument] when [sectors <= 0]. *)
+
+val sectors : t -> int
+
+val remaining : t -> int
+(** Number of dirty sectors — the resync backlog. *)
+
+val mark : t -> sector:int -> count:int -> unit
+(** Mark a range dirty (idempotent per sector). *)
+
+val mark_all : t -> unit
+(** Mark the whole drive dirty — a drive rejoining after a failure
+    trusts none of its contents. *)
+
+val clear : t -> sector:int -> count:int -> unit
+(** Mark a range clean: current data just landed on the drive. *)
+
+val is_dirty : t -> sector:int -> count:int -> bool
+(** Whether any sector in the range is dirty — i.e. whether a read of
+    this range from the drive could return stale bytes. *)
+
+val next_run : t -> limit:int -> (int * int) option
+(** [next_run t ~limit] is [Some (sector, count)] for the next
+    contiguous run of dirty sectors (at most [limit] long), scanning
+    circularly from where the previous call stopped; [None] when
+    nothing is dirty. Does {e not} clear the run — the caller clears it
+    once the copy has actually happened. *)

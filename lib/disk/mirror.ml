@@ -1,12 +1,27 @@
-type pending = { target : Block_device.t; at_sector : int; data : bytes }
+(* Each drive gets a slot: the device, its dirty-sector map, and whether
+   an online resync is in flight for it. The mirror's state machine per
+   drive is
+
+     clean (online, no dirty sectors)
+       --fail-->        offline   (writes landing meanwhile mark dirty)
+       --rejoin-->      resyncing (repaired, fully dirty, syncing = true)
+       --last clear-->  clean
+
+   and [recover] short-circuits offline -> clean with the paper's
+   whole-disk copy. *)
+type slot = { device : Block_device.t; dirty : Dirty.t; mutable syncing : bool }
+
+type pending = { target : slot; at_sector : int; data : bytes }
 
 type t = {
-  drives : Block_device.t list;
+  slots : slot array;
   clock : Amoeba_sim.Clock.t;
   pending : pending Queue.t;
   stats : Amoeba_sim.Stats.t;
   mutable tracer : Amoeba_trace.Trace.ctx option;
 }
+
+type sync_state = Clean | Degraded | Resyncing of { sectors_remaining : int }
 
 exception No_live_drive
 
@@ -18,8 +33,15 @@ let create drives =
     let same_geometry d = Block_device.geometry d = geometry in
     if not (List.for_all same_geometry rest) then
       invalid_arg "Mirror.create: drives must share a geometry";
+    let slot device =
+      {
+        device;
+        dirty = Dirty.create ~sectors:geometry.Geometry.sector_count;
+        syncing = false;
+      }
+    in
     {
-      drives;
+      slots = Array.of_list (List.map slot drives);
       clock = Block_device.clock first;
       pending = Queue.create ();
       stats = Amoeba_sim.Stats.create "mirror";
@@ -28,26 +50,68 @@ let create drives =
 
 let set_tracer t tracer =
   t.tracer <- tracer;
-  List.iter (fun d -> Block_device.set_tracer d tracer) t.drives
+  Array.iter (fun s -> Block_device.set_tracer s.device tracer) t.slots
 
-let drives t = t.drives
+let drives t = Array.to_list (Array.map (fun s -> s.device) t.slots)
 
-let geometry t =
-  match t.drives with
-  | d :: _ -> Block_device.geometry d
-  | [] -> assert false
+let geometry t = Block_device.geometry t.slots.(0).device
 
-let live t = List.filter (fun d -> not (Block_device.is_failed d)) t.drives
+let slot_live s = not (Block_device.is_failed s.device)
 
-let live_count t = List.length (live t)
+let live_slots t = List.filter slot_live (Array.to_list t.slots)
 
-let primary t = match live t with d :: _ -> d | [] -> raise No_live_drive
+let live_count t =
+  Array.fold_left (fun n s -> if slot_live s then n + 1 else n) 0 t.slots
+
+let primary t =
+  match live_slots t with s :: _ -> s.device | [] -> raise No_live_drive
+
+let sync_state t =
+  if Array.exists (fun s -> not (slot_live s)) t.slots then Degraded
+  else if Array.exists (fun s -> s.syncing) t.slots then
+    Resyncing
+      {
+        sectors_remaining =
+          Array.fold_left
+            (fun n s -> if s.syncing then n + Dirty.remaining s.dirty else n)
+            0 t.slots;
+      }
+  else Clean
+
+let sync_state_label t =
+  match sync_state t with
+  | Clean -> "clean"
+  | Degraded -> "degraded"
+  | Resyncing { sectors_remaining } -> Printf.sprintf "resyncing:%d" sectors_remaining
+
+(* The last dirty sector just got cleared (by a resync step, a foreground
+   write or a read-repair): the drive is a full replica again. *)
+let check_complete t slot =
+  if slot.syncing && Dirty.remaining slot.dirty = 0 then begin
+    slot.syncing <- false;
+    Amoeba_sim.Stats.incr t.stats "resyncs_completed";
+    match t.tracer with
+    | None -> ()
+    | Some tr ->
+      Amoeba_trace.Trace.event tr ~layer:Amoeba_trace.Sink.Disk ~name:"mirror.resync_done"
+        [ ("drive", Amoeba_trace.Sink.S (Block_device.id slot.device)) ]
+  end
+
+let sector_count_of t data = Bytes.length data / (geometry t).Geometry.sector_bytes
 
 let drain t =
   let apply { target; at_sector; data } =
-    if not (Block_device.is_failed target) then
+    if slot_live target then begin
       Amoeba_sim.Clock.unobserved t.clock (fun () ->
-          Block_device.write target ~sector:at_sector data)
+          Block_device.write target.device ~sector:at_sector data);
+      if target.syncing then begin
+        Dirty.clear target.dirty ~sector:at_sector ~count:(sector_count_of t data);
+        check_complete t target
+      end
+    end
+    else
+      (* the write never landed: the region is stale on this drive *)
+      Dirty.mark target.dirty ~sector:at_sector ~count:(sector_count_of t data)
   in
   Queue.iter apply t.pending;
   Queue.clear t.pending
@@ -56,49 +120,99 @@ let crash t = Queue.clear t.pending
 
 let pending_count t = Queue.length t.pending
 
-let rec read_from t ~sector ~count = function
+(* Serve a read from the first live slot that holds current bytes for the
+   range. A resyncing slot whose range is still dirty is passed over
+   (its bytes are stale) and remembered: once a good source answered, the
+   data is written back to every passed-over slot off the measured path —
+   the read-repair that lets foreground traffic shrink the resync
+   backlog instead of waiting behind it. *)
+let read_repair t slot ~sector data =
+  Amoeba_sim.Stats.incr t.stats "read_repairs";
+  (match t.tracer with
+  | None -> ()
+  | Some tr ->
+    Amoeba_trace.Trace.event tr ~layer:Amoeba_trace.Sink.Disk ~name:"mirror.read_repair"
+      [
+        ("drive", Amoeba_trace.Sink.S (Block_device.id slot.device));
+        ("sector", Amoeba_trace.Sink.I sector);
+      ]);
+  match
+    Amoeba_sim.Clock.unobserved t.clock (fun () ->
+        Block_device.write slot.device ~sector data)
+  with
+  | () ->
+    Dirty.clear slot.dirty ~sector ~count:(sector_count_of t data);
+    check_complete t slot
+  | exception Block_device.Failure _ -> ()
+
+let rec read_from t ~sector ~count ~stale = function
   | [] -> raise No_live_drive
-  | drive :: others -> (
-    try Block_device.read drive ~sector ~count
-    with Block_device.Failure _ ->
-      Amoeba_sim.Stats.incr t.stats "read_failovers";
-      (match t.tracer with
-      | None -> ()
-      | Some tr ->
-        Amoeba_trace.Trace.event tr ~layer:Amoeba_trace.Sink.Disk ~name:"mirror.failover"
-          [ ("drive", Amoeba_trace.Sink.S (Block_device.id drive)) ]);
-      read_from t ~sector ~count others)
+  | slot :: others ->
+    if slot.syncing && Dirty.is_dirty slot.dirty ~sector ~count then begin
+      Amoeba_sim.Stats.incr t.stats "resync_fallthroughs";
+      read_from t ~sector ~count ~stale:(slot :: stale) others
+    end
+    else begin
+      match Block_device.read slot.device ~sector ~count with
+      | data ->
+        List.iter (fun s -> read_repair t s ~sector data) (List.rev stale);
+        data
+      | exception Block_device.Failure _ ->
+        Amoeba_sim.Stats.incr t.stats "read_failovers";
+        (match t.tracer with
+        | None -> ()
+        | Some tr ->
+          Amoeba_trace.Trace.event tr ~layer:Amoeba_trace.Sink.Disk ~name:"mirror.failover"
+            [ ("drive", Amoeba_trace.Sink.S (Block_device.id slot.device)) ]);
+        read_from t ~sector ~count ~stale others
+    end
 
 let read t ~sector ~count =
   match t.tracer with
   | None ->
     drain t;
-    if live_count t < List.length t.drives then Amoeba_sim.Stats.incr t.stats "degraded_reads";
-    read_from t ~sector ~count (live t)
+    if live_count t < Array.length t.slots then Amoeba_sim.Stats.incr t.stats "degraded_reads";
+    read_from t ~sector ~count ~stale:[] (live_slots t)
   | Some tr ->
     Amoeba_trace.Trace.in_span tr ~layer:Amoeba_trace.Sink.Disk ~name:"mirror.read" (fun () ->
         drain t;
-        if live_count t < List.length t.drives then begin
+        if live_count t < Array.length t.slots then begin
           Amoeba_sim.Stats.incr t.stats "degraded_reads";
           Amoeba_trace.Trace.event tr ~layer:Amoeba_trace.Sink.Disk ~name:"mirror.degraded" []
         end;
-        read_from t ~sector ~count (live t))
+        read_from t ~sector ~count ~stale:[] (live_slots t))
 
 let write_live t ~sync ~sector data =
-  match live t with
+  let count = sector_count_of t data in
+  (* a write that cannot land on an offline drive leaves that drive's
+     range stale — exactly what the rejoin resync must repair *)
+  Array.iter
+    (fun s -> if not (slot_live s) then Dirty.mark s.dirty ~sector ~count)
+    t.slots;
+  match live_slots t with
   | [] -> raise No_live_drive
   | targets ->
     let sync = max 0 (min sync (List.length targets)) in
     let rec split i = function
       | [] -> ([], [])
-      | d :: rest ->
+      | s :: rest ->
         let front, back = split (i + 1) rest in
-        if i < sync then (d :: front, back) else (front, d :: back)
+        if i < sync then (s :: front, back) else (front, s :: back)
     in
     let foreground, background = split 0 targets in
-    let write_to d () = Block_device.write d ~sector data in
+    let write_to s () = Block_device.write s.device ~sector data in
     let (_ : unit list) = Amoeba_sim.Clock.parallel t.clock (List.map write_to foreground) in
-    let enqueue d = Queue.add { target = d; at_sector = sector; data = Bytes.copy data } t.pending in
+    (* fresh data just landed synchronously: those regions are current *)
+    List.iter
+      (fun s ->
+        if s.syncing then begin
+          Dirty.clear s.dirty ~sector ~count;
+          check_complete t s
+        end)
+      foreground;
+    let enqueue s =
+      Queue.add { target = s; at_sector = sector; data = Bytes.copy data } t.pending
+    in
     List.iter enqueue background
 
 let write t ~sync ~sector data =
@@ -111,16 +225,94 @@ let write t ~sync ~sector data =
         drain t;
         write_live t ~sync ~sector data)
 
+(* ---- recovery ---- *)
+
+let all_clean slot =
+  if Dirty.remaining slot.dirty > 0 then
+    Dirty.clear slot.dirty ~sector:0 ~count:(Dirty.sectors slot.dirty);
+  slot.syncing <- false
+
 let recover t =
   drain t;
   let src = primary t in
-  let fix drive =
-    if Block_device.is_failed drive then begin
-      Block_device.repair drive;
-      Block_device.copy_from ~src ~dst:drive;
+  let fix slot =
+    if Block_device.is_failed slot.device then begin
+      Block_device.repair slot.device;
+      Block_device.copy_from ~src ~dst:slot.device;
+      all_clean slot;
       Amoeba_sim.Stats.incr t.stats "resyncs"
     end
   in
-  List.iter fix t.drives
+  Array.iter fix t.slots
+
+let rejoin t =
+  drain t;
+  Array.iter
+    (fun slot ->
+      if Block_device.is_failed slot.device then begin
+        Block_device.repair slot.device;
+        (* trust nothing a returning drive holds *)
+        Dirty.mark_all slot.dirty;
+        slot.syncing <- true;
+        Amoeba_sim.Stats.incr t.stats "rejoins";
+        match t.tracer with
+        | None -> ()
+        | Some tr ->
+          Amoeba_trace.Trace.event tr ~layer:Amoeba_trace.Sink.Disk ~name:"mirror.rejoin"
+            [ ("drive", Amoeba_trace.Sink.S (Block_device.id slot.device)) ]
+      end)
+    t.slots
+
+(* One clean, live source for a range: any other drive that is online
+   and whose copy of the range is current. *)
+let source_for t slot ~sector ~count =
+  let ok s =
+    s != slot && slot_live s && not (s.syncing && Dirty.is_dirty s.dirty ~sector ~count)
+  in
+  Array.fold_left (fun acc s -> match acc with Some _ -> acc | None -> if ok s then Some s else None) None t.slots
+
+let copy_run t ~src ~dst ~sector ~count =
+  let data = Block_device.read src.device ~sector ~count in
+  Block_device.write dst.device ~sector data;
+  Dirty.clear dst.dirty ~sector ~count;
+  Amoeba_sim.Stats.incr t.stats "resync_steps";
+  Amoeba_sim.Stats.add t.stats "resync_sectors" count;
+  check_complete t dst
+
+let resync_step ?(batch = 256) t =
+  if batch <= 0 then invalid_arg "Mirror.resync_step: batch must be positive";
+  drain t;
+  let next acc s = match acc with Some _ -> acc | None -> if s.syncing && slot_live s then Some s else None in
+  match Array.fold_left next None t.slots with
+  | None -> 0
+  | Some slot -> (
+    match Dirty.next_run slot.dirty ~limit:batch with
+    | None ->
+      check_complete t slot;
+      0
+    | Some (sector, count) -> (
+      match source_for t slot ~sector ~count with
+      | None -> 0 (* no clean replica to copy from; stay as we are *)
+      | Some src -> (
+        match t.tracer with
+        | None -> (
+          match copy_run t ~src ~dst:slot ~sector ~count with
+          | () -> count
+          | exception Block_device.Failure _ -> 0)
+        | Some tr ->
+          Amoeba_trace.Trace.begin_span tr ~layer:Amoeba_trace.Sink.Disk ~name:"disk.resync";
+          let copied =
+            match copy_run t ~src ~dst:slot ~sector ~count with
+            | () -> count
+            | exception Block_device.Failure _ -> 0
+          in
+          Amoeba_trace.Trace.end_span_attrs tr
+            [
+              ("drive", Amoeba_trace.Sink.S (Block_device.id slot.device));
+              ("sector", Amoeba_trace.Sink.I sector);
+              ("count", Amoeba_trace.Sink.I copied);
+              ("remaining", Amoeba_trace.Sink.I (Dirty.remaining slot.dirty));
+            ];
+          copied)))
 
 let stats t = t.stats

@@ -6,9 +6,24 @@
     on the critical path — the rest complete in the background
     ({!Amoeba_sim.Clock.unobserved}), matching the paper's semantics where
     [BULLET.CREATE] replies once N disks hold the file but the server
-    writes through to every disk regardless. *)
+    writes through to every disk regardless.
+
+    Beyond the paper's stop-the-world recovery ({!recover}), the mirror
+    supports {e online resync}: each drive carries a dirty-sector map
+    ({!Dirty}), a failed drive can {!rejoin} fully dirty, and a scheduler
+    drains the backlog in bounded batches ({!resync_step}) interleaved
+    with foreground I/O. Foreground reads that hit a still-dirty range on
+    a resyncing drive fall through to a clean replica and read-repair the
+    range off the measured path, so serving traffic shrinks the backlog
+    instead of waiting behind it. *)
 
 type t
+
+type sync_state =
+  | Clean  (** every drive online and fully current *)
+  | Degraded  (** at least one drive offline *)
+  | Resyncing of { sectors_remaining : int }
+      (** all drives online, at least one still catching up *)
 
 exception No_live_drive
 (** Raised when every drive in the set has failed. *)
@@ -29,10 +44,20 @@ val primary : t -> Block_device.t
 (** The first live drive — the one reads are served from.
     Raises {!No_live_drive}. *)
 
+val sync_state : t -> sync_state
+
+val sync_state_label : t -> string
+(** ["clean"], ["degraded"] or ["resyncing:<sectors-remaining>"] — for
+    reports and dumps. *)
+
 val read : t -> sector:int -> count:int -> bytes
-(** Read from the primary. If the primary fails mid-read the next live
-    drive is tried — the paper's "if the main disk fails, the file server
-    can proceed uninterruptedly by using the other disk". *)
+(** Read from the first live drive holding current bytes for the range.
+    If the primary fails mid-read the next live drive is tried — the
+    paper's "if the main disk fails, the file server can proceed
+    uninterruptedly by using the other disk". A resyncing drive whose
+    copy of the range is still dirty is skipped the same way, and once a
+    good source has answered the data is written back to it off the
+    measured path (read-repair), clearing the range. *)
 
 val write : t -> sync:int -> sector:int -> bytes -> unit
 (** [write t ~sync ~sector data] writes to every live drive. The [sync]
@@ -41,12 +66,15 @@ val write : t -> sync:int -> sector:int -> bytes -> unit
     the measured path) before the next mirror operation, which models
     write-behind completing shortly after the reply. [sync = 0] therefore
     returns in zero disk time, and a {!crash} before the writes drain
-    loses them — the paper's P-FACTOR 0 risk. Raises {!No_live_drive} if
-    no drive is live. *)
+    loses them — the paper's P-FACTOR 0 risk. Writes aimed at an offline
+    drive mark the range dirty on it instead, so a later {!rejoin} knows
+    what to copy. A write landing on a resyncing drive clears its range.
+    Raises {!No_live_drive} if no drive is live. *)
 
 val drain : t -> unit
 (** Apply all pending background writes now (off the measured path).
-    Pending writes aimed at a failed drive are discarded. *)
+    Pending writes aimed at a failed drive are discarded (and the range
+    marked dirty on it). *)
 
 val crash : t -> unit
 (** Discard all pending background writes, as a server crash would. The
@@ -56,17 +84,40 @@ val pending_count : t -> int
 
 val recover : t -> unit
 (** Repair every failed drive and copy the primary's contents onto it —
-    the paper's whole-disk-copy recovery. Raises {!No_live_drive} if there
-    is no live drive to copy from. *)
+    the paper's whole-disk-copy recovery. Leaves the repaired drives
+    clean. Raises {!No_live_drive} if there is no live drive to copy
+    from. *)
+
+val rejoin : t -> unit
+(** Bring every failed drive back online {e without} copying anything:
+    the drive is repaired, marked fully dirty (nothing it holds is
+    trusted) and enters the resyncing state. The backlog then drains via
+    {!resync_step}, foreground writes and read-repair. A no-op for
+    drives already online. *)
+
+val resync_step : ?batch:int -> t -> int
+(** Copy at most [batch] (default 256) contiguous dirty sectors from a
+    clean live replica onto the first resyncing drive, charging the read
+    and the write to the clock — this is the bounded slice of disk time
+    a resync step steals from foreground I/O. Returns the number of
+    sectors copied; [0] means there was nothing to do (no drive
+    resyncing, nothing dirty, or no clean source available). Scans
+    circularly, so repeated calls with foreground writes racing the scan
+    still terminate. When a drive's backlog reaches zero it flips to
+    clean ([resyncs_completed] stat, [mirror.resync_done] event). *)
 
 val set_tracer : t -> Amoeba_trace.Trace.ctx option -> unit
 (** Install the tracer on the mirror and all its drives.  Traced reads
     and writes get [mirror.read]/[mirror.write] spans with the drives'
     spans nested inside, plus [mirror.failover]/[mirror.degraded]
-    events. *)
+    events. Resync steps get a [disk.resync] span (drive, sector, count,
+    remaining) and rejoin/read-repair/completion get
+    [mirror.rejoin]/[mirror.read_repair]/[mirror.resync_done] events. *)
 
 val stats : t -> Amoeba_sim.Stats.t
 (** Counters: [read_failovers] (a drive raised mid-read and the next live
     drive served it), [degraded_reads] (reads issued while at least one
     drive was offline), [resyncs] (failed drives repaired and re-copied by
-    {!recover}). *)
+    {!recover}), [rejoins], [resync_steps], [resync_sectors],
+    [resync_fallthroughs] (reads that skipped a still-dirty resyncing
+    drive), [read_repairs], [resyncs_completed]. *)

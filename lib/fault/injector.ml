@@ -2,9 +2,13 @@ module Clock = Amoeba_sim.Clock
 module Prng = Amoeba_sim.Prng
 module Stats = Amoeba_sim.Stats
 module Transport = Amoeba_rpc.Transport
+module Link = Amoeba_rpc.Link
 module Block_device = Amoeba_disk.Block_device
 module Mirror = Amoeba_disk.Mirror
 module Event_queue = Amoeba_pool.Event_queue
+
+(* Per-link-class fault state, indexed by [link_index]. *)
+type link_state = { mutable link_loss : float; mutable partitioned : bool }
 
 type t = {
   clock : Clock.t;
@@ -19,6 +23,9 @@ type t = {
   mutable duplication : float;
   mutable corruption : float;
   mutable sector_errors : float;
+  links : link_state array;
+  mutable resync_batch : int option;
+  mutable resync_started_us : int;
   mutable firing : bool;
   mutable detached : bool;
 }
@@ -26,6 +33,10 @@ type t = {
 let log_src = Logs.Src.create "amoeba.fault" ~doc:"Fault injection"
 
 module Log = (val Logs.src_log log_src)
+
+let link_index : Link.t -> int = function Local -> 0 | Regional -> 1 | Wide -> 2
+
+let link_state t l = t.links.(link_index l)
 
 (* Event work runs off the measured path — recovery and reboot proceed in
    the background of whichever client transaction happened to trigger the
@@ -51,6 +62,17 @@ let apply t event =
     | Some mirror ->
       record t "resync_us" (fun () -> Mirror.recover mirror);
       Stats.incr t.stats "drive_recoveries")
+  | Drive_rejoin batch -> (
+    match t.mirror with
+    | None -> invalid_arg "Injector: Drive_rejoin in a plan attached without a mirror"
+    | Some mirror ->
+      (* No bulk copy here: the drive comes back fully dirty and the
+         backlog drains a bounded batch at a time, interleaved with the
+         foreground traffic that keeps flowing meanwhile. *)
+      Mirror.rejoin mirror;
+      t.resync_batch <- Some batch;
+      t.resync_started_us <- Clock.now t.clock;
+      Stats.incr t.stats "drive_rejoins")
   | Server_crash ->
     t.on_crash ();
     Stats.incr t.stats "server_crashes"
@@ -61,6 +83,12 @@ let apply t event =
   | Message_duplication p -> t.duplication <- p
   | Message_corruption p -> t.corruption <- p
   | Sector_errors p -> t.sector_errors <- p
+  | Link_loss (l, p) -> (link_state t l).link_loss <- p
+  | Link_partition l -> (link_state t l).partitioned <- true
+  | Link_heal l ->
+    let s = link_state t l in
+    s.link_loss <- 0.;
+    s.partitioned <- false
 
 (* The [firing] flag makes event application atomic from the hooks' point
    of view: a reboot's boot scan reads the disk and re-registers a port,
@@ -78,21 +106,69 @@ let rec fire_due t =
         fire_due t)
     | _ -> ()
 
-let poll t = fire_due t
+(* One bounded slice of resync work, charged to the clock at a poll
+   point: this is how background resync steals foreground disk time
+   without ever blocking an operation for more than one batch. Runs
+   under [firing] so the resync's own disk I/O draws no transient
+   faults and fires no events mid-copy. *)
+let step_resync t =
+  if not t.firing then
+    match (t.resync_batch, t.mirror) with
+    | Some batch, Some mirror ->
+      t.firing <- true;
+      Fun.protect
+        ~finally:(fun () -> t.firing <- false)
+        (fun () -> ignore (Mirror.resync_step ~batch mirror : int));
+      if Mirror.sync_state mirror = Mirror.Clean then begin
+        t.resync_batch <- None;
+        Stats.incr t.stats "online_resyncs";
+        Stats.observe t.stats "online_resync_us"
+          (float_of_int (Clock.now t.clock - t.resync_started_us))
+      end
+    | _ -> ()
 
-(* Draw order is fixed — request loss, reply loss, duplication,
-   corruption — and a rate of zero consumes no draw, so plans stay
-   deterministic under edits that only change when a rate switches on. *)
-let delivery_verdict t (_ : Amoeba_rpc.Message.t) =
+let poll t =
+  fire_due t;
+  step_resync t
+
+(* Draw order is fixed — link request loss, link reply loss, then the
+   global request loss, reply loss, duplication, corruption — and a rate
+   of zero consumes no draw, so plans stay deterministic under edits that
+   only change when a rate switches on. A partition consumes no draw at
+   all. *)
+let delivery_verdict t ~link (_ : Amoeba_rpc.Message.t) =
   if t.firing then Transport.Deliver
   else begin
     fire_due t;
-    if Prng.bernoulli t.prng t.loss then Transport.Drop_request
+    step_resync t;
+    let link_faults =
+      match link with
+      | None -> Transport.Deliver
+      | Some l ->
+        let s = link_state t l in
+        if s.partitioned then begin
+          Stats.incr t.stats "link_partition_drops";
+          Transport.Drop_request
+        end
+        else if Prng.bernoulli t.prng s.link_loss then begin
+          Stats.incr t.stats "link_request_drops";
+          Transport.Drop_request
+        end
+        else if Prng.bernoulli t.prng s.link_loss then begin
+          Stats.incr t.stats "link_reply_drops";
+          Transport.Drop_reply
+        end
+        else Transport.Deliver
+    in
+    if link_faults <> Transport.Deliver then link_faults
+    else if Prng.bernoulli t.prng t.loss then Transport.Drop_request
     else if Prng.bernoulli t.prng t.loss then Transport.Drop_reply
     else if Prng.bernoulli t.prng t.duplication then Transport.Duplicate_request
     else if Prng.bernoulli t.prng t.corruption then Transport.Corrupt_reply
     else Transport.Deliver
   end
+
+let verdict = delivery_verdict
 
 let disk_fault t ~sector:_ ~count:_ ~write =
   (* Transient errors hit reads only; scripted events do not fire from
@@ -117,6 +193,9 @@ let attach ?transport ?mirror ?(on_crash = fun () -> ()) ?(on_reboot = fun () ->
       duplication = 0.;
       corruption = 0.;
       sector_errors = 0.;
+      links = Array.init 3 (fun _ -> { link_loss = 0.; partitioned = false });
+      resync_batch = None;
+      resync_started_us = 0;
       firing = false;
       detached = false;
     }

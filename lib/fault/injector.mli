@@ -8,6 +8,20 @@
     time, but its duration is recorded in {!stats} ([resync_us],
     [reboot_us] series) so experiments can still report it.
 
+    A [Drive_rejoin] event is different in kind: it starts an {e online}
+    resync. The failed drives come back fully dirty and the injector
+    runs one bounded [Mirror.resync_step] per poll point, {e charged to
+    the clock} — background copying steals slices of foreground disk
+    time rather than happening for free, and no single foreground
+    operation ever waits for more than one batch. When the mirror
+    reaches [Clean] the wall-clock (virtual) duration of the whole
+    online resync is recorded in the [online_resync_us] series.
+
+    Link-scoped events ([Link_loss], [Link_partition], [Link_heal])
+    apply only to transactions tagged with that link class (see
+    [Amoeba_rpc.Transport.trans]'s [?link]); untagged traffic sees only
+    the global rates.
+
     Crash and reboot are harness-supplied actions because the injector is
     generic over what is running on the transport: for a Bullet rig,
     [on_crash] typically unregisters the port and calls [Server.crash],
@@ -30,14 +44,24 @@ val attach :
   Plan.t ->
   t
 (** Install the plan's hooks; events already due (at time 0) fire
-    immediately. [Drive_fail]/[Drive_recover] events require [mirror];
-    message-fault draws require [transport] (without it they never
-    happen). *)
+    immediately. [Drive_fail]/[Drive_recover]/[Drive_rejoin] events
+    require [mirror]; message-fault draws require [transport] (without
+    it they never happen). *)
 
 val poll : t -> unit
-(** Fire every scripted event whose time has passed. Call this from the
+(** Fire every scripted event whose time has passed, then run one
+    resync step if an online resync is in flight. Call this from the
     experiment loop when no RPC traffic would otherwise trigger the
-    check (e.g. to make a reboot happen during an idle period). *)
+    check (e.g. to make a reboot happen during an idle period, or to
+    let a resync drain during client think time). *)
+
+val verdict :
+  t -> link:Amoeba_rpc.Link.t option -> Amoeba_rpc.Message.t -> Amoeba_rpc.Transport.delivery
+(** The delivery decision for one message, exactly as the installed
+    transport hook computes it (due events fire first, then a resync
+    step, then the fault draws). Exposed for carriers that deliver
+    messages outside the simulated transport — [bulletd --fault-plan]
+    consults this over the real-socket path. *)
 
 val detach : t -> unit
 (** Remove all hooks; remaining scheduled events never fire. *)
@@ -46,5 +70,7 @@ val pending : t -> int
 (** Scripted events not yet fired. *)
 
 val stats : t -> Amoeba_sim.Stats.t
-(** Counters [drive_failures], [drive_recoveries], [server_crashes],
-    [server_reboots]; series [resync_us], [reboot_us]. *)
+(** Counters [drive_failures], [drive_recoveries], [drive_rejoins],
+    [server_crashes], [server_reboots], [online_resyncs],
+    [link_partition_drops], [link_request_drops], [link_reply_drops];
+    series [resync_us], [reboot_us], [online_resync_us]. *)

@@ -1,12 +1,16 @@
 type event =
   | Drive_fail of int
   | Drive_recover
+  | Drive_rejoin of int
   | Server_crash
   | Server_reboot
   | Message_loss of float
   | Message_duplication of float
   | Message_corruption of float
   | Sector_errors of float
+  | Link_loss of Amoeba_rpc.Link.t * float
+  | Link_partition of Amoeba_rpc.Link.t
+  | Link_heal of Amoeba_rpc.Link.t
 
 type step = { at_us : int; event : event }
 
@@ -25,9 +29,102 @@ let steps plan = List.rev plan.steps
 let pp_event ppf = function
   | Drive_fail i -> Format.fprintf ppf "drive %d fails" i
   | Drive_recover -> Format.fprintf ppf "failed drives repaired and resynced"
+  | Drive_rejoin batch ->
+    Format.fprintf ppf "failed drives rejoin; online resync, %d sectors/step" batch
   | Server_crash -> Format.fprintf ppf "server crashes"
   | Server_reboot -> Format.fprintf ppf "server reboots"
   | Message_loss p -> Format.fprintf ppf "message loss rate -> %g" p
   | Message_duplication p -> Format.fprintf ppf "message duplication rate -> %g" p
   | Message_corruption p -> Format.fprintf ppf "message corruption rate -> %g" p
   | Sector_errors p -> Format.fprintf ppf "transient sector error rate -> %g" p
+  | Link_loss (l, p) ->
+    Format.fprintf ppf "%s link loss rate -> %g" (Amoeba_rpc.Link.to_string l) p
+  | Link_partition l ->
+    Format.fprintf ppf "%s link partitioned" (Amoeba_rpc.Link.to_string l)
+  | Link_heal l -> Format.fprintf ppf "%s link healed" (Amoeba_rpc.Link.to_string l)
+
+(* ---- the plan file DSL ----
+
+   One directive per line:
+
+     seed <int64>
+     at <us> drive_fail <i>
+     at <us> drive_recover
+     at <us> drive_rejoin <batch>
+     at <us> server_crash
+     at <us> server_reboot
+     at <us> loss <p>
+     at <us> dup <p>
+     at <us> corrupt <p>
+     at <us> sector_errors <p>
+     at <us> link_loss <local|regional|wide> <p>
+     at <us> link_partition <local|regional|wide>
+     at <us> link_heal <local|regional|wide>
+
+   '#' starts a comment; blank lines are ignored.  Plain string
+   processing, no dependence on the process environment, so a plan file
+   parses to the same plan everywhere. *)
+
+let parse text =
+  let err lineno msg = Error (Printf.sprintf "plan line %d: %s" lineno msg) in
+  let int_of lineno what s k =
+    match int_of_string_opt s with
+    | Some n when n >= 0 -> k n
+    | Some _ -> err lineno (Printf.sprintf "%s must be non-negative: %s" what s)
+    | None -> err lineno (Printf.sprintf "bad %s: %s" what s)
+  in
+  let float_of lineno what s k =
+    match float_of_string_opt s with
+    | Some p -> k p
+    | None -> err lineno (Printf.sprintf "bad %s: %s" what s)
+  in
+  let link_of lineno s k =
+    match Amoeba_rpc.Link.of_string s with
+    | Some l -> k l
+    | None -> err lineno (Printf.sprintf "unknown link class: %s" s)
+  in
+  let rec go plan lineno = function
+    | [] -> Ok plan
+    | line :: rest -> (
+      let line =
+        match String.index_opt line '#' with
+        | Some i -> String.sub line 0 i
+        | None -> line
+      in
+      let words =
+        String.split_on_char ' ' (String.trim line)
+        |> List.filter (fun w -> w <> "")
+      in
+      let next plan = go plan (lineno + 1) rest in
+      let event us ev = next (at plan ~us ev) in
+      match words with
+      | [] -> next plan
+      | [ "seed"; s ] -> (
+        match Int64.of_string_opt s with
+        | Some seed -> next { plan with seed }
+        | None -> err lineno (Printf.sprintf "bad seed: %s" s))
+      | "at" :: us :: op -> (
+        int_of lineno "time" us @@ fun us ->
+        match op with
+        | [ "drive_fail"; i ] -> int_of lineno "drive index" i @@ fun i -> event us (Drive_fail i)
+        | [ "drive_recover" ] -> event us Drive_recover
+        | [ "drive_rejoin"; b ] ->
+          int_of lineno "batch" b @@ fun b ->
+          if b = 0 then err lineno "batch must be positive" else event us (Drive_rejoin b)
+        | [ "server_crash" ] -> event us Server_crash
+        | [ "server_reboot" ] -> event us Server_reboot
+        | [ "loss"; p ] -> float_of lineno "rate" p @@ fun p -> event us (Message_loss p)
+        | [ "dup"; p ] -> float_of lineno "rate" p @@ fun p -> event us (Message_duplication p)
+        | [ "corrupt"; p ] -> float_of lineno "rate" p @@ fun p -> event us (Message_corruption p)
+        | [ "sector_errors"; p ] ->
+          float_of lineno "rate" p @@ fun p -> event us (Sector_errors p)
+        | [ "link_loss"; l; p ] ->
+          link_of lineno l @@ fun l ->
+          float_of lineno "rate" p @@ fun p -> event us (Link_loss (l, p))
+        | [ "link_partition"; l ] -> link_of lineno l @@ fun l -> event us (Link_partition l)
+        | [ "link_heal"; l ] -> link_of lineno l @@ fun l -> event us (Link_heal l)
+        | op :: _ -> err lineno (Printf.sprintf "unknown event: %s" op)
+        | [] -> err lineno "missing event after 'at <us>'")
+      | w :: _ -> err lineno (Printf.sprintf "unknown directive: %s" w))
+  in
+  go (create ~seed:1L) 1 (String.split_on_char '\n' text)

@@ -10,13 +10,20 @@
     [T], the server crashes at [T'], …); rate events switch the
     probabilistic faults (message loss, duplication, corruption,
     transient sector errors) on and off, so one plan can express e.g.
-    "5% loss between t=2s and t=10s". *)
+    "5% loss between t=2s and t=10s". Link-scoped events target one
+    {!Amoeba_rpc.Link.t} class, so a plan can degrade or partition the
+    international line while local traffic is untouched. *)
 
 type event =
   | Drive_fail of int  (** take the [i]th mirror drive offline *)
   | Drive_recover
       (** repair every failed drive and resync it from the primary
           (whole-disk copy, the paper's recovery) *)
+  | Drive_rejoin of int
+      (** bring every failed drive back online fully dirty and start an
+          online resync that copies at most this many sectors per step,
+          interleaved with foreground I/O (see
+          [Amoeba_disk.Mirror.rejoin]/[resync_step]) *)
   | Server_crash  (** invoke the harness's crash action *)
   | Server_reboot  (** invoke the harness's reboot action *)
   | Message_loss of float  (** per-direction drop probability *)
@@ -25,6 +32,13 @@ type event =
       (** reply corruption probability (checksums detect it, so it
           behaves as a loss) *)
   | Sector_errors of float  (** per-read transient media error probability *)
+  | Link_loss of Amoeba_rpc.Link.t * float
+      (** per-direction drop probability for transactions tagged with
+          this link class only *)
+  | Link_partition of Amoeba_rpc.Link.t
+      (** every transaction on this link class times out (no draw) *)
+  | Link_heal of Amoeba_rpc.Link.t
+      (** clear this link class's loss rate and partition *)
 
 type step = { at_us : int; event : event }
 
@@ -43,3 +57,25 @@ val steps : t -> step list
 (** In schedule-insertion order. *)
 
 val pp_event : Format.formatter -> event -> unit
+
+val parse : string -> (t, string) result
+(** Parse the plan-file DSL, one directive per line ([#] comments and
+    blank lines ignored):
+    {v
+    seed <int64>
+    at <us> drive_fail <i>
+    at <us> drive_recover
+    at <us> drive_rejoin <batch>
+    at <us> server_crash
+    at <us> server_reboot
+    at <us> loss <p>
+    at <us> dup <p>
+    at <us> corrupt <p>
+    at <us> sector_errors <p>
+    at <us> link_loss <local|regional|wide> <p>
+    at <us> link_partition <local|regional|wide>
+    at <us> link_heal <local|regional|wide>
+    v}
+    The seed defaults to [1] when no [seed] line appears. Errors carry
+    the offending line number. This is what [bulletd --fault-plan]
+    loads. *)

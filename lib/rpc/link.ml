@@ -1,0 +1,35 @@
+type t = Local | Regional | Wide
+
+let model = function
+  | Local -> Net_model.amoeba
+  | Regional ->
+    (* two Ethernets joined by a store-and-forward gateway: extra hop
+       latency, bandwidth throttled by the gateway's forwarding rate *)
+    {
+      Net_model.latency_us = 12_000;
+      bytes_per_sec = 250_000;
+      packet_bytes = 8_192;
+      per_packet_us = 2_000;
+      timeout_us = 1_000_000;
+    }
+  | Wide ->
+    (* a 64 kbit/s international leased line (MANDIS class): ~8 KB/s
+       with per-packet store-and-forward delays on both gateways *)
+    {
+      Net_model.latency_us = 120_000;
+      bytes_per_sec = 8_000;
+      packet_bytes = 1_024;
+      per_packet_us = 15_000;
+      timeout_us = 10_000_000;
+    }
+
+let classify ~same_site ~same_region =
+  if same_site then Local else if same_region then Regional else Wide
+
+let to_string = function Local -> "local" | Regional -> "regional" | Wide -> "wide-area"
+
+let of_string = function
+  | "local" -> Some Local
+  | "regional" -> Some Regional
+  | "wide" | "wide-area" -> Some Wide
+  | _ -> None

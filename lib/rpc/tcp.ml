@@ -18,14 +18,22 @@ let handle_connection fd ~handler =
   let rec loop () =
     match Wire.read_frame fd with
     | Error _ -> ()
-    | Ok payload ->
+    | Ok payload -> (
       let reply =
         match Wire.decode payload with
-        | Error _ -> Message.error Status.Bad_request
-        | Ok request -> ( try handler request with _ -> Message.error Status.Server_failure)
+        | Error _ -> Some (Message.error Status.Bad_request)
+        | Ok request -> (
+          try handler request with _ -> Some (Message.error Status.Server_failure))
       in
-      Wire.write_frame fd reply;
-      loop ()
+      (* [None] models a lost message on the real wire: no reply ever
+         comes, the connection is dropped, and the client surfaces a
+         failure it can retry — the closest a stream carrier gets to a
+         datagram silently vanishing. *)
+      match reply with
+      | None -> ()
+      | Some reply ->
+        Wire.write_frame fd reply;
+        loop ())
   in
   Fun.protect ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ()) loop
 

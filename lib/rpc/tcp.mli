@@ -20,14 +20,17 @@ val listen : ?backlog:int -> port:int -> unit -> server
 val bound_port : server -> int
 (** The actual port (useful with [~port:0]). *)
 
-val serve_forever : server -> handler:(Message.t -> Message.t) -> unit
+val serve_forever : server -> handler:(Message.t -> Message.t option) -> unit
 (** Accept loop: decode each frame, run the handler, reply. Each
     connection gets a thread; the handler itself runs under a mutex.
     Malformed frames get a [Bad_request] reply; handler exceptions
-    become [Server_failure]. Returns only if the server socket is closed
-    (raises [Unix.Unix_error]). *)
+    become [Server_failure]. A handler returning [None] sends no reply
+    and drops the connection — how a fault plan loses a message on a
+    stream carrier; the client sees the connection close and may retry
+    on a fresh one. Returns only if the server socket is closed (raises
+    [Unix.Unix_error]). *)
 
-val serve_connections : server -> handler:(Message.t -> Message.t) -> int -> unit
+val serve_connections : server -> handler:(Message.t -> Message.t option) -> int -> unit
 (** Like {!serve_forever} but returns after serving [n] connections; for
     tests. *)
 

@@ -2,7 +2,7 @@ type service = Message.t -> Message.t
 
 type delivery = Deliver | Drop_request | Drop_reply | Duplicate_request | Corrupt_reply
 
-type fault_hook = Message.t -> delivery
+type fault_hook = link:Link.t option -> Message.t -> delivery
 
 module Port_table = Hashtbl.Make (struct
   type t = Amoeba_cap.Port.t
@@ -84,7 +84,7 @@ let finish t reply =
       [ ("status", Amoeba_trace.Sink.S (Status.to_string reply.Message.status)) ]);
   reply
 
-let trans t ~model request =
+let trans ?link t ~model request =
   let start = Amoeba_sim.Clock.now t.clock in
   Amoeba_sim.Stats.incr t.stats "transactions";
   (match t.tracer with
@@ -99,7 +99,7 @@ let trans t ~model request =
       [ ("cmd", Amoeba_trace.Sink.I request.Message.command) ]);
   (* Consult the fault plan before delivery: the hook may also fire
      scheduled events (crash, reboot, drive failure) that are due now. *)
-  let verdict = match t.fault_hook with None -> Deliver | Some hook -> hook request in
+  let verdict = match t.fault_hook with None -> Deliver | Some hook -> hook ~link request in
   (match t.tracer with
   | None -> ()
   | Some tr ->

@@ -34,10 +34,13 @@ type delivery =
       (** the reply is damaged in flight; checksums catch it and the
           client stub discards it — observably a loss *)
 
-type fault_hook = Message.t -> delivery
-(** Consulted once per transaction, before delivery. Installed by the
-    fault injector; also its chance to fire scheduled fault events that
-    have come due on the virtual clock. *)
+type fault_hook = link:Link.t option -> Message.t -> delivery
+(** Consulted once per transaction, before delivery. [link] is the link
+    class the caller tagged the transaction with ({!trans}'s [?link]),
+    [None] for untagged traffic — it lets a plan fault one link class
+    (the international line) while local traffic is untouched. Installed
+    by the fault injector; also its chance to fire scheduled fault
+    events that have come due on the virtual clock. *)
 
 val create : clock:Amoeba_sim.Clock.t -> t
 
@@ -65,12 +68,15 @@ val set_tracer : t -> Amoeba_trace.Trace.ctx option -> unit
 
 val tracer : t -> Amoeba_trace.Trace.ctx option
 
-val trans : t -> model:Net_model.t -> Message.t -> Message.t
-(** One RPC transaction under the given wire-cost model. A request to an
-    unbound port, or one whose request or reply the fault hook loses,
-    returns a [Timeout] reply after the model's [timeout_us] has elapsed
-    from the start of the transaction — the client stub learns nothing
-    sooner. Retry policy is the client's job (see [Bullet_core.Client]). *)
+val trans : ?link:Link.t -> t -> model:Net_model.t -> Message.t -> Message.t
+(** One RPC transaction under the given wire-cost model. [link] tags the
+    transaction with the link class it rides (the federation passes the
+    link it computed the model from) and is forwarded to the fault hook.
+    A request to an unbound port, or one whose request or reply the
+    fault hook loses, returns a [Timeout] reply after the model's
+    [timeout_us] has elapsed from the start of the transaction — the
+    client stub learns nothing sooner. Retry policy is the client's job
+    (see [Bullet_core.Client]). *)
 
 val stats : t -> Amoeba_sim.Stats.t
 (** Counters: [transactions], [bytes_sent], [bytes_received],

@@ -19,9 +19,13 @@ type t = {
   dir : Dir.t;
   home_site : site;
   site_sectors : int;
+  attempts : int;
+  backoff_us : int;
 }
 
 let clock t = t.clock
+
+let transport t = t.transport
 
 let home t = t.home_site
 
@@ -35,15 +39,17 @@ let link_between t a b =
   Link.classify ~same_site:(a = b) ~same_region:(ia.region = ib.region)
 
 (* A Bullet client from one site to another site's server, charged at
-   the link between them. *)
+   the link between them, and tagged with that link so a fault plan can
+   target the line itself. *)
 let bullet_client t ~from ~at =
   let info = site_info t at in
-  Client.connect ~model:(Link.model (link_between t from at)) t.transport (Server.port info.server)
+  let link = link_between t from at in
+  Client.connect ~model:(Link.model link) ~link ~attempts:t.attempts ~backoff_us:t.backoff_us
+    t.transport (Server.port info.server)
 
 let dir_client t ~from =
-  Dir_client.connect
-    ~model:(Link.model (link_between t from t.home_site))
-    t.transport (Dir.port t.dir)
+  let link = link_between t from t.home_site in
+  Dir_client.connect ~model:(Link.model link) ~link t.transport (Dir.port t.dir)
 
 let boot_site ~clock ~transport ~sites ~sectors ~name ~region =
   if Hashtbl.mem sites name then invalid_arg (Printf.sprintf "Federation: site %s exists" name);
@@ -60,7 +66,8 @@ let boot_site ~clock ~transport ~sites ~sectors ~name ~region =
   Bullet_core.Proto.serve server transport;
   Hashtbl.replace sites name { region; server }
 
-let create ?(home_region = "nl") ?(site_sectors = 32_768) () =
+let create ?(home_region = "nl") ?(site_sectors = 32_768) ?(attempts = 1) ?(backoff_us = 50_000)
+    () =
   let clock = Clock.create () in
   let transport = Amoeba_rpc.Transport.create ~clock in
   let sites = Hashtbl.create 8 in
@@ -69,7 +76,7 @@ let create ?(home_region = "nl") ?(site_sectors = 32_768) () =
   let home_bullet = Client.connect transport (Server.port (Hashtbl.find sites "home").server) in
   let dir = Dir.create ~store:home_bullet () in
   Amoeba_dir.Dir_proto.serve dir transport;
-  { clock; transport; sites; dir; home_site = "home"; site_sectors }
+  { clock; transport; sites; dir; home_site = "home"; site_sectors; attempts; backoff_us }
 
 let add_site t ~name ~region =
   boot_site ~clock:t.clock ~transport:t.transport ~sites:t.sites ~sectors:t.site_sectors ~name

@@ -21,13 +21,23 @@ type site = string
 
 exception Unknown_site of site
 
-val create : ?home_region:string -> ?site_sectors:int -> unit -> t
+val create :
+  ?home_region:string -> ?site_sectors:int -> ?attempts:int -> ?backoff_us:int -> unit -> t
 (** A federation with a fresh virtual clock and a home site ("home", in
     [home_region], default ["nl"]) hosting the directory service. Each
     site's mirrored drives have [site_sectors] sectors (default 32768 =
-    16 MB). *)
+    16 MB). [attempts]/[backoff_us] set the retry policy of every Bullet
+    client the federation makes (default 1 attempt, i.e. no retries) —
+    raise [attempts] to let cross-site transfers ride out link-loss
+    fault plans. *)
 
 val clock : t -> Amoeba_sim.Clock.t
+
+val transport : t -> Amoeba_rpc.Transport.t
+(** The shared transport — where a fault injector attaches. Every
+    cross-site transaction is tagged with the {!Link.t} between the two
+    parties, so link-scoped plan events apply to exactly the traffic
+    that rides that class of line. *)
 
 val home : t -> site
 

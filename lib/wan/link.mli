@@ -1,12 +1,11 @@
-(** Wide-area link models.
+(** Wide-area link models — re-export of {!Amoeba_rpc.Link}.
 
-    Amoeba in 1989 ran "in four different countries (The Netherlands,
-    England, Norway, and Germany)" behind gateways (paper §2.1, the
-    MANDIS project). RPC cost depends on where the two parties sit:
-    same Ethernet, same region (two LANs bridged by a gateway), or an
-    international leased line. *)
+    The type itself lives in the RPC layer so that fault plans
+    ([Amoeba_fault.Plan]'s [Link_loss] / [Link_partition] events) can
+    name a link class without depending on the federation code; this
+    module keeps the historical [Amoeba_wan.Link] path working. *)
 
-type t =
+type t = Amoeba_rpc.Link.t =
   | Local  (** same 10 Mbit/s Ethernet segment *)
   | Regional  (** LAN–gateway–LAN within a metro area (VU ↔ CWI) *)
   | Wide  (** international leased line, 64 kbit/s class *)
@@ -18,3 +17,5 @@ val model : t -> Amoeba_rpc.Net_model.t
 val classify : same_site:bool -> same_region:bool -> t
 
 val to_string : t -> string
+
+val of_string : string -> t option

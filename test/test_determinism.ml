@@ -54,6 +54,53 @@ let test_faults_double_run () =
   let second = faults_dump () in
   check_string "same plan, same bytes" first second
 
+(* The RESYNC scenario exercises the online resync scheduler, the WAN
+   link faults and the directory-pair crash; its windowed percentiles
+   and canonical replica dumps must likewise be a pure function of the
+   plans. *)
+let dump_resync_windows (r : E.resync_report) =
+  String.concat "\n"
+    (Printf.sprintf
+       "resync ops=%d failed=%d repairs=%d fallthroughs=%d steps=%d sectors=%d \
+        online=%.6f step=%.6f normal=%.6f max=%.6f clean=%b"
+       r.E.rw_ops r.E.rw_failed r.E.rw_read_repairs r.E.rw_fallthroughs r.E.rw_resync_steps
+       r.E.rw_resync_sectors r.E.rw_online_resync_ms r.E.rw_step_cost_ms r.E.rw_normal_max_ms
+       r.E.rw_max_op_ms r.E.rw_clean_at_end
+    :: List.map
+         (fun (w : E.resync_window) ->
+           Printf.sprintf "w%d %s rem=%d ops=%d p50=%.6f p95=%.6f p99=%.6f" w.E.w_start_ms
+             w.E.w_state w.E.w_remaining w.E.w_ops w.E.w_p50_ms w.E.w_p95_ms w.E.w_p99_ms)
+         r.E.rw_windows)
+
+let dump_wan (w : E.wan_fault_report) =
+  Printf.sprintf
+    "wan wide=%d/%d part=%d/%d healed=%b local=%d/%d drops=%d/%d/%d retries=%d quiet=%d faulted=%d"
+    w.E.wf_wide_failed w.E.wf_wide_ops w.E.wf_partition_failed w.E.wf_partition_ops w.E.wf_healed_ok
+    w.E.wf_local_failed w.E.wf_local_ops w.E.wf_link_request_drops w.E.wf_link_reply_drops
+    w.E.wf_partition_drops w.E.wf_retries w.E.wf_quiet_local_us w.E.wf_faulted_local_us
+
+let dump_pair (p : E.pair_report) =
+  Printf.sprintf "pair ops=%d failed=%d outage=%d diverged=%s match=%b healed=%b" p.E.pr_ops
+    p.E.pr_failed p.E.pr_outage_ops
+    (match p.E.pr_diverged with None -> "none" | Some path -> path)
+    p.E.pr_state_match p.E.pr_healed
+
+let resync_dump () =
+  String.concat "\n"
+    [
+      dump_resync_windows (E.resync_experiment ());
+      dump_wan (E.wan_fault_experiment ());
+      dump_pair (E.dir_pair_recovery ());
+    ]
+
+let test_resync_double_run () =
+  let first = resync_dump () in
+  let second = resync_dump () in
+  check_string "same plan, same bytes" first second
+
 let suite =
   ( "determinism",
-    [ Alcotest.test_case "faults scenario twice, byte-identical" `Slow test_faults_double_run ] )
+    [
+      Alcotest.test_case "faults scenario twice, byte-identical" `Slow test_faults_double_run;
+      Alcotest.test_case "resync scenario twice, byte-identical" `Slow test_resync_double_run;
+    ] )

@@ -265,6 +265,189 @@ let test_mirror_pending_to_failed_drive_dropped () =
   Dev.repair d2;
   check_bytes "write to failed drive dropped" (Bytes.make 512 '\000') (Dev.peek d2 ~sector:4 ~count:1)
 
+(* ---- dirty-sector tracking ---- *)
+
+module Dirty = Amoeba_disk.Dirty
+
+let test_dirty_mark_clear () =
+  let d = Dirty.create ~sectors:64 in
+  check_int "starts clean" 0 (Dirty.remaining d);
+  Dirty.mark d ~sector:10 ~count:4;
+  check_int "four dirty" 4 (Dirty.remaining d);
+  Dirty.mark d ~sector:12 ~count:4;
+  check_int "overlap is idempotent" 6 (Dirty.remaining d);
+  check_bool "range dirty" true (Dirty.is_dirty d ~sector:8 ~count:4);
+  check_bool "disjoint range clean" false (Dirty.is_dirty d ~sector:0 ~count:8);
+  Dirty.clear d ~sector:10 ~count:3;
+  check_int "partial clear" 3 (Dirty.remaining d);
+  Dirty.clear d ~sector:0 ~count:64;
+  check_int "all clean" 0 (Dirty.remaining d);
+  check_bool "nothing left" false (Dirty.is_dirty d ~sector:0 ~count:64)
+
+let test_dirty_mark_all () =
+  let d = Dirty.create ~sectors:128 in
+  Dirty.mark_all d;
+  check_int "everything dirty" 128 (Dirty.remaining d);
+  check_bool "any range dirty" true (Dirty.is_dirty d ~sector:77 ~count:1)
+
+let test_dirty_next_run () =
+  let d = Dirty.create ~sectors:64 in
+  check_bool "clean map has no run" true (Dirty.next_run d ~limit:16 = None);
+  Dirty.mark d ~sector:4 ~count:10;
+  (match Dirty.next_run d ~limit:8 with
+  | Some (s, c) ->
+    check_int "run start" 4 s;
+    check_int "run bounded by limit" 8 c
+  | None -> Alcotest.fail "expected a run");
+  (* the run was not cleared: the same call repeats until the caller clears *)
+  (match Dirty.next_run d ~limit:8 with
+  | Some (s, _) -> check_bool "cursor advanced past the first run" true (s > 4)
+  | None -> Alcotest.fail "expected the remainder");
+  Dirty.clear d ~sector:4 ~count:10;
+  check_bool "cleared map has no run" true (Dirty.next_run d ~limit:8 = None)
+
+let test_dirty_next_run_wraps () =
+  let d = Dirty.create ~sectors:32 in
+  Dirty.mark d ~sector:0 ~count:2;
+  Dirty.mark d ~sector:28 ~count:4;
+  (* scan from the start: low run, then high run, advancing the cursor *)
+  (match Dirty.next_run d ~limit:16 with
+  | Some (s, c) ->
+    check_int "low run first" 0 s;
+    check_int "low run length" 2 c;
+    Dirty.clear d ~sector:s ~count:c
+  | None -> Alcotest.fail "expected the low run");
+  (match Dirty.next_run d ~limit:16 with
+  | Some (s, c) ->
+    check_int "high run next" 28 s;
+    check_int "stops at the end" 4 c;
+    Dirty.clear d ~sector:s ~count:c
+  | None -> Alcotest.fail "expected the high run");
+  (* the cursor sits at the end of the map: a fresh mark at the bottom
+     is only reachable by wrapping around *)
+  Dirty.mark d ~sector:1 ~count:1;
+  match Dirty.next_run d ~limit:16 with
+  | Some (s, c) ->
+    check_int "wrapped to the low mark" 1 s;
+    check_int "single sector" 1 c
+  | None -> Alcotest.fail "expected the wrapped run"
+
+(* ---- online resync ---- *)
+
+let state_label m = Mirror.sync_state_label m
+
+let test_mirror_sync_state_transitions () =
+  let _clock, _, d2, m = make_mirror () in
+  check_string "starts clean" "clean" (state_label m);
+  Dev.fail d2;
+  check_string "offline drive = degraded" "degraded" (state_label m);
+  Mirror.rejoin m;
+  check_string "rejoined fully dirty" "resyncing:1024" (state_label m);
+  let rec drain () = if Mirror.resync_step ~batch:256 m > 0 then drain () in
+  drain ();
+  check_string "drained back to clean" "clean" (state_label m);
+  check_int "one rejoin" 1 (Stats.count (Mirror.stats m) "rejoins");
+  check_int "one resync completed" 1 (Stats.count (Mirror.stats m) "resyncs_completed")
+
+let test_mirror_resync_step_bounded () =
+  let clock, _, d2, m = make_mirror () in
+  Dev.fail d2;
+  Mirror.rejoin m;
+  let before = Clock.now clock in
+  let copied = Mirror.resync_step ~batch:64 m in
+  check_int "one bounded batch" 64 copied;
+  check_bool "step charged on the clock" true (Clock.now clock > before);
+  (match Mirror.sync_state m with
+  | Mirror.Resyncing { sectors_remaining } -> check_int "backlog shrank by one batch" (1024 - 64) sectors_remaining
+  | _ -> Alcotest.fail "expected Resyncing");
+  check_int "sectors counted" 64 (Stats.count (Mirror.stats m) "resync_sectors")
+
+let test_mirror_resync_converges_bytes () =
+  let _clock, d1, d2, m = make_mirror () in
+  Mirror.write m ~sync:2 ~sector:100 (payload 1024);
+  Dev.fail d2;
+  (* writes landing during the outage exist only on the survivor *)
+  Mirror.write m ~sync:1 ~sector:200 (payload 512);
+  Mirror.rejoin m;
+  let rec drain () = if Mirror.resync_step ~batch:128 m > 0 then drain () in
+  drain ();
+  check_string "clean" "clean" (state_label m);
+  for sector = 0 to 1023 do
+    check_bytes
+      (Printf.sprintf "sector %d identical" sector)
+      (Dev.peek d1 ~sector ~count:1) (Dev.peek d2 ~sector ~count:1)
+  done
+
+let test_mirror_read_repair () =
+  (* Fail the READ PRIMARY: after the rejoin it is first in read order
+     but fully dirty, so a foreground read must skip it, serve the
+     survivor, and write the bytes back. *)
+  let _clock, d1, _, m = make_mirror () in
+  Mirror.write m ~sync:2 ~sector:500 (payload 512);
+  Dev.fail d1;
+  Mirror.write m ~sync:1 ~sector:500 (payload 1024);
+  Mirror.rejoin m;
+  check_bytes "read serves current bytes" (payload 1024) (Mirror.read m ~sector:500 ~count:2);
+  check_int "fall-through counted" 1 (Stats.count (Mirror.stats m) "resync_fallthroughs");
+  check_int "read-repair counted" 1 (Stats.count (Mirror.stats m) "read_repairs");
+  check_bytes "repair landed on the rejoined drive" (payload 1024) (Dev.peek d1 ~sector:500 ~count:2);
+  (* the repaired region is clean now: the same read no longer falls through *)
+  ignore (Mirror.read m ~sector:500 ~count:2);
+  check_int "no second fall-through" 1 (Stats.count (Mirror.stats m) "resync_fallthroughs")
+
+let test_mirror_foreground_write_clears_dirty () =
+  let _clock, _, d2, m = make_mirror () in
+  Dev.fail d2;
+  Mirror.rejoin m;
+  Mirror.write m ~sync:2 ~sector:40 (payload 1024);
+  (match Mirror.sync_state m with
+  | Mirror.Resyncing { sectors_remaining } ->
+    check_int "foreground write shrank the backlog" (1024 - 2) sectors_remaining
+  | _ -> Alcotest.fail "expected Resyncing");
+  check_bytes "write landed on the resyncing drive" (payload 1024) (Dev.peek d2 ~sector:40 ~count:2)
+
+let test_mirror_resync_fsck_at_checkpoints () =
+  (* At every point of a paced resync the file system the mirror carries
+     must pass its own audit: reads fall through to clean copies, so the
+     inode scan never sees stale bytes. *)
+  let rig = make_rig ~sectors:2048 () in
+  let m = rig.mirror in
+  Bullet_core.Server.format m ~max_files:64;
+  let server, _ = Result.get_ok (Bullet_core.Server.start m) in
+  let transport = Amoeba_rpc.Transport.create ~clock:rig.clock in
+  Bullet_core.Proto.serve server transport;
+  let client = Bullet_core.Client.connect transport (Bullet_core.Server.port server) in
+  let caps =
+    List.init 8 (fun i -> Bullet_core.Client.create client ~p_factor:2 (payload (4096 + (512 * i))))
+  in
+  Dev.fail rig.drive1;
+  (* churn during the outage so the rejoined drive is genuinely stale *)
+  let (_ : Amoeba_cap.Capability.t) =
+    Bullet_core.Client.create client ~p_factor:2 (payload 8192)
+  in
+  Mirror.rejoin m;
+  let audit () =
+    match Bullet_core.Inode_table.load m with
+    | Ok (_, report) -> check_int "no repairs needed" 0 (List.length report.Bullet_core.Inode_table.repaired)
+    | Error e -> Alcotest.failf "fsck failed mid-resync: %s" e
+  in
+  audit ();
+  let steps = ref 0 in
+  while Mirror.resync_step ~batch:128 m > 0 do
+    incr steps;
+    audit ()
+  done;
+  check_bool "resync made progress" true (!steps > 0);
+  check_string "clean at the end" "clean" (state_label m);
+  (* every pre-outage file still reads back *)
+  List.iteri
+    (fun i cap ->
+      check_bytes
+        (Printf.sprintf "file %d intact" i)
+        (payload (4096 + (512 * i)))
+        (Bullet_core.Client.read client cap))
+    caps
+
 let suite =
   ( "disk",
     [
@@ -302,4 +485,18 @@ let suite =
       Alcotest.test_case "mirror failover on transient error" `Quick
         test_mirror_failover_on_transient_error;
       Alcotest.test_case "device fault hook install/remove" `Quick test_device_fault_hook_removable;
+      Alcotest.test_case "dirty mark/clear/remaining" `Quick test_dirty_mark_clear;
+      Alcotest.test_case "dirty mark_all" `Quick test_dirty_mark_all;
+      Alcotest.test_case "dirty next_run bounded, not clearing" `Quick test_dirty_next_run;
+      Alcotest.test_case "dirty next_run wraps around" `Quick test_dirty_next_run_wraps;
+      Alcotest.test_case "mirror sync-state transitions" `Quick test_mirror_sync_state_transitions;
+      Alcotest.test_case "mirror resync step is bounded and timed" `Quick
+        test_mirror_resync_step_bounded;
+      Alcotest.test_case "mirror resync converges byte for byte" `Quick
+        test_mirror_resync_converges_bytes;
+      Alcotest.test_case "mirror read-repair during resync" `Quick test_mirror_read_repair;
+      Alcotest.test_case "mirror foreground write clears dirty" `Quick
+        test_mirror_foreground_write_clears_dirty;
+      Alcotest.test_case "mirror fsck passes at every resync checkpoint" `Quick
+        test_mirror_resync_fsck_at_checkpoints;
     ] )

@@ -117,7 +117,7 @@ let drop_first_reply transport =
   let dropped = ref false in
   Transport.set_fault_hook transport
     (Some
-       (fun _ ->
+       (fun ~link:_ _ ->
          if !dropped then Transport.Deliver
          else begin
            dropped := true;
@@ -150,7 +150,7 @@ let test_delete_dedup_on_lost_reply () =
 let test_retry_exhaustion_surfaces_timeout () =
   let b = make_bullet () in
   let retrying = Client.connect ~attempts:2 ~backoff_us:1_000 b.transport (Server.port b.server) in
-  Transport.set_fault_hook b.transport (Some (fun _ -> Transport.Drop_request));
+  Transport.set_fault_hook b.transport (Some (fun ~link:_ _ -> Transport.Drop_request));
   (try
      ignore (Client.create retrying (payload 10));
      Alcotest.fail "expected timeout"
@@ -216,6 +216,139 @@ let test_same_seed_same_run () =
   check_int "identical retry count" r1 r2;
   check_bool "faults did occur" true (r1 > 0)
 
+(* ---- the plan line DSL ---- *)
+
+let test_plan_parse () =
+  let text =
+    "# a full tour of the grammar\n\
+     seed 42\n\
+     at 1000 drive_fail 0\n\
+     at 2000 drive_rejoin 128\n\
+     \n\
+     at 3000 loss 0.25\n\
+     at 4000 link_loss wide 0.5\n\
+     at 5000 link_partition wide\n\
+     at 6000 link_heal wide\n\
+     at 7000 server_crash\n"
+  in
+  match Plan.parse text with
+  | Error e -> Alcotest.failf "parse failed: %s" e
+  | Ok plan ->
+    check_int "seven steps" 7 (List.length (Plan.steps plan));
+    (match Plan.steps plan with
+    | { Plan.at_us = 1000; event = Plan.Drive_fail 0 }
+      :: { Plan.at_us = 2000; event = Plan.Drive_rejoin 128 }
+      :: _ -> ()
+    | _ -> Alcotest.fail "first steps mis-parsed");
+    check_bool "link event parsed" true
+      (List.exists
+         (fun s -> s.Plan.event = Plan.Link_loss (Amoeba_rpc.Link.Wide, 0.5))
+         (Plan.steps plan))
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec at i = i + nn <= nh && (String.sub haystack i nn = needle || at (i + 1)) in
+  at 0
+
+let test_plan_parse_errors_carry_line () =
+  (match Plan.parse "at 10 drive_fail 0\nat nonsense here\n" with
+  | Ok _ -> Alcotest.fail "expected a parse error"
+  | Error e -> check_bool "names line 2" true (contains e "line 2"));
+  match Plan.parse "at 10 link_loss marsnet 0.5\n" with
+  | Ok _ -> Alcotest.fail "expected a parse error"
+  | Error e -> check_bool "unknown link reported" true (contains e "link")
+
+let test_drive_rejoin_via_plan () =
+  let rig = make_rig ~sectors:1024 () in
+  Mirror.write rig.mirror ~sync:2 ~sector:10 (payload 512);
+  let fail_at = Clock.now rig.clock + 100 in
+  let plan =
+    Plan.create ~seed:6L
+    |> fun p -> Plan.at p ~us:fail_at (Plan.Drive_fail 1)
+    |> fun p -> Plan.at p ~us:(fail_at + 100) (Plan.Drive_rejoin 256)
+  in
+  let injector = Injector.attach ~mirror:rig.mirror ~clock:rig.clock plan in
+  Clock.advance rig.clock 100;
+  Injector.poll injector;
+  check_bool "drive down" true (Dev.is_failed rig.drive2);
+  Mirror.write rig.mirror ~sync:1 ~sector:20 (payload 512);
+  Clock.advance rig.clock 100;
+  (* the rejoin fires AND the same poll runs the first resync step *)
+  Injector.poll injector;
+  check_bool "drive back" false (Dev.is_failed rig.drive2);
+  check_int "rejoin counted" 1 (Stats.count (Injector.stats injector) "drive_rejoins");
+  (match Mirror.sync_state rig.mirror with
+  | Mirror.Resyncing { sectors_remaining } ->
+    check_int "first batch already drained" (1024 - 256) sectors_remaining
+  | _ -> Alcotest.fail "expected Resyncing");
+  (* keep polling: the injector paces the resync to completion *)
+  let rec pump n =
+    if n > 0 && Mirror.sync_state rig.mirror <> Mirror.Clean then begin
+      Clock.advance rig.clock 10;
+      Injector.poll injector;
+      pump (n - 1)
+    end
+  in
+  pump 10;
+  check_bool "clean after a few polls" true (Mirror.sync_state rig.mirror = Mirror.Clean);
+  check_int "whole resync observed" 1 (Stats.count (Injector.stats injector) "online_resyncs");
+  check_bytes "outage write made it to the rejoined drive" (payload 512)
+    (Dev.peek rig.drive2 ~sector:20 ~count:1);
+  Injector.detach injector
+
+let test_link_faults_scope_to_tagged_traffic () =
+  let rig = make_rig () in
+  let plan =
+    Plan.create ~seed:7L |> fun p -> Plan.at p ~us:0 (Plan.Link_partition Amoeba_rpc.Link.Wide)
+  in
+  let injector = Injector.attach ~clock:rig.clock plan in
+  let msg = Message.request ~port:(Amoeba_cap.Port.of_int64 9L) ~command:1 () in
+  Injector.poll injector;
+  (match Injector.verdict injector ~link:(Some Amoeba_rpc.Link.Wide) msg with
+  | Transport.Drop_request -> ()
+  | _ -> Alcotest.fail "partitioned link must drop");
+  (match Injector.verdict injector ~link:None msg with
+  | Transport.Deliver -> ()
+  | _ -> Alcotest.fail "untagged traffic unaffected");
+  (match Injector.verdict injector ~link:(Some Amoeba_rpc.Link.Local) msg with
+  | Transport.Deliver -> ()
+  | _ -> Alcotest.fail "other links unaffected");
+  check_int "drops counted" 1 (Stats.count (Injector.stats injector) "link_partition_drops");
+  Injector.detach injector
+
+let run_resync_workload () =
+  (* a fail + rejoin riding a live read workload, twice: the scheduler's
+     interleaving must be a pure function of plan + workload *)
+  let b = make_bullet () in
+  let retrying = Client.connect ~attempts:4 ~backoff_us:25_000 b.transport (Server.port b.server) in
+  let caps = Array.init 8 (fun i -> Client.create retrying ~p_factor:2 (payload (8_192 + i))) in
+  let plan =
+    Plan.create ~seed:0x5E5CL
+    |> fun p -> Plan.at p ~us:(Clock.now b.rig.clock + 50_000) (Plan.Drive_fail 0)
+    |> fun p -> Plan.at p ~us:(Clock.now b.rig.clock + 400_000) (Plan.Drive_rejoin 512)
+  in
+  let injector = Injector.attach ~transport:b.transport ~mirror:b.rig.mirror ~clock:b.rig.clock plan in
+  for i = 0 to 63 do
+    ignore (Client.read retrying caps.(i mod 8));
+    Clock.advance b.rig.clock 5_000;
+    Injector.poll injector
+  done;
+  let m = Mirror.stats b.rig.mirror in
+  Injector.detach injector;
+  ( Clock.now b.rig.clock,
+    Stats.count m "resync_steps",
+    Stats.count m "resync_sectors",
+    Mirror.sync_state_label b.rig.mirror )
+
+let test_online_resync_deterministic () =
+  let t1, steps1, sectors1, state1 = run_resync_workload () in
+  let t2, steps2, sectors2, state2 = run_resync_workload () in
+  check_int "identical end time" t1 t2;
+  check_int "identical step count" steps1 steps2;
+  check_int "identical sectors copied" sectors1 sectors2;
+  check_string "identical final state" state1 state2;
+  check_bool "the resync actually ran" true (steps1 > 0)
+
 let suite =
   ( "fault",
     [
@@ -237,4 +370,13 @@ let suite =
       Alcotest.test_case "crash and reboot spanned by retries" `Quick
         test_crash_reboot_spanned_by_retries;
       Alcotest.test_case "same seed, same run" `Quick test_same_seed_same_run;
+      Alcotest.test_case "plan text parses" `Quick test_plan_parse;
+      Alcotest.test_case "plan parse errors carry the line" `Quick
+        test_plan_parse_errors_carry_line;
+      Alcotest.test_case "drive rejoin via plan, injector paces resync" `Quick
+        test_drive_rejoin_via_plan;
+      Alcotest.test_case "link faults scope to tagged traffic" `Quick
+        test_link_faults_scope_to_tagged_traffic;
+      Alcotest.test_case "online resync is deterministic" `Quick
+        test_online_resync_deterministic;
     ] )

@@ -119,7 +119,7 @@ let test_transport_unregister () =
 let test_fault_hook_drop_request () =
   let clock, transport = make_transport () in
   register_echo transport;
-  Transport.set_fault_hook transport (Some (fun _ -> Transport.Drop_request));
+  Transport.set_fault_hook transport (Some (fun ~link:_ _ -> Transport.Drop_request));
   let reply, us =
     Clock.elapsed clock (fun () ->
         Transport.trans transport ~model:Net.amoeba (Message.request ~port:echo_port ~command:1 ()))
@@ -139,7 +139,7 @@ let test_fault_hook_drop_reply_executes () =
   Transport.register transport port (fun _ ->
       incr hits;
       Message.reply ~status:Status.Ok ());
-  Transport.set_fault_hook transport (Some (fun _ -> Transport.Drop_reply));
+  Transport.set_fault_hook transport (Some (fun ~link:_ _ -> Transport.Drop_reply));
   let reply = Transport.trans transport ~model:Net.amoeba (Message.request ~port ~command:1 ()) in
   check_bool "reply lost" true (reply.Message.status = Status.Timeout);
   check_int "but the server executed" 1 !hits
@@ -151,7 +151,7 @@ let test_fault_hook_duplicate () =
   Transport.register transport port (fun _ ->
       incr hits;
       Message.reply ~status:Status.Ok ());
-  Transport.set_fault_hook transport (Some (fun _ -> Transport.Duplicate_request));
+  Transport.set_fault_hook transport (Some (fun ~link:_ _ -> Transport.Duplicate_request));
   let reply = Transport.trans transport ~model:Net.amoeba (Message.request ~port ~command:1 ()) in
   check_bool "client still gets its reply" true (reply.Message.status = Status.Ok);
   check_int "server ran twice" 2 !hits

@@ -197,6 +197,54 @@ let test_daemon_end_to_end () =
           let status, _ = ctl port "fetch greeting" in
           check_bool "deleted" true (status <> Unix.WEXITED 0)))
 
+let test_daemon_fault_plan () =
+  (* the daemon consults a deterministic plan per request frame: with
+     "at 3 loss 1.0" the first two requests work and every later one is
+     dropped on the real TCP carrier (connection closed, no reply) *)
+  in_temp_dir (fun () ->
+      let port = 19_000 + (Unix.getpid () mod 2_000) in
+      let oc = open_out "plan.txt" in
+      output_string oc "# drop everything from the third request frame on\nseed 7\nat 3 loss 1.0\n";
+      close_out oc;
+      let command =
+        Printf.sprintf
+          "%s --port %d --data data --size-mb 8 --max-files 128 --fault-plan plan.txt > \
+           bulletd.log 2>&1"
+          (Filename.quote (tool "bulletd")) port
+      in
+      let pid =
+        Unix.create_process "/bin/sh" [| "/bin/sh"; "-c"; command |] Unix.stdin Unix.stdout
+          Unix.stderr
+      in
+      Fun.protect
+        ~finally:(fun () ->
+          Unix.kill pid Sys.sigterm;
+          ignore (Unix.waitpid [] pid))
+        (fun () ->
+          check_bool "daemon came up" true (wait_for_port port);
+          (* frames 1-2: hello + stat, delivered *)
+          let status, out = ctl port "stat" in
+          check_bool "first two frames delivered" true (status = Unix.WEXITED 0);
+          check_bool "stat answered" true (contains out "live files");
+          (* frame 3 onward: the hello of the next invocation is dropped *)
+          let status, _ = ctl port "stat" in
+          check_bool "third frame dropped on the wire" true (status <> Unix.WEXITED 0);
+          let log = In_channel.with_open_text "bulletd.log" In_channel.input_all in
+          check_bool "daemon announced the plan" true (contains log "fault plan loaded")))
+
+let test_daemon_rejects_bad_plan () =
+  in_temp_dir (fun () ->
+      let oc = open_out "plan.txt" in
+      output_string oc "at ten drive_fail 0\n";
+      close_out oc;
+      let status, out =
+        run
+          (Printf.sprintf "%s --port 0 --data data --size-mb 4 --max-files 63 --fault-plan plan.txt"
+             (Filename.quote (tool "bulletd")))
+      in
+      check_bool "refuses to start" true (status <> Unix.WEXITED 0);
+      check_bool "says why" true (contains out "plan"))
+
 let suite =
   ( "tools",
     [
@@ -206,4 +254,6 @@ let suite =
       Alcotest.test_case "fsck --compact" `Quick test_fsck_compact;
       Alcotest.test_case "fsck clean after crash+reboot" `Quick test_fsck_clean_after_crash_reboot;
       Alcotest.test_case "bulletd end to end over TCP" `Slow test_daemon_end_to_end;
+      Alcotest.test_case "bulletd --fault-plan drops frames on TCP" `Slow test_daemon_fault_plan;
+      Alcotest.test_case "bulletd rejects a malformed plan" `Quick test_daemon_rejects_bad_plan;
     ] )

@@ -110,6 +110,79 @@ let test_unpublish () =
      Alcotest.fail "expected Not_found"
    with Amoeba_rpc.Status.Error Amoeba_rpc.Status.Not_found -> ())
 
+let test_partition_kills_wide_spares_local () =
+  (* partition the international line: cross-border fetches fail even
+     with retries, same-site fetches are untouched — and consume no
+     random draws, so their timing is bit-identical to a quiet run *)
+  let fed = Fed.create ~home_region:"nl" ~attempts:2 ~backoff_us:10_000 () in
+  Fed.add_site fed ~name:"tokyo" ~region:"jp";
+  let clock = Fed.clock fed in
+  let (_ : Amoeba_cap.Capability.t) =
+    Fed.publish fed ~from:"home" ~name:"doc" ~replicate_to:[ "tokyo" ] (payload 4_096)
+  in
+  ignore (Fed.fetch_from_replica fed ~from:"home" "doc" ~replica:"home");
+  let quiet =
+    let _, us =
+      Clock.elapsed clock (fun () ->
+          ignore (Fed.fetch_from_replica fed ~from:"home" "doc" ~replica:"home"))
+    in
+    us
+  in
+  let plan =
+    Amoeba_fault.Plan.create ~seed:9L
+    |> fun p ->
+    Amoeba_fault.Plan.at p ~us:(Clock.now clock)
+      (Amoeba_fault.Plan.Link_partition Amoeba_rpc.Link.Wide)
+  in
+  let injector = Amoeba_fault.Injector.attach ~transport:(Fed.transport fed) ~clock plan in
+  Amoeba_fault.Injector.poll injector;
+  (try
+     ignore (Fed.fetch_from_replica fed ~from:"home" "doc" ~replica:"tokyo");
+     Alcotest.fail "expected the wide fetch to time out"
+   with Amoeba_rpc.Status.Error Amoeba_rpc.Status.Timeout -> ());
+  check_bool "partition drops counted" true
+    (Amoeba_sim.Stats.count (Amoeba_fault.Injector.stats injector) "link_partition_drops" > 0);
+  let faulted =
+    let _, us =
+      Clock.elapsed clock (fun () ->
+          ignore (Fed.fetch_from_replica fed ~from:"home" "doc" ~replica:"home"))
+    in
+    us
+  in
+  check_int "local fetch timing untouched by the partition" quiet faulted;
+  Amoeba_fault.Injector.detach injector
+
+let test_link_heal_restores_wide () =
+  let fed = Fed.create ~home_region:"nl" ~attempts:2 ~backoff_us:10_000 () in
+  Fed.add_site fed ~name:"tokyo" ~region:"jp";
+  let clock = Fed.clock fed in
+  let data = payload 2_048 in
+  let (_ : Amoeba_cap.Capability.t) =
+    Fed.publish fed ~from:"home" ~name:"doc" ~replicate_to:[ "tokyo" ] data
+  in
+  (* far beyond anything the retried fetch can reach: a fully-retried
+     wide op still only runs the clock forward by tens of virtual
+     seconds, so the heal must not land inside the retry window *)
+  let heal_at = Clock.now clock + 600_000_000 in
+  let plan =
+    Amoeba_fault.Plan.create ~seed:10L
+    |> fun p ->
+    Amoeba_fault.Plan.at p ~us:(Clock.now clock)
+      (Amoeba_fault.Plan.Link_partition Amoeba_rpc.Link.Wide)
+    |> fun p -> Amoeba_fault.Plan.at p ~us:heal_at (Amoeba_fault.Plan.Link_heal Amoeba_rpc.Link.Wide)
+  in
+  let injector = Amoeba_fault.Injector.attach ~transport:(Fed.transport fed) ~clock plan in
+  Amoeba_fault.Injector.poll injector;
+  (try
+     ignore (Fed.fetch_from_replica fed ~from:"home" "doc" ~replica:"tokyo");
+     Alcotest.fail "expected a timeout while partitioned"
+   with Amoeba_rpc.Status.Error Amoeba_rpc.Status.Timeout -> ());
+  Clock.advance_to clock heal_at;
+  Amoeba_fault.Injector.poll injector;
+  check_bytes "wide fetch works after the scripted heal" data
+    (Fed.fetch_from_replica fed ~from:"home" "doc" ~replica:"tokyo");
+  Amoeba_fault.Injector.detach injector
+
 let suite =
   ( "wan",
     [
@@ -125,4 +198,7 @@ let suite =
         test_replication_costs_publish_time;
       Alcotest.test_case "rebind name" `Quick test_rebind_name;
       Alcotest.test_case "unpublish deletes replicas" `Quick test_unpublish;
+      Alcotest.test_case "partition kills wide, spares local" `Quick
+        test_partition_kills_wide_spares_local;
+      Alcotest.test_case "scripted link heal restores wide" `Quick test_link_heal_restores_wide;
     ] )

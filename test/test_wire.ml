@@ -112,7 +112,9 @@ let test_wire_roundtrip_fuzz_1k () =
 let test_tcp_echo () =
   let server = Tcp.listen ~port:0 () in
   let handler request =
-    Message.reply ~status:Status.Ok ~arg0:(request.Message.arg0 * 2) ~body:request.Message.body ()
+    Some
+      (Message.reply ~status:Status.Ok ~arg0:(request.Message.arg0 * 2)
+         ~body:request.Message.body ())
   in
   let server_thread = Thread.create (fun () -> Tcp.serve_connections server ~handler 1) () in
   let conn = Tcp.connect ~port:(Tcp.bound_port server) () in
@@ -130,7 +132,7 @@ let test_tcp_echo () =
 
 let test_tcp_handler_exception () =
   let server = Tcp.listen ~port:0 () in
-  let handler _ = failwith "boom" in
+  let handler _ : Message.t option = failwith "boom" in
   let server_thread = Thread.create (fun () -> Tcp.serve_connections server ~handler 1) () in
   let conn = Tcp.connect ~port:(Tcp.bound_port server) () in
   let reply = Tcp.trans conn (Message.request ~port:(Port.of_int64 9L) ~command:1 ()) in
@@ -143,7 +145,7 @@ let test_tcp_full_bullet_service () =
   (* the daemon configuration: a real Bullet server behind real sockets *)
   let b = make_bullet () in
   let server = Tcp.listen ~port:0 () in
-  let handler = Bullet_core.Proto.dispatch b.server in
+  let handler request = Some (Bullet_core.Proto.dispatch b.server request) in
   let server_thread = Thread.create (fun () -> Tcp.serve_connections server ~handler 1) () in
   let conn = Tcp.connect ~port:(Tcp.bound_port server) () in
   let create_reply =
@@ -165,9 +167,7 @@ let test_tcp_full_bullet_service () =
 let test_tcp_concurrent_connections () =
   (* serve_forever threads connections; two clients interleave requests *)
   let server = Tcp.listen ~port:0 () in
-  let handler request =
-    Message.reply ~status:Status.Ok ~arg0:(request.Message.arg0 + 1) ()
-  in
+  let handler request = Some (Message.reply ~status:Status.Ok ~arg0:(request.Message.arg0 + 1) ()) in
   let server_thread = Thread.create (fun () -> try Tcp.serve_forever server ~handler with _ -> ()) () in
   let c1 = Tcp.connect ~port:(Tcp.bound_port server) () in
   let c2 = Tcp.connect ~port:(Tcp.bound_port server) () in
@@ -188,7 +188,7 @@ let test_tcp_survives_garbage_bytes () =
   (* a client that speaks gibberish gets dropped; the server keeps
      serving the next connection *)
   let server = Tcp.listen ~port:0 () in
-  let handler _ = Message.reply ~status:Status.Ok ~arg0:7 () in
+  let handler _ = Some (Message.reply ~status:Status.Ok ~arg0:7 ()) in
   let server_thread = Thread.create (fun () -> Tcp.serve_connections server ~handler 2) () in
   (* connection 1: a plausible length prefix followed by junk *)
   let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
