@@ -62,12 +62,13 @@ let trans t request =
       end
       else begin
         Amoeba_sim.Stats.incr t.stats "retries";
+        let wait_us = Amoeba_fault.Backoff.doubling ~base_us:t.backoff_us ~attempt in
         (match Amoeba_rpc.Transport.tracer t.transport with
-        | None -> Amoeba_sim.Clock.advance clock (t.backoff_us * (1 lsl (attempt - 1)))
+        | None -> Amoeba_sim.Clock.advance clock wait_us
         | Some tr ->
           Amoeba_trace.Trace.begin_root tr ~xid:request.Message.xid
             ~layer:Amoeba_trace.Sink.Client ~name:"rpc.backoff";
-          Amoeba_sim.Clock.advance clock (t.backoff_us * (1 lsl (attempt - 1)));
+          Amoeba_sim.Clock.advance clock wait_us;
           Amoeba_trace.Trace.end_span_attrs tr [ ("attempt", Amoeba_trace.Sink.I attempt) ]);
         go (attempt + 1)
       end

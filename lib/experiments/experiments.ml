@@ -1409,3 +1409,393 @@ let dir_pair_recovery () =
     pr_state_match = String.equal dump_p dump_b;
     pr_healed = Pair.primary_alive pair;
   }
+
+(* ---- LOAD: multi-station concurrency and overload control ---- *)
+
+module Sched = Amoeba_sched.Sched
+module Backoff = Amoeba_fault.Backoff
+
+(* Station indexes shared by both server models; the NFS model simply
+   never routes work to the second arm. *)
+let st_cpu = 0
+
+let st_net = 1
+
+let st_arm0 = 2
+
+let st_arm1 = 3
+
+let load_station_names = [| "cpu"; "net"; "arm0"; "arm1" |]
+
+(* The CPU round-robins between requests (the real server is threaded);
+   the wire and each mirrored drive arm serve one transfer at a time. *)
+let load_stations ~arms =
+  [
+    Sched.station "cpu" ~layer:Amoeba_trace.Sink.Cpu (Sched.Round_robin 1_000);
+    Sched.station "net" ~layer:Amoeba_trace.Sink.Net Sched.Fifo;
+  ]
+  @ List.init arms (fun i ->
+        Sched.station load_station_names.(st_arm0 + i) ~layer:Amoeba_trace.Sink.Disk Sched.Fifo)
+
+type load_profile = {
+  lpr_class : string;
+  lpr_segments : (string * int) list;  (** (station name, µs), in request order *)
+  lpr_traced_us : int;  (** attributed end-to-end time of the traced op *)
+}
+
+type load_point = {
+  lp_clients : int;
+  lp_throughput : float;
+  lp_mean_ms : float;
+  lp_p50_ms : float;
+  lp_p95_ms : float;
+  lp_p99_ms : float;
+  lp_util : (string * float) list;
+}
+
+type overload_point = {
+  ov_policy : string;
+  ov_goodput : float;
+  ov_p99_ms : float;
+  ov_offered : int;
+  ov_completed : int;
+  ov_failed : int;
+  ov_shed : int;
+  ov_deadline_misses : int;
+  ov_abandoned : int;
+  ov_retried : int;
+  ov_late : int;
+}
+
+type server_load = {
+  sl_name : string;
+  sl_profiles : load_profile list;
+  sl_knee : float;
+  sl_serial_cap_per_sec : float;  (** one-at-a-time upper bound *)
+  sl_knee_throughput : float;  (** measured, clients = ceil knee *)
+  sl_points : load_point list;
+}
+
+type load_report = {
+  lr_bullet : server_load;
+  lr_nfs : server_load;
+  lr_overload_clients : int;
+  lr_peak_goodput : float;
+  lr_overload : overload_point list;
+}
+
+(* Convert one traced operation's attribution segments into scheduler
+   demands.  Net time goes to the wire station, disk time to a drive arm
+   (a fixed arm for reads, alternating for the mirrored writes of
+   create), and everything else — CPU, cache memcpy, alloc, server and
+   client self-time — to the CPU station.  Every microsecond of the
+   trace lands on exactly one station, so the segment sum equals the
+   attributed end-to-end time by construction. *)
+let profile_of_segments ~disk segs =
+  let next_arm = ref st_arm0 in
+  let station_of = function
+    | Amoeba_trace.Sink.Net -> st_net
+    | Amoeba_trace.Sink.Disk -> (
+      match disk with
+      | `Arm i -> st_arm0 + i
+      | `Alternate ->
+        let a = !next_arm in
+        next_arm := if a = st_arm0 then st_arm1 else st_arm0;
+        a)
+    | Amoeba_trace.Sink.Cpu | Amoeba_trace.Sink.Cache | Amoeba_trace.Sink.Alloc
+    | Amoeba_trace.Sink.Server | Amoeba_trace.Sink.Client ->
+      st_cpu
+  in
+  List.fold_left
+    (fun acc (layer, us) ->
+      let st = station_of layer in
+      match acc with
+      | (prev, sum) :: tl when prev = st -> (prev, sum + us) :: tl
+      | _ -> (st, us) :: acc)
+    [] segs
+  |> List.rev
+
+let load_profile_of_spans ~cls ~disk spans =
+  let traced_us = (Amoeba_trace.Attrib.of_spans spans).Amoeba_trace.Attrib.total_us in
+  let segments = profile_of_segments ~disk (Amoeba_trace.Attrib.segments spans) in
+  let segment_sum = List.fold_left (fun acc (_, us) -> acc + us) 0 segments in
+  if segment_sum <> traced_us then
+    failwith
+      (Printf.sprintf "load: %s profile sums to %d us but the trace attributes %d us" cls
+         segment_sum traced_us);
+  ( { Sched.pr_name = cls; pr_segments = segments },
+    {
+      lpr_class = cls;
+      lpr_segments = List.map (fun (st, us) -> (load_station_names.(st), us)) segments;
+      lpr_traced_us = traced_us;
+    } )
+
+(* Trace the real Bullet server once per operation class.  A small cache
+   makes the cold-read class honest: two 64 KB fillers evict the target
+   between create and read. *)
+let bullet_load_profiles () =
+  let config = { Server.default_config with Server.cache_bytes = 160 * 1024; max_cached_files = 8 } in
+  let traced ~cls ~disk f =
+    let bed = make_bullet_bed ~config () in
+    let tracer = Amoeba_trace.Trace.create ~clock:bed.b_clock () in
+    let sink = Amoeba_trace.Trace.sink tracer in
+    let measured = f bed in
+    Amoeba_rpc.Transport.set_tracer (Client.transport bed.b_client) (Some tracer);
+    Server.set_tracer bed.b_server (Some tracer);
+    measured ();
+    Amoeba_rpc.Transport.set_tracer (Client.transport bed.b_client) None;
+    Server.set_tracer bed.b_server None;
+    load_profile_of_spans ~cls ~disk (Amoeba_trace.Sink.spans sink)
+  in
+  let hot =
+    traced ~cls:"read4k" ~disk:(`Arm 0) (fun bed ->
+        let cap = Client.create bed.b_client (Bytes.make 4_096 'h') in
+        ignore (Client.read bed.b_client cap);
+        fun () -> ignore (Client.read bed.b_client cap))
+  in
+  let cold =
+    traced ~cls:"read64k" ~disk:(`Arm 0) (fun bed ->
+        let target = Client.create bed.b_client (Bytes.make 65_536 'c') in
+        (* evict the target so the traced read pays the disk *)
+        let f1 = Client.create bed.b_client (Bytes.make 65_536 '1') in
+        let f2 = Client.create bed.b_client (Bytes.make 65_536 '2') in
+        ignore (Client.read bed.b_client f1);
+        ignore (Client.read bed.b_client f2);
+        fun () -> ignore (Client.read bed.b_client target))
+  in
+  let create =
+    traced ~cls:"create64k" ~disk:`Alternate (fun bed ->
+        let data = Bytes.make 65_536 'w' in
+        fun () -> ignore (Client.create bed.b_client data))
+  in
+  (hot, cold, create)
+
+(* Same protocol against the NFS baseline.  The NFS server itself emits
+   no spans, so its CPU shows up as root self-time ([Server] layer); the
+   transport and the traced block device supply the net and disk
+   segments. *)
+let nfs_load_profiles () =
+  let traced ~cls ~disk f =
+    let clock = Clock.create () in
+    let geometry = Geometry.small ~sectors:testbed_sectors in
+    let dev = Dev.create ~id:"nfs-load" ~geometry ~clock in
+    Nfs.format dev ~max_files:2048;
+    let server = Result.get_ok (Nfs.mount dev) in
+    let transport = Amoeba_rpc.Transport.create ~clock in
+    Nfs_baseline.Nfs_proto.serve server transport;
+    let client = Nfs_client.connect transport (Nfs.port server) in
+    let tracer = Amoeba_trace.Trace.create ~clock () in
+    let sink = Amoeba_trace.Trace.sink tracer in
+    let measured = f server client in
+    Amoeba_rpc.Transport.set_tracer transport (Some tracer);
+    Dev.set_tracer dev (Some tracer);
+    measured ();
+    Amoeba_rpc.Transport.set_tracer transport None;
+    Dev.set_tracer dev None;
+    load_profile_of_spans ~cls ~disk (Amoeba_trace.Sink.spans sink)
+  in
+  let hot =
+    traced ~cls:"read4k" ~disk:(`Arm 0) (fun _server client ->
+        let fh = Nfs_client.create client in
+        Nfs_client.write_file client fh (Bytes.make 4_096 'h');
+        ignore (Nfs_client.read_at client fh ~off:0 ~len:4_096);
+        fun () -> ignore (Nfs_client.read_at client fh ~off:0 ~len:4_096))
+  in
+  let cold =
+    traced ~cls:"read64k" ~disk:(`Arm 0) (fun server client ->
+        let fh = Nfs_client.create client in
+        Nfs_client.write_file client fh (Bytes.make 65_536 'c');
+        Nfs.age_cache server;
+        Nfs.age_cache server;
+        fun () -> ignore (Nfs_client.read_file client fh ~size:65_536))
+  in
+  let create =
+    traced ~cls:"create64k" ~disk:(`Arm 0) (fun _server client ->
+        let data = Bytes.make 65_536 'w' in
+        fun () ->
+          let fh = Nfs_client.create client in
+          Nfs_client.write_file client fh data)
+  in
+  (hot, cold, create)
+
+let load_config ~arms ~profiles ~clients ~think_us ~requests_per_client ~overload =
+  {
+    Sched.stations = load_stations ~arms;
+    profiles;
+    clients;
+    think_us;
+    requests_per_client;
+    overload;
+  }
+
+(* The client mix: hot reads, cold reads against each arm, creates.
+   Duplicating the cold-read profile with its disk demand on the other
+   arm is how the simulation spreads mirrored-read traffic the way the
+   real server's balanced mirror does. *)
+let bullet_mix (hot, cold, create) =
+  let on_other_arm p =
+    {
+      Sched.pr_name = p.Sched.pr_name ^ "-arm1";
+      pr_segments =
+        List.map
+          (fun (st, us) -> ((if st = st_arm0 then st_arm1 else st), us))
+          p.Sched.pr_segments;
+    }
+  in
+  [ hot; cold; on_other_arm cold; create ]
+
+let nfs_mix (hot, cold, create) = [ hot; cold; create ]
+
+let run_load_point config clients =
+  let r = Sched.run { config with Sched.clients } in
+  {
+    lp_clients = clients;
+    lp_throughput = r.Sched.throughput_per_sec;
+    lp_mean_ms = r.Sched.mean_response_ms;
+    lp_p50_ms = r.Sched.p50_response_ms;
+    lp_p95_ms = r.Sched.p95_response_ms;
+    lp_p99_ms = r.Sched.p99_response_ms;
+    lp_util =
+      List.map (fun s -> (s.Sched.sr_name, s.Sched.utilisation)) r.Sched.station_reports;
+  }
+
+let load_overload_policies = [ ("block", Sched.Block); ("shed", Sched.Shed) ]
+
+(* The acceptance checks live in the experiment itself so every bench or
+   CI run enforces them, not just the test suite. *)
+let assert_load_invariants r =
+  let check name cond =
+    if not cond then failwith ("load experiment invariant violated: " ^ name)
+  in
+  List.iter
+    (fun sl ->
+      List.iter
+        (fun p ->
+          let sum = List.fold_left (fun acc (_, us) -> acc + us) 0 p.lpr_segments in
+          check
+            (Printf.sprintf "%s/%s profile sum = traced time" sl.sl_name p.lpr_class)
+            (sum = p.lpr_traced_us))
+        sl.sl_profiles)
+    [ r.lr_bullet; r.lr_nfs ];
+  (* (a) concurrency: at the knee the multi-station runtime beats the
+     serial one-request-at-a-time bound *)
+  check "bullet knee throughput exceeds the serial bound"
+    (r.lr_bullet.sl_knee_throughput > r.lr_bullet.sl_serial_cap_per_sec);
+  let find name = List.find (fun p -> String.equal p.ov_policy name) r.lr_overload in
+  let block = find "block" and shed = find "shed" and deadline = find "deadline" in
+  (* (b) overload: shedding keeps goodput at the peak, blocking collapses *)
+  check "shed goodput within 10% of peak" (shed.ov_goodput >= 0.9 *. r.lr_peak_goodput);
+  check "deadline goodput within 10% of peak"
+    (deadline.ov_goodput >= 0.9 *. r.lr_peak_goodput);
+  check "block goodput degrades below 90% of peak"
+    (block.ov_goodput < 0.9 *. r.lr_peak_goodput);
+  check "block goodput below shed goodput" (block.ov_goodput < shed.ov_goodput)
+
+let load_experiment ?(client_counts = [ 1; 2; 4; 8; 16; 32; 64 ]) ?(think_ms = 50)
+    ?(requests_per_client = 40) () =
+  let think_us = think_ms * 1000 in
+  let bullet_parts = bullet_load_profiles () in
+  let nfs_parts = nfs_load_profiles () in
+  let describe (a, b, c) = [ a; b; c ] in
+  let server name ~arms mix parts =
+    let profiles = mix (let (a, _), (b, _), (c, _) = parts in (a, b, c)) in
+    let config =
+      load_config ~arms ~profiles ~clients:1 ~think_us ~requests_per_client
+        ~overload:Sched.no_overload
+    in
+    let knee = Sched.saturation_clients config in
+    let knee_clients = max 1 (int_of_float (ceil knee)) in
+    {
+      sl_name = name;
+      sl_profiles = List.map snd (describe parts);
+      sl_knee = knee;
+      sl_serial_cap_per_sec = Sched.serial_throughput_per_sec config;
+      sl_knee_throughput = (run_load_point config knee_clients).lp_throughput;
+      sl_points = List.map (run_load_point config) client_counts;
+    }
+  in
+  let bullet = server "bullet" ~arms:2 bullet_mix bullet_parts in
+  let nfs = server "nfs" ~arms:1 nfs_mix nfs_parts in
+  (* Overload: drive the Bullet configuration at twice its saturation
+     population with a bounded accept queue and retrying clients.  Under
+     Block the abandoned-but-still-queued work turns into late
+     completions and goodput collapses; Shed and Deadline keep goodput at
+     the admitted-work ceiling. *)
+  let bullet_profiles =
+    bullet_mix (let (a, _), (b, _), (c, _) = bullet_parts in (a, b, c))
+  in
+  let peak_goodput =
+    List.fold_left (fun acc p -> Float.max acc p.lp_throughput) 0. bullet.sl_points
+  in
+  (* Saturation in the measured curve, not the analytic knee: the
+     smallest swept population within 5% of peak.  The analytic knee uses
+     mean demands, so with a mixed workload the curve keeps climbing for
+     a while past it. *)
+  let saturation_pop =
+    match
+      List.find_opt (fun p -> p.lp_throughput >= 0.95 *. peak_goodput) bullet.sl_points
+    with
+    | Some p -> p.lp_clients
+    | None -> List.length client_counts
+  in
+  let overload_clients = max 2 (2 * saturation_pop) in
+  (* The accept limit is the concurrency that reaches peak throughput,
+     so admission control binds without starving the bottleneck.  Client
+     patience must then exceed the in-service response at that
+     concurrency (~8 x the 78 ms bottleneck demand) or admitted requests
+     abandon too; 2 s is comfortably above it and far below the
+     unbounded queue waits Block builds up. *)
+  let retry = Backoff.policy ~attempts:4 ~timeout_us:2_000_000 ~backoff_us:50_000 in
+  let overload_point (name, policy) =
+    let overload = { Sched.accept_limit = 8; policy; retry = Some retry } in
+    let r =
+      Sched.run
+        (load_config ~arms:2 ~profiles:bullet_profiles ~clients:overload_clients ~think_us
+           ~requests_per_client ~overload)
+    in
+    {
+      ov_policy = name;
+      ov_goodput = r.Sched.throughput_per_sec;
+      ov_p99_ms = r.Sched.p99_response_ms;
+      ov_offered = r.Sched.offered;
+      ov_completed = r.Sched.completed;
+      ov_failed = r.Sched.failed;
+      ov_shed = r.Sched.shed_count;
+      ov_deadline_misses = r.Sched.deadline_misses;
+      ov_abandoned = r.Sched.abandoned;
+      ov_retried = r.Sched.retried;
+      ov_late = r.Sched.late;
+    }
+  in
+  let overload =
+    List.map overload_point
+      (load_overload_policies @ [ ("deadline", Sched.Deadline 300_000) ])
+  in
+  let report =
+    {
+      lr_bullet = bullet;
+      lr_nfs = nfs;
+      lr_overload_clients = overload_clients;
+      lr_peak_goodput = peak_goodput;
+      lr_overload = overload;
+    }
+  in
+  assert_load_invariants report;
+  report
+
+(* A small overloaded run with the tracer on: the deterministic trace
+   the CI double-run diffs, and the input for [bullet_trace --sched]. *)
+let load_sched_trace () =
+  let (hot, _), (cold, _), (create, _) = bullet_load_profiles () in
+  let profiles = bullet_mix (hot, cold, create) in
+  (* Patience must clear the 233 ms create profile or only the 4 KB reads
+     could ever complete; the tight deadline still drops plenty, so the
+     trace shows ok, late, deadline and abandon outcomes side by side. *)
+  let retry = Backoff.policy ~attempts:3 ~timeout_us:500_000 ~backoff_us:20_000 in
+  let config =
+    load_config ~arms:2 ~profiles ~clients:12 ~think_us:20_000 ~requests_per_client:6
+      ~overload:{ Sched.accept_limit = 4; policy = Sched.Deadline 150_000; retry = Some retry }
+  in
+  let sink = Amoeba_trace.Sink.create () in
+  let report = Sched.run ~sink config in
+  (sink, report)

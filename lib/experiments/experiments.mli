@@ -367,3 +367,75 @@ val dir_pair_recovery : unit -> pair_report
     via a checkpoint copy. Afterwards the replicas must show no
     divergence and their canonical state dumps
     ({!Amoeba_dir.Dir_pair.replica_dumps}) must be byte-identical. *)
+
+(** {2 LOAD: multi-station concurrency and overload} *)
+
+type load_profile = {
+  lpr_class : string;  (** operation class, e.g. ["read64k"] *)
+  lpr_segments : (string * int) list;
+      (** scheduler demand: (station name, µs) in request order; sums to
+          [lpr_traced_us] exactly *)
+  lpr_traced_us : int;  (** attributed end-to-end time of the traced op *)
+}
+
+type load_point = {
+  lp_clients : int;
+  lp_throughput : float;
+  lp_mean_ms : float;
+  lp_p50_ms : float;
+  lp_p95_ms : float;
+  lp_p99_ms : float;
+  lp_util : (string * float) list;  (** per-station utilisation *)
+}
+
+type overload_point = {
+  ov_policy : string;  (** ["block"], ["shed"] or ["deadline"] *)
+  ov_goodput : float;  (** completions that reached a waiting client, per second *)
+  ov_p99_ms : float;
+  ov_offered : int;
+  ov_completed : int;
+  ov_failed : int;
+  ov_shed : int;
+  ov_deadline_misses : int;
+  ov_abandoned : int;
+  ov_retried : int;
+  ov_late : int;  (** completions the server wasted on departed clients *)
+}
+
+type server_load = {
+  sl_name : string;
+  sl_profiles : load_profile list;
+  sl_knee : float;  (** analytic saturation population *)
+  sl_serial_cap_per_sec : float;  (** one-request-at-a-time throughput bound *)
+  sl_knee_throughput : float;  (** measured at [ceil sl_knee] clients *)
+  sl_points : load_point list;
+}
+
+type load_report = {
+  lr_bullet : server_load;
+  lr_nfs : server_load;
+  lr_overload_clients : int;
+      (** 2x the measured saturation population (smallest swept client
+          count within 5% of peak) *)
+  lr_peak_goodput : float;  (** best throughput over the plain sweep *)
+  lr_overload : overload_point list;
+}
+
+val load_experiment :
+  ?client_counts:int list -> ?think_ms:int -> ?requests_per_client:int -> unit -> load_report
+(** The concurrent-server scaling story.  Demand profiles are measured
+    by tracing the real Bullet and NFS servers once per operation class
+    and converting the attribution sweep into per-station segments (the
+    sums are asserted to match the traced time exactly); the scheduler
+    then sweeps client counts over a CPU + wire + drive-arm station
+    network, and drives the Bullet configuration at twice its measured
+    saturation population under
+    [Block]/[Shed]/[Deadline] with retrying clients.  Raises [Failure]
+    if any acceptance invariant is violated: knee throughput must beat
+    the serial bound, shedding must hold goodput within 10% of peak, and
+    blocking must collapse below it. *)
+
+val load_sched_trace : unit -> Amoeba_trace.Sink.t * Amoeba_sched.Sched.report
+(** A small overloaded deterministic run with [sched.*] spans collected
+    in the returned sink — the trace the CI double-run diffs and
+    [bullet_trace --sched] renders. *)

@@ -1,0 +1,14 @@
+let doubling ~base_us ~attempt =
+  if base_us < 0 then invalid_arg "Backoff.doubling: negative base_us";
+  if attempt < 1 then invalid_arg "Backoff.doubling: attempt must be at least 1";
+  base_us * (1 lsl (attempt - 1))
+
+type policy = { attempts : int; timeout_us : int; backoff_us : int }
+
+let policy ~attempts ~timeout_us ~backoff_us =
+  if attempts < 1 then invalid_arg "Backoff.policy: attempts must be at least 1";
+  if timeout_us < 0 then invalid_arg "Backoff.policy: negative timeout_us";
+  if backoff_us < 0 then invalid_arg "Backoff.policy: negative backoff_us";
+  { attempts; timeout_us; backoff_us }
+
+let delay_us p ~attempt = doubling ~base_us:p.backoff_us ~attempt

@@ -1,0 +1,23 @@
+(** Client retry/backoff policy.
+
+    The schedule is the one the Bullet client has always used: the wait
+    before retry [n] is [backoff_us * 2^(n-1)].  It lives in [lib/fault]
+    so both the real RPC client and the scheduler's synthetic closed-loop
+    clients share one definition of "what a retrying client does". *)
+
+val doubling : base_us:int -> attempt:int -> int
+(** [doubling ~base_us ~attempt] is the wait (µs) after failed attempt
+    [attempt] (1-based): [base_us * 2^(attempt-1)].  Raises
+    [Invalid_argument] on a negative base or an attempt < 1. *)
+
+type policy = {
+  attempts : int;  (** total attempts, including the first (>= 1) *)
+  timeout_us : int;  (** client-side patience per attempt; 0 = wait forever *)
+  backoff_us : int;  (** base wait before the first retry *)
+}
+
+val policy : attempts:int -> timeout_us:int -> backoff_us:int -> policy
+(** Validating constructor. *)
+
+val delay_us : policy -> attempt:int -> int
+(** Wait before the retry that follows failed attempt [attempt]. *)

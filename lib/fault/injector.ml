@@ -5,7 +5,7 @@ module Transport = Amoeba_rpc.Transport
 module Link = Amoeba_rpc.Link
 module Block_device = Amoeba_disk.Block_device
 module Mirror = Amoeba_disk.Mirror
-module Event_queue = Amoeba_pool.Event_queue
+module Event_queue = Amoeba_sim.Event_queue
 
 (* Per-link-class fault state, indexed by [link_index]. *)
 type link_state = { mutable link_loss : float; mutable partitioned : bool }

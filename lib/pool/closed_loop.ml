@@ -20,7 +20,10 @@ type event =
   | Server_done  (** the request at the head of the queue completes service *)
   | Reply_received of int  (** response crossed the wire back to the client *)
 
-let run config =
+(* The original single-station implementation, kept verbatim as the
+   reference model: the regression test in test_pool checks that the
+   sched delegation below reproduces it bit for bit. *)
+let run_reference config =
   if config.clients <= 0 || config.requests_per_client <= 0 then
     invalid_arg "Closed_loop.run: need clients and requests";
   let queue = Event_queue.create () in
@@ -80,6 +83,40 @@ let run config =
     mean_response_ms = summary.Amoeba_sim.Stats.mean;
     p99_response_ms = Amoeba_sim.Stats.percentile stats "response_ms" 0.99;
     server_utilisation = float_of_int !busy_us /. float_of_int span;
+  }
+
+(* The closed loop is the degenerate scheduler configuration: one FIFO
+   server station plus a pure-delay wire, unbounded admission, no
+   retries.  Event-for-event this replays the reference model — same
+   arrival skew, same service and reply push order, same observation
+   sequence — so the reports agree exactly, floats included. *)
+let run config =
+  if config.clients <= 0 || config.requests_per_client <= 0 then
+    invalid_arg "Closed_loop.run: need clients and requests";
+  let open Amoeba_sched in
+  let sched_config =
+    {
+      Sched.stations =
+        [ Sched.station "server" Sched.Fifo; Sched.station "wire" ~layer:Amoeba_trace.Sink.Net Sched.Delay ];
+      profiles =
+        [ { Sched.pr_name = "request"; pr_segments = [ (0, config.server_us); (1, config.wire_us) ] } ];
+      clients = config.clients;
+      think_us = config.think_us;
+      requests_per_client = config.requests_per_client;
+      overload = Sched.no_overload;
+    }
+  in
+  let r = Sched.run sched_config in
+  let server =
+    match r.Sched.station_reports with s :: _ -> s | [] -> assert false
+  in
+  {
+    simulated_us = r.Sched.simulated_us;
+    completed = r.Sched.completed;
+    throughput_per_sec = r.Sched.throughput_per_sec;
+    mean_response_ms = r.Sched.mean_response_ms;
+    p99_response_ms = r.Sched.p99_response_ms;
+    server_utilisation = server.Sched.utilisation;
   }
 
 let saturation_clients ~server_us ~think_us ~wire_us =

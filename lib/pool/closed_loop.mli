@@ -31,7 +31,15 @@ type report = {
 }
 
 val run : config -> report
-(** Deterministic (FIFO service, fixed think/service times). *)
+(** Deterministic (FIFO service, fixed think/service times).  Since the
+    scheduler landed this delegates to {!Amoeba_sched.Sched.run} with a
+    degenerate configuration — one FIFO server station plus a pure-delay
+    wire — which replays the original implementation event for event. *)
+
+val run_reference : config -> report
+(** The original self-contained single-station implementation, kept as
+    the reference model; [run] must agree with it exactly (a regression
+    test holds the two to bitwise-equal reports). *)
 
 val saturation_clients : server_us:int -> think_us:int -> wire_us:int -> float
 (** The analytic knee of the closed loop:

@@ -1,64 +1,4 @@
-type 'a entry = { at : int; seq : int; payload : 'a }
-
-type 'a t = {
-  mutable heap : 'a entry array; (* min-heap on (at, seq); slot 0 unused *)
-  mutable count : int;
-  mutable next_seq : int;
-}
-
-let create () = { heap = Array.make 16 (Obj.magic 0); count = 0; next_seq = 0 }
-
-let less a b = a.at < b.at || (a.at = b.at && a.seq < b.seq)
-
-let swap t i j =
-  let tmp = t.heap.(i) in
-  t.heap.(i) <- t.heap.(j);
-  t.heap.(j) <- tmp
-
-let rec sift_up t i =
-  if i > 1 then begin
-    let parent = i / 2 in
-    if less t.heap.(i) t.heap.(parent) then begin
-      swap t i parent;
-      sift_up t parent
-    end
-  end
-
-let rec sift_down t i =
-  let left = 2 * i and right = (2 * i) + 1 in
-  let smallest = ref i in
-  if left <= t.count && less t.heap.(left) t.heap.(!smallest) then smallest := left;
-  if right <= t.count && less t.heap.(right) t.heap.(!smallest) then smallest := right;
-  if !smallest <> i then begin
-    swap t i !smallest;
-    sift_down t !smallest
-  end
-
-let push t ~time payload =
-  if time < 0 then invalid_arg "Event_queue.push: negative time";
-  let entry = { at = time; seq = t.next_seq; payload } in
-  t.next_seq <- t.next_seq + 1;
-  if t.count + 1 >= Array.length t.heap then begin
-    let bigger = Array.make (2 * Array.length t.heap) entry in
-    Array.blit t.heap 0 bigger 0 (t.count + 1);
-    t.heap <- bigger
-  end;
-  t.count <- t.count + 1;
-  t.heap.(t.count) <- entry;
-  sift_up t t.count
-
-let pop t =
-  if t.count = 0 then None
-  else begin
-    let top = t.heap.(1) in
-    t.heap.(1) <- t.heap.(t.count);
-    t.count <- t.count - 1;
-    if t.count > 0 then sift_down t 1;
-    Some (top.at, top.payload)
-  end
-
-let peek_time t = if t.count = 0 then None else Some t.heap.(1).at
-
-let size t = t.count
-
-let is_empty t = t.count = 0
+(* The implementation lives in lib/sim so that lower layers (fault,
+   sched) can schedule events without depending on the pool library;
+   this alias keeps the historical [Amoeba_pool.Event_queue] path. *)
+include Amoeba_sim.Event_queue

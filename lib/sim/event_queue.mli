@@ -1,0 +1,21 @@
+(** A binary-heap event queue for discrete-event simulation.
+
+    Events are (time, sequence, payload); the sequence number breaks
+    ties so simultaneous events pop in insertion order, keeping the
+    simulation deterministic. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val push : 'a t -> time:int -> 'a -> unit
+(** Schedule a payload at an absolute time (µs). *)
+
+val pop : 'a t -> (int * 'a) option
+(** Earliest event, or [None] when empty. *)
+
+val peek_time : 'a t -> int option
+
+val size : 'a t -> int
+
+val is_empty : 'a t -> bool

@@ -86,7 +86,10 @@ let op_class spans =
     | Some root -> root.Sink.name
     | None -> "?")
 
-let sweep spans =
+(* Fold [f] over the elementary intervals of one trace in time order,
+   passing the layer each interval is charged to.  Shared by {!sweep}
+   (which sums per layer) and {!segments} (which keeps the order). *)
+let fold_intervals spans ~init ~f =
   let roots = List.filter (fun (s : Sink.span) -> s.Sink.parent_id = 0) spans in
   let bounds =
     List.sort_uniq Int.compare
@@ -113,14 +116,25 @@ let sweep spans =
       let acc =
         if b > a && in_root a b then
           match winner a b with
-          | Some s -> charge acc s.Sink.layer (b - a)
+          | Some (s : Sink.span) -> f acc s.Sink.layer (b - a)
           | None -> acc
         else acc
       in
       go acc rest
     | _ -> acc
   in
-  go zero bounds
+  go init bounds
+
+let sweep spans = fold_intervals spans ~init:zero ~f:charge
+
+let segments spans =
+  let rev =
+    fold_intervals spans ~init:[] ~f:(fun acc layer us ->
+        match acc with
+        | (l, sum) :: tl when l = layer -> (l, sum + us) :: tl
+        | _ -> (layer, us) :: acc)
+  in
+  List.rev rev
 
 let of_spans spans =
   List.fold_left (fun acc (_, trace) -> add acc (sweep trace)) zero (by_trace spans)

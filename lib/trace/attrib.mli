@@ -27,6 +27,13 @@ val sweep : Sink.span list -> totals
 val of_spans : Sink.span list -> totals
 (** Group by trace id, sweep each trace, and sum. *)
 
+val segments : Sink.span list -> (Sink.layer * int) list
+(** The same attribution as {!sweep}, kept in temporal order: the
+    ordered per-layer decomposition of one trace, adjacent intervals of
+    the same layer coalesced.  The durations sum to [(sweep spans).total_us]
+    exactly, which makes the result directly usable as a scheduler
+    demand profile. *)
+
 val by_trace : Sink.span list -> (int * Sink.span list) list
 (** Group spans by trace id, first-appearance order preserved. *)
 

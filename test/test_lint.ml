@@ -112,6 +112,23 @@ let test_suppression () =
     [ "no-os-entropy" ]
     "(* lint: allow no-os-entropy *)\n\n\nlet n = Random.int 6"
 
+(* ---- lib/sched is in scope: the scheduler underpins every report ---- *)
+
+let test_sched_in_scope () =
+  let rules_at path source = rules_of (Lint.lint_source ~path source) in
+  Alcotest.(check (list string))
+    "wallclock in lib/sched"
+    [ "no-wallclock" ]
+    (rules_at "lib/sched/sched.ml" "let t = Unix.gettimeofday ()");
+  Alcotest.(check (list string))
+    "entropy in lib/sched"
+    [ "no-os-entropy" ]
+    (rules_at "lib/sched/sched.ml" "let quantum = Random.int 6");
+  Alcotest.(check (list string))
+    "bare compare in lib/sched"
+    [ "no-unstable-hash" ]
+    (rules_at "lib/sched/sched.ml" "let s l = List.sort compare l")
+
 (* ---- parse errors ---- *)
 
 let test_parse_error () =
@@ -151,6 +168,7 @@ let suite =
         test_trace_no_wallclock;
       Alcotest.test_case "wire-symmetry" `Quick test_wire_symmetry;
       Alcotest.test_case "suppression comments" `Quick test_suppression;
+      Alcotest.test_case "lib/sched is in scope" `Quick test_sched_in_scope;
       Alcotest.test_case "parse errors are diagnostics" `Quick test_parse_error;
       Alcotest.test_case "every rule is documented" `Quick test_rule_listing;
       Alcotest.test_case "diagnostic format" `Quick test_diagnostic_format;

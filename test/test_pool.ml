@@ -64,6 +64,66 @@ let prop_eq_sorts =
       let rec drain acc = match Eq.pop q with Some (t, _) -> drain (t :: acc) | None -> List.rev acc in
       drain [] = List.sort compare times)
 
+(* Fuzz the heap against a sorted-list reference model.  The model keeps
+   (time, seq) pairs sorted stably, so it pins not just time ordering but
+   the FIFO tie-break; interleaving pushes and pops (including pops on
+   empty) exercises sift-up and sift-down around every heap shape a
+   deterministic SplitMix64 stream can reach. *)
+let test_eq_fuzz_vs_reference () =
+  List.iter
+    (fun seed ->
+      let prng = Amoeba_sim.Prng.create ~seed in
+      let q = Eq.create () in
+      let model = ref [] in
+      (* model: (time, seq, payload) sorted by (time, seq) ascending *)
+      let next_seq = ref 0 in
+      let insert entry =
+        let time_of (t, _, _) = t and seq_of (_, s, _) = s in
+        let rec go = function
+          | [] -> [ entry ]
+          | e :: rest ->
+            if
+              time_of e > time_of entry
+              || (time_of e = time_of entry && seq_of e > seq_of entry)
+            then entry :: e :: rest
+            else e :: go rest
+        in
+        model := go !model
+      in
+      for step = 0 to 1_999 do
+        if Amoeba_sim.Prng.int prng 3 < 2 then begin
+          (* push twice as often as pop so the heap grows *)
+          let time = Amoeba_sim.Prng.int prng 100 in
+          Eq.push q ~time step;
+          insert (time, !next_seq, step);
+          incr next_seq
+        end
+        else begin
+          let expected =
+            match !model with
+            | [] -> None
+            | (t, _, payload) :: rest ->
+              model := rest;
+              Some (t, payload)
+          in
+          let got = Eq.pop q in
+          if got <> expected then
+            Alcotest.failf "seed %Ld step %d: heap disagrees with reference model" seed step
+        end;
+        if Eq.size q <> List.length !model then
+          Alcotest.failf "seed %Ld step %d: size %d, model %d" seed step (Eq.size q)
+            (List.length !model)
+      done;
+      (* drain both and compare the tail, then pop-on-empty *)
+      List.iter
+        (fun (t, _, payload) ->
+          if Eq.pop q <> Some (t, payload) then
+            Alcotest.failf "seed %Ld: drain order diverged" seed)
+        !model;
+      check_bool "pop on empty" true (Eq.pop q = None);
+      check_bool "empty after drain" true (Eq.is_empty q))
+    [ 1L; 0xDEADBEEFL; 42L; 0x5EEDL ]
+
 (* ---- closed loop ---- *)
 
 let base =
@@ -116,6 +176,33 @@ let test_deterministic () =
   let b = Loop.run { base with Loop.clients = 17 } in
   check_bool "same run, same numbers" true (a = b)
 
+(* [run] now delegates to the scheduler's degenerate single-station
+   configuration; the original implementation is kept as
+   [run_reference].  The two must agree to the bit — structural equality
+   on the report compares the floats exactly. *)
+let test_run_matches_reference () =
+  let knee =
+    Loop.saturation_clients ~server_us:base.Loop.server_us ~think_us:base.Loop.think_us
+      ~wire_us:base.Loop.wire_us
+  in
+  let fixtures =
+    [ base ]
+    @ List.map
+        (fun n -> { base with Loop.clients = n })
+        [ 2; 4; 17; 200; 500; max 1 (int_of_float knee / 2); int_of_float knee * 4 ]
+    @ [
+        { base with Loop.wire_us = 0 };
+        { base with Loop.think_us = 0; requests_per_client = 7 };
+        { Loop.clients = 13; think_us = 1; server_us = 1; wire_us = 1; requests_per_client = 3 };
+      ]
+  in
+  List.iteri
+    (fun i config ->
+      let delegated = Loop.run config in
+      let reference = Loop.run_reference config in
+      if delegated <> reference then Alcotest.failf "fixture %d: delegated run differs" i)
+    fixtures
+
 let test_scale_experiment_shape () =
   let r = Experiments.scale_experiment ~client_counts:[ 1; 64 ] () in
   check_bool "bullet demand below nfs demand" true
@@ -137,11 +224,14 @@ let suite =
       Alcotest.test_case "event queue grows" `Quick test_eq_grows;
       Alcotest.test_case "event queue rejects negative time" `Quick test_eq_rejects_negative_time;
       prop_eq_sorts;
+      Alcotest.test_case "event queue fuzz vs reference model" `Quick test_eq_fuzz_vs_reference;
       Alcotest.test_case "single client cycle time" `Quick test_single_client_cycle_time;
       Alcotest.test_case "throughput scales then saturates" `Quick
         test_throughput_scales_then_saturates;
       Alcotest.test_case "response grows past the knee" `Quick test_response_grows_past_knee;
       Alcotest.test_case "utilisation bounded" `Quick test_utilisation_bounded;
       Alcotest.test_case "deterministic" `Quick test_deterministic;
+      Alcotest.test_case "delegated run matches reference exactly" `Quick
+        test_run_matches_reference;
       Alcotest.test_case "scale experiment shape" `Slow test_scale_experiment_shape;
     ] )
