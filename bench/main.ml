@@ -545,6 +545,103 @@ let load () =
   close_out oc;
   Printf.printf "  machine-readable copy written to BENCH_load.json\n"
 
+(* ---- LEASE: the zero-RPC read fast path ---- *)
+
+let lease_json (r : E.lease_report) =
+  let profile (p : E.load_profile) =
+    json_obj
+      [
+        ("class", json_str p.E.lpr_class);
+        ("traced_us", string_of_int p.E.lpr_traced_us);
+        ( "segments",
+          json_arr
+            (List.map
+               (fun (st, us) -> json_obj [ ("station", json_str st); ("us", string_of_int us) ])
+               p.E.lpr_segments) );
+      ]
+  in
+  let fault (f : E.lease_fault) =
+    json_obj
+      [
+        ("plan", json_str f.E.lf_plan);
+        ("reads", string_of_int f.E.lf_reads);
+        ("failed", string_of_int f.E.lf_failed);
+        ("stale", string_of_int f.E.lf_stale);
+        ("revalidations", string_of_int f.E.lf_revalidations);
+        ("consistent", if f.E.lf_consistent then "true" else "false");
+      ]
+  in
+  json_obj
+    [
+      ("cold_rpcs", string_of_int r.E.le_cold_rpcs);
+      ("warm_reads", string_of_int r.E.le_warm_reads);
+      ("warm_rpcs", string_of_int r.E.le_warm_rpcs);
+      ("warm_read_us", string_of_int r.E.le_warm_read_us);
+      ("trusted_hit_us", string_of_int r.E.le_trusted_hit_us);
+      ("untrusted_hit_us", string_of_int r.E.le_untrusted_hit_us);
+      ("untrusted_hit_rpcs", string_of_int r.E.le_untrusted_hit_rpcs);
+      ("renew_rpcs", string_of_int r.E.le_renew_rpcs);
+      ("forged_rejected", if r.E.le_forged_rejected then "true" else "false");
+      ("faults", json_arr (List.map fault r.E.le_faults));
+      ("hot_profile", profile r.E.le_hot_profile);
+      ("hot_rpc_count", string_of_int r.E.le_hot_rpc_count);
+      ("baseline_hot_profile", profile r.E.le_baseline_hot);
+      ("baseline_knee_clients", json_float r.E.le_baseline_knee);
+      ("baseline_knee_throughput_per_sec", json_float r.E.le_baseline_knee_throughput);
+      ("leased_knee_clients", json_float r.E.le_leased_knee);
+      ("leased_knee_throughput_per_sec", json_float r.E.le_leased_knee_throughput);
+      ("server_evicted_bytes", string_of_int r.E.le_server_evicted_bytes);
+      ("client_evicted_bytes", string_of_int r.E.le_client_evicted_bytes);
+    ]
+
+let lease () =
+  header "LEASE - zero-RPC reads: local verification + leased client caching";
+  let r = E.lease_experiment () in
+  Printf.printf "\nRPCs per read on a trusted station (holds the server's sealer):\n";
+  Printf.printf "  %-34s %6s %12s\n" "operation" "RPCs" "latency us";
+  Printf.printf "  %-34s %6d %12s\n" "cold read (grant + SIZE + READ)" r.E.le_cold_rpcs "-";
+  Printf.printf "  %-34s %6d %12d\n"
+    (Printf.sprintf "warm read x%d (leased cache hit)" r.E.le_warm_reads)
+    r.E.le_warm_rpcs r.E.le_warm_read_us;
+  Printf.printf "  %-34s %6d %12d\n" "warm read, untrusted station" r.E.le_untrusted_hit_rpcs
+    r.E.le_untrusted_hit_us;
+  Printf.printf "  %-34s %6d %12s\n" "read after lease expiry (renew)" r.E.le_renew_rpcs "-";
+  Printf.printf "  forged check field rejected locally: %s\n"
+    (if r.E.le_forged_rejected then "yes" else "NO");
+  Printf.printf "\nFault plans (stale must be 0 everywhere):\n";
+  Printf.printf "  %-24s %6s %7s %6s %8s %11s\n" "plan" "reads" "failed" "stale" "revalid"
+    "consistent";
+  List.iter
+    (fun (f : E.lease_fault) ->
+      Printf.printf "  %-24s %6d %7d %6d %8d %11s\n" f.E.lf_plan f.E.lf_reads f.E.lf_failed
+        f.E.lf_stale f.E.lf_revalidations
+        (if f.E.lf_consistent then "yes" else "NO"))
+    r.E.le_faults;
+  let segs (p : E.load_profile) =
+    String.concat " + " (List.map (fun (st, us) -> Printf.sprintf "%s:%d" st us) p.E.lpr_segments)
+  in
+  Printf.printf "\nHot-read demand profile (us per station; rpc spans in trace: %d):\n"
+    r.E.le_hot_rpc_count;
+  Printf.printf "  %-10s %8d us  =  %s\n" "plain RPC" r.E.le_baseline_hot.E.lpr_traced_us
+    (segs r.E.le_baseline_hot);
+  Printf.printf "  %-10s %8d us  =  %s\n" "leased" r.E.le_hot_profile.E.lpr_traced_us
+    (segs r.E.le_hot_profile);
+  Printf.printf "\nLOAD knee, same mix with the hot class leased:\n";
+  Printf.printf "  %-10s %14s %16s\n" "" "knee clients" "throughput req/s";
+  Printf.printf "  %-10s %14.1f %16.1f\n" "baseline" r.E.le_baseline_knee
+    r.E.le_baseline_knee_throughput;
+  Printf.printf "  %-10s %14.1f %16.1f\n" "leased" r.E.le_leased_knee
+    r.E.le_leased_knee_throughput;
+  Printf.printf "\nEviction traffic under memory pressure (same counter, both ends):\n";
+  Printf.printf "  %-14s %10s\n" "cache" "bytes";
+  Printf.printf "  %-14s %10d\n" "server RAM" r.E.le_server_evicted_bytes;
+  Printf.printf "  %-14s %10d\n" "client leased" r.E.le_client_evicted_bytes;
+  let oc = open_out "BENCH_lease.json" in
+  output_string oc (lease_json r);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "  machine-readable copy written to BENCH_lease.json\n"
+
 let micro () =
   header "MICRO - Bechamel microbenchmarks (real wall-clock, ns/run)";
   let open Bechamel in
@@ -642,6 +739,7 @@ let all_benches =
     ("faults", faults);
     ("resync", resync);
     ("load", load);
+    ("lease", lease);
     ("micro", micro);
   ]
 

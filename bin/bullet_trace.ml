@@ -15,6 +15,7 @@
      bullet_trace --chrome trace.json   Chrome about://tracing export
      bullet_trace --trace N             restrict output to one trace id
      bullet_trace --sched               trace the overloaded scheduler run
+     bullet_trace --lease               trace the leased-station lease lifecycle
 
    Exit status 1 if any trace's per-layer attribution fails to sum
    exactly to its end-to-end duration — the invariant the attribution
@@ -153,11 +154,16 @@ let write_file path contents =
 
 (* ---- main ---- *)
 
-let run size attrib out load_path chrome only_trace sched =
+let run size attrib out load_path chrome only_trace sched lease =
   let spans =
-    match (load_path, sched) with
-    | Some p, _ -> load p
-    | None, true ->
+    match (load_path, sched, lease) with
+    | Some p, _, _ -> load p
+    | None, _, true ->
+      Printf.printf
+        "lease scenario: grant, zero-RPC cache hits, expiry+renewal, revocation after a \
+         replace, failed read after removal\n";
+      Sink.spans (Experiments.lease_trace ())
+    | None, true, _ ->
       let sink, report = Experiments.load_sched_trace () in
       Printf.printf
         "sched scenario: overloaded deterministic run - %d attempts offered, %d completed, %d \
@@ -166,7 +172,7 @@ let run size attrib out load_path chrome only_trace sched =
         report.Amoeba_sched.Sched.shed_count report.Amoeba_sched.Sched.deadline_misses
         report.Amoeba_sched.Sched.throughput_per_sec;
       Sink.spans sink
-    | None, false -> record size
+    | None, false, false -> record size
   in
   (match out with
   | Some p ->
@@ -185,7 +191,7 @@ let run size attrib out load_path chrome only_trace sched =
     | Some id -> List.filter (fun (tid, _) -> tid = id) traces
     | None -> traces
   in
-  if load_path = None && not sched then
+  if load_path = None && (not sched) && not lease then
     Printf.printf "recorded scenario: cold READ / hot SIZE+READ / CREATE+DELETE of a %s file\n"
       (pretty_bytes size);
   let bad = ref 0 in
@@ -212,10 +218,18 @@ let run size attrib out load_path chrome only_trace sched =
       end)
     traces;
   if attrib && List.length traces > 1 then begin
+    (* RPC transactions per op class: the lease fast path's headline
+       number — hot leased reads must show 0.0 here. *)
+    let rpcs_of cls =
+      List.fold_left
+        (fun acc (_, ts) -> if String.equal (Attrib.op_class ts) cls then acc + Attrib.rpc_count ts else acc)
+        0 traces
+    in
     Printf.printf "\nby op class\n";
     List.iter
       (fun (cls, n, t) ->
-        Printf.printf "  %-16s x%-3d\n" cls n;
+        Printf.printf "  %-16s x%-3d  rpc/op %4.1f\n" cls n
+          (float_of_int (rpcs_of cls) /. float_of_int n);
         print_attrib t)
       (Attrib.by_class (List.concat_map snd traces))
   end;
@@ -265,9 +279,17 @@ let sched =
     & info [ "sched" ]
         ~doc:"Trace the overloaded scheduler run instead of recording the file-server scenario.")
 
+let lease =
+  Arg.(
+    value & flag
+    & info [ "lease" ]
+        ~doc:
+          "Trace the leased-station scenario (grant, zero-RPC hits, renewal, revocation) instead \
+           of recording the file-server scenario.")
+
 let cmd =
   let doc = "record, dump and attribute Bullet request traces" in
   Cmd.v (Cmd.info "bullet_trace" ~doc)
-    Term.(const run $ size $ attrib $ out $ load_path $ chrome $ only_trace $ sched)
+    Term.(const run $ size $ attrib $ out $ load_path $ chrome $ only_trace $ sched $ lease)
 
 let () = exit (Cmd.eval cmd)

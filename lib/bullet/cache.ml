@@ -78,6 +78,7 @@ let evict_one t =
     drop t rnode;
     t.on_evict ~inode:e.inode ~rnode;
     Amoeba_sim.Stats.incr t.stats "evictions";
+    Amoeba_sim.Stats.add t.stats "bytes_evicted" e.length;
     (match t.tracer with
     | None -> ()
     | Some tr ->

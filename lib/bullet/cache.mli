@@ -69,4 +69,7 @@ val touch : t -> rnode:int -> unit
 (** Refresh a file's LRU age without reading it. *)
 
 val stats : t -> Amoeba_sim.Stats.t
-(** Counters: [insertions], [evictions], [compactions], [bytes_moved]. *)
+(** Counters: [insertions], [evictions], [bytes_evicted], [compactions],
+    [bytes_moved]. [bytes_evicted] sums the payload bytes dropped by LRU
+    replacement, mirroring the client cache's counter of the same name so
+    the bench can report both sides symmetrically. *)

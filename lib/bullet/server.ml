@@ -87,6 +87,8 @@ let clock t = t.clock
 
 let mirror t = t.mirror
 
+let sealer t = t.sealer
+
 let stats t = t.stats
 
 let set_tracer t tracer =
@@ -394,3 +396,5 @@ let disk_fragmentation t = Extent_alloc.fragmentation t.disk_alloc
 let cache_used t = Cache.used_bytes t.cache
 
 let cache_capacity t = Cache.capacity t.cache
+
+let cache_stats t = Cache.stats t.cache

@@ -152,8 +152,20 @@ val cache_used : t -> int
 
 val cache_capacity : t -> int
 
+val cache_stats : t -> Amoeba_sim.Stats.t
+(** The RAM cache's own counters ([hits], [misses], [evictions],
+    [bytes_evicted], ...) — the server-side mirror of
+    {!Amoeba_lease.File_cache.stats}, so benches can report eviction
+    traffic on both ends of the lease protocol. *)
+
 val stats : t -> Amoeba_sim.Stats.t
 (** Counters: [creates], [reads], [deletes], [modifies], [cache_hits],
     [cache_misses]. *)
 
 val mirror : t -> Amoeba_disk.Mirror.t
+
+val sealer : t -> Amoeba_cap.Sealer.t
+(** The server's sealer. Handing this to a client models the paper's
+    trusted-station configuration: the station can verify check fields
+    locally ({!Amoeba_cap.Sealer.verify_local}) without a round trip.
+    Untrusted clients never see it. *)

@@ -38,6 +38,20 @@ let lookup t dir name =
        (Message.request ~port:t.service ~command:Dir_proto.cmd_lookup ~cap:dir
           ~body:(body_name name) ()))
 
+let lookup_lease t dir name =
+  let reply =
+    checked t
+      (Message.request ~port:t.service ~command:Dir_proto.cmd_lookup_lease ~cap:dir
+         ~body:(body_name name) ())
+  in
+  (cap_of reply, reply.Message.arg0, reply.Message.arg1)
+
+let renew_lease t dir =
+  let reply =
+    checked t (Message.request ~port:t.service ~command:Dir_proto.cmd_renew_lease ~cap:dir ())
+  in
+  (reply.Message.arg0, reply.Message.arg1)
+
 let enter t dir name target =
   let (_ : Message.t) =
     checked t

@@ -20,6 +20,14 @@ val make_dir : t -> Amoeba_cap.Capability.t
 
 val lookup : t -> Amoeba_cap.Capability.t -> string -> Amoeba_cap.Capability.t
 
+val lookup_lease : t -> Amoeba_cap.Capability.t -> string -> Amoeba_cap.Capability.t * int * int
+(** Lookup plus a lease grant: [(newest, epoch, lease_us)]. Callers must
+    date the lease from the time they {e sent} the request; see
+    {!Dir_server.lookup_lease}. *)
+
+val renew_lease : t -> Amoeba_cap.Capability.t -> int * int
+(** Cheap revalidation of a directory's bindings: [(epoch, lease_us)]. *)
+
 val enter : t -> Amoeba_cap.Capability.t -> string -> Amoeba_cap.Capability.t -> unit
 
 val replace :

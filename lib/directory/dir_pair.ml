@@ -54,12 +54,18 @@ let mutating command =
   || command = Dir_proto.cmd_replace || command = Dir_proto.cmd_remove_name
   || command = Dir_proto.cmd_delete_dir
 
+(* Lease grants mutate replica state too (the lease horizon): both
+   replicas must record every promise, or a fail-over could let the
+   survivor mutate before a lease granted by its peer has drained. *)
+let lease_granting command =
+  command = Dir_proto.cmd_lookup_lease || command = Dir_proto.cmd_renew_lease
+
 let dispatch t request =
   let command = request.Message.command in
   if command = Dir_proto.cmd_checkpoint then
     (* checkpointing is per-replica persistence, not replicated state *)
     Dir_proto.dispatch (if t.primary_up then t.primary else t.backup) request
-  else if mutating command then begin
+  else if mutating command || lease_granting command then begin
     let reply_backup = Dir_proto.dispatch t.backup request in
     if t.primary_up then begin
       let reply_primary = Dir_proto.dispatch t.primary request in

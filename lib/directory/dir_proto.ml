@@ -26,6 +26,10 @@ let cmd_get_root = 11
 
 let cmd_resolve = 12
 
+let cmd_lookup_lease = 13
+
+let cmd_renew_lease = 14
+
 let encode_listing rows =
   let buf = Buffer.create 128 in
   let add_row (name, cap) =
@@ -138,6 +142,18 @@ let dispatch server request =
         reply_of_result
           ~encode:(fun found -> Message.reply ~status:Status.Ok ~cap:found ())
           (Dir_server.resolve server cap (name_of request)))
+  else if command = cmd_lookup_lease then
+    with_cap request (fun cap ->
+        reply_of_result
+          ~encode:(fun (found, epoch, lease_us) ->
+            Message.reply ~status:Status.Ok ~cap:found ~arg0:epoch ~arg1:lease_us ())
+          (Dir_server.lookup_lease server cap (name_of request)))
+  else if command = cmd_renew_lease then
+    with_cap request (fun cap ->
+        reply_of_result
+          ~encode:(fun (epoch, lease_us) ->
+            Message.reply ~status:Status.Ok ~arg0:epoch ~arg1:lease_us ())
+          (Dir_server.renew_lease server cap))
   else if command = cmd_checkpoint then
     reply_of_result
       ~encode:(fun cap -> Message.reply ~status:Status.Ok ~cap ())

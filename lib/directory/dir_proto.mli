@@ -28,6 +28,13 @@ val cmd_get_root : int
 
 val cmd_resolve : int
 
+val cmd_lookup_lease : int
+(** Like [cmd_lookup] but also grants a lease: reply carries the bound
+    capability plus [arg0] = directory epoch, [arg1] = lease duration µs. *)
+
+val cmd_renew_lease : int
+(** Cheap revalidation: reply [arg0] = epoch, [arg1] = lease duration µs. *)
+
 val encode_named_cap : Amoeba_cap.Capability.t -> string -> bytes
 (** Body layout of enter/replace requests: target capability followed by
     the name. *)

@@ -1,9 +1,9 @@
 module Status = Amoeba_rpc.Status
 module Cap = Amoeba_cap.Capability
 
-type config = { cpu_request_us : int; max_versions : int; p_factor : int }
+type config = { cpu_request_us : int; max_versions : int; p_factor : int; lease_us : int }
 
-let default_config = { cpu_request_us = 1_000; max_versions = 3; p_factor = 2 }
+let default_config = { cpu_request_us = 1_000; max_versions = 3; p_factor = 2; lease_us = 500_000 }
 
 type binding = { name : string; versions : Cap.t list (* newest first, non-empty *) }
 
@@ -11,6 +11,8 @@ type dir = {
   random : int64;
   mutable rows : binding list; (* sorted by name *)
   mutable file : Cap.t option; (* the Bullet file persisting this directory *)
+  mutable epoch : int; (* bumped on replace/remove so leased clients revalidate *)
+  mutable leases_until : int; (* latest lease horizon granted on this dir, µs *)
 }
 
 type t = {
@@ -136,7 +138,9 @@ let random_for ~seed obj =
 let fresh_dir t =
   let obj = t.next_obj in
   t.next_obj <- obj + 1;
-  let dir = { random = random_for ~seed:t.seed obj; rows = []; file = None } in
+  let dir =
+    { random = random_for ~seed:t.seed obj; rows = []; file = None; epoch = 0; leases_until = 0 }
+  in
   Hashtbl.replace t.dirs obj dir;
   persist t dir;
   (obj, dir)
@@ -192,6 +196,33 @@ let ( let* ) = Result.bind
 
 let find_binding dir name = List.find_opt (fun b -> b.name = name) dir.rows
 
+(* ---- leases (Gray & Cheriton) ----
+
+   A lease is a promise not to change this directory's bindings before a
+   horizon. The server only remembers the latest horizon it promised;
+   an epoch-bumping mutation first waits the horizon out (the write-wait),
+   so a client whose lease deadline is strictly earlier than the server's
+   recorded horizon can serve cached data without ever returning a byte
+   that a completed mutation replaced. *)
+
+let grant_lease t dir =
+  let expiry = Amoeba_sim.Clock.now t.clock + t.config.lease_us in
+  if expiry > dir.leases_until then dir.leases_until <- expiry;
+  Amoeba_sim.Stats.incr t.stats "leases_granted"
+
+let wait_out_leases t dir =
+  let now = Amoeba_sim.Clock.now t.clock in
+  if dir.leases_until > now then begin
+    Amoeba_sim.Stats.incr t.stats "lease_waits";
+    Amoeba_sim.Stats.add t.stats "lease_wait_us" (dir.leases_until - now);
+    Amoeba_sim.Clock.advance_to t.clock dir.leases_until
+  end
+
+let bump_epoch t dir =
+  wait_out_leases t dir;
+  dir.epoch <- dir.epoch + 1;
+  Amoeba_sim.Stats.incr t.stats "epoch_bumps"
+
 let lookup t cap name =
   charge_cpu t;
   Amoeba_sim.Stats.incr t.stats "lookups";
@@ -199,6 +230,27 @@ let lookup t cap name =
   match find_binding dir name with
   | Some { versions = newest :: _; _ } -> Ok newest
   | Some { versions = []; _ } | None -> Error Status.Not_found
+
+let lookup_lease t cap name =
+  charge_cpu t;
+  Amoeba_sim.Stats.incr t.stats "lookup_leases";
+  let* _obj, dir = verify t cap ~need:Amoeba_cap.Rights.read in
+  match find_binding dir name with
+  | Some { versions = newest :: _; _ } ->
+    grant_lease t dir;
+    Ok (newest, dir.epoch, t.config.lease_us)
+  | Some { versions = []; _ } | None -> Error Status.Not_found
+
+let renew_lease t cap =
+  charge_cpu t;
+  Amoeba_sim.Stats.incr t.stats "lease_renewals";
+  let* _obj, dir = verify t cap ~need:Amoeba_cap.Rights.read in
+  grant_lease t dir;
+  Ok (dir.epoch, t.config.lease_us)
+
+let epoch t cap =
+  let* _obj, dir = verify t cap ~need:Amoeba_cap.Rights.read in
+  Ok dir.epoch
 
 let versions t cap name =
   charge_cpu t;
@@ -246,6 +298,7 @@ let replace t cap name target =
   let* _obj, dir = verify t cap ~need:Amoeba_cap.Rights.modify in
   if name = "" then Error Status.Bad_request
   else begin
+    bump_epoch t dir;
     let previous, retained, trimmed =
       match find_binding dir name with
       | None -> (None, [ target ], [])
@@ -277,6 +330,7 @@ let remove_name t cap name =
   match find_binding dir name with
   | None -> Error Status.Not_found
   | Some _ ->
+    bump_epoch t dir;
     dir.rows <- List.filter (fun b -> b.name <> name) dir.rows;
     persist t dir;
     Ok ()
@@ -293,6 +347,9 @@ let delete_dir t cap =
   if obj = t.root_obj then Error Status.Bad_request
   else if dir.rows <> [] then Error Status.Bad_request
   else begin
+    (* the dir object disappears, so there is no epoch to bump, but any
+       outstanding lease must still drain before the name goes away *)
+    wait_out_leases t dir;
     (match dir.file with Some f -> bullet_delete_quietly t f | None -> ());
     Hashtbl.remove t.dirs obj;
     Ok ()
@@ -327,6 +384,10 @@ let checkpoint t =
   let encode_dir obj dir =
     add_u32 buf obj;
     add_u64 buf dir.random;
+    add_u32 buf dir.epoch;
+    (* the lease horizon is deliberately NOT checkpointed: replica horizons
+       can differ by a CPU charge, and checkpoints must be byte-identical
+       across the pair. Restore re-arms a conservative horizon instead. *)
     match dir.file with
     | Some cap ->
       Buffer.add_char buf '\001';
@@ -368,6 +429,7 @@ let restore ?(config = default_config) ?(seed = 0x444952535256L) ?from ~store ch
     let restore_dir () =
       let obj = read_u32 r in
       let random = read_u64 r in
+      let epoch = read_u32 r in
       let has_file = Bytes.get r.data r.pos <> '\000' in
       r.pos <- r.pos + 1;
       let file = if has_file then Some (read_cap r) else None in
@@ -376,7 +438,10 @@ let restore ?(config = default_config) ?(seed = 0x444952535256L) ?from ~store ch
         | None -> []
         | Some cap -> decode_rows (Bullet_core.Client.read from cap)
       in
-      Hashtbl.replace t.dirs obj { random; rows; file }
+      (* assume the worst about leases granted before the checkpoint: any
+         of them could still be live for up to one full lease term *)
+      let leases_until = Amoeba_sim.Clock.now t.clock + config.lease_us in
+      Hashtbl.replace t.dirs obj { random; rows; file; epoch; leases_until }
     in
     (try
        for _ = 1 to count do

@@ -24,10 +24,11 @@ type config = {
   cpu_request_us : int;  (** per-request CPU *)
   max_versions : int;  (** versions retained per name (≥ 1) *)
   p_factor : int;  (** paranoia factor for directory file writes *)
+  lease_us : int;  (** duration of binding leases granted to clients *)
 }
 
 val default_config : config
-(** 1 ms CPU, 3 versions, P-FACTOR 2. *)
+(** 1 ms CPU, 3 versions, P-FACTOR 2, 500 ms leases. *)
 
 val create : ?config:config -> ?seed:int64 -> store:Bullet_core.Client.t -> unit -> t
 (** A directory server backed by the given Bullet service. The root
@@ -71,6 +72,37 @@ val replace :
 val versions :
   t -> Amoeba_cap.Capability.t -> string -> (Amoeba_cap.Capability.t list, Amoeba_rpc.Status.t) result
 (** All retained versions, newest first. *)
+
+(** {1 Leases}
+
+    Gray & Cheriton leases over directory bindings, the invalidation
+    protocol for client whole-file caches ({!Amoeba_lease.Station}).
+    Every directory carries an {e epoch}, bumped by {!replace} and
+    {!remove_name}. A lease is a promise that the epoch will not change
+    before [now + lease_us]: epoch-bumping mutations first wait out the
+    latest granted horizon on the simulated clock (the write-wait), so a
+    client that discards cached bindings when its lease deadline passes
+    can never serve a byte that a completed mutation replaced. *)
+
+val lookup_lease :
+  t ->
+  Amoeba_cap.Capability.t ->
+  string ->
+  (Amoeba_cap.Capability.t * int * int, Amoeba_rpc.Status.t) result
+(** {!lookup} plus a lease: [(newest, epoch, lease_us)]. The client must
+    date the lease from its {e request send} time, which is never later
+    than the server's grant time. *)
+
+val renew_lease :
+  t -> Amoeba_cap.Capability.t -> (int * int, Amoeba_rpc.Status.t) result
+(** The cheap revalidation call: grants a fresh lease on the directory and
+    returns [(epoch, lease_us)]. If the epoch matches what the client saw
+    at {!lookup_lease} time, every binding it cached from this directory
+    is still current; otherwise it must re-look-up. *)
+
+val epoch : t -> Amoeba_cap.Capability.t -> (int, Amoeba_rpc.Status.t) result
+(** Current epoch of a directory (no lease granted, no CPU charge);
+    for tests and tooling. *)
 
 val resolve :
   t -> Amoeba_cap.Capability.t -> string -> (Amoeba_cap.Capability.t, Amoeba_rpc.Status.t) result

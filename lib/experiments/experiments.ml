@@ -1799,3 +1799,523 @@ let load_sched_trace () =
   let sink = Amoeba_trace.Sink.create () in
   let report = Sched.run ~sink config in
   (sink, report)
+
+(* ---- LEASE: the zero-RPC read fast path ---- *)
+
+module Dir_server = Amoeba_dir.Dir_server
+module Station = Amoeba_lease.Station
+module Cap = Amoeba_cap.Capability
+module Sealer = Amoeba_cap.Sealer
+
+(* One transport, three Bullet servers (file storage plus the two
+   directory-pair stores), the replicated directory pair on top.  This is
+   the full stack a leased station talks to: names and leases from the
+   pair, bytes from the file server. *)
+type lease_rig = {
+  lz_clock : Clock.t;
+  lz_transport : Transport.t;
+  lz_files : Server.t;
+  lz_files_client : Client.t;
+  lz_pair : Pair.t;
+  lz_dirs : Dir_client.t;
+  lz_root : Cap.t;
+}
+
+(* Short leases keep the experiment clock small; every timing below is
+   stated relative to this. *)
+let lease_dir_config = { Dir_server.default_config with Dir_server.lease_us = 200_000 }
+
+let make_lease_rig () =
+  let clock = Clock.create () in
+  let transport = Transport.create ~clock in
+  let geometry = Geometry.small ~sectors:testbed_sectors in
+  let boot name seed =
+    let d1 = Dev.create ~id:(name ^ "-1") ~geometry ~clock in
+    let d2 = Dev.create ~id:(name ^ "-2") ~geometry ~clock in
+    let mirror = Mirror.create [ d1; d2 ] in
+    Server.format mirror ~max_files:1024;
+    let server, _report = Result.get_ok (Server.start ~seed mirror) in
+    Bullet_core.Proto.serve server transport;
+    (server, Client.connect transport (Server.port server))
+  in
+  let files, files_client = boot "lease-files" 5L in
+  let _, primary_store = boot "lease-dirp" 11L in
+  let _, backup_store = boot "lease-dirb" 22L in
+  let pair = Pair.create ~config:lease_dir_config ~primary_store ~backup_store () in
+  Pair.serve pair transport;
+  let dirs = Dir_client.connect transport (Pair.port pair) in
+  {
+    lz_clock = clock;
+    lz_transport = transport;
+    lz_files = files;
+    lz_files_client = files_client;
+    lz_pair = pair;
+    lz_dirs = dirs;
+    lz_root = Pair.root pair;
+  }
+
+let trusted_station ?config rig =
+  Station.create ?config ~sealer:(Server.sealer rig.lz_files) ~store:rig.lz_files_client
+    ~dirs:rig.lz_dirs ()
+
+let untrusted_station ?config rig =
+  Station.create ?config ~store:rig.lz_files_client ~dirs:rig.lz_dirs ()
+
+let transactions rig = Amoeba_sim.Stats.count (Transport.stats rig.lz_transport) "transactions"
+
+(* Run [f] and count the RPC transactions it issued. *)
+let counting_rpcs rig f =
+  let before = transactions rig in
+  let v = f () in
+  (v, transactions rig - before)
+
+(* ---- no-stale-byte scenarios under fault plans ---- *)
+
+type lease_fault = {
+  lf_plan : string;
+  lf_reads : int;
+  lf_failed : int;  (** liveness losses: Not_found after removal, exhausted retries *)
+  lf_stale : int;  (** reads returning old bytes after the mutation completed — must be 0 *)
+  lf_revalidations : int;  (** renew + grant RPCs the station issued *)
+  lf_consistent : bool;  (** pair replicas byte-identical at the end *)
+}
+
+(* The common reader loop: a station reads [name] every [step_us]; the
+   writer replaces the binding at [mutate_at] (on the shared clock).  A
+   read that completes at or after the replace completed and still
+   returns the old bytes is a stale serve — the protocol's one forbidden
+   outcome.  [mutate] performs the mutation and returns the completion
+   time; reads that raise count as liveness failures only. *)
+let stale_read_loop ~rig ~station ~name ~old_data ~step_us ~until_us ~mutate_at ~mutate
+    ~(poll : unit -> unit) () =
+  let reads = ref 0 and failed = ref 0 and stale = ref 0 in
+  let mutated_at = ref max_int in
+  while Clock.now rig.lz_clock < until_us do
+    poll ();
+    if Clock.now rig.lz_clock >= mutate_at && !mutated_at = max_int then
+      mutated_at := mutate ();
+    (match Station.read station ~dir:rig.lz_root name with
+    | data ->
+      incr reads;
+      if Bytes.equal data old_data && Clock.now rig.lz_clock >= !mutated_at then incr stale
+    | exception Status.Error _ -> incr failed);
+    Clock.advance rig.lz_clock step_us
+  done;
+  (!reads, !failed, !stale)
+
+let revalidations station =
+  let s = Station.stats station in
+  Amoeba_sim.Stats.count s "lease_renewals" + Amoeba_sim.Stats.count s "lease_grants"
+
+(* Scenario 1: a replace racing lease expiry.  Reads are spaced so the
+   mutation lands exactly while a granted lease is still outstanding —
+   the directory pair must wait the horizon out before bumping. *)
+let lease_fault_expiry_race () =
+  let rig = make_lease_rig () in
+  let station = trusted_station rig in
+  let data_a = Bytes.make 4_096 'A' and data_b = Bytes.make 4_096 'B' in
+  let cap_a = Client.create rig.lz_files_client data_a in
+  Dir_client.enter rig.lz_dirs rig.lz_root "f" cap_a;
+  ignore (Station.read station ~dir:rig.lz_root "f");
+  let mutate () =
+    let cap_b = Client.create rig.lz_files_client data_b in
+    ignore (Dir_client.replace rig.lz_dirs rig.lz_root "f" cap_b);
+    Clock.now rig.lz_clock
+  in
+  let start = Clock.now rig.lz_clock in
+  let reads, failed, stale =
+    stale_read_loop ~rig ~station ~name:"f" ~old_data:data_a ~step_us:60_000
+      ~until_us:(start + 1_500_000) ~mutate_at:(start + 130_000) ~mutate
+      ~poll:(fun () -> ())
+      ()
+  in
+  {
+    lf_plan = "expiry-races-replace";
+    lf_reads = reads;
+    lf_failed = failed;
+    lf_stale = stale;
+    lf_revalidations = revalidations station;
+    lf_consistent = Option.is_none (Pair.divergence rig.lz_pair);
+  }
+
+(* Scenario 2: the directory primary crashes on the epoch-bumping
+   mutation and heals later from the backup's checkpoint — which must
+   carry the epoch, or healed clients could trust stale leases. *)
+let lease_fault_primary_crash () =
+  let rig = make_lease_rig () in
+  let station = trusted_station rig in
+  let data_a = Bytes.make 4_096 'A' and data_b = Bytes.make 4_096 'B' in
+  let cap_a = Client.create rig.lz_files_client data_a in
+  Dir_client.enter rig.lz_dirs rig.lz_root "f" cap_a;
+  ignore (Station.read station ~dir:rig.lz_root "f");
+  let start = Clock.now rig.lz_clock in
+  let crash_at = start + 125_000 and heal_at = start + 900_000 in
+  let plan =
+    Plan.create ~seed:0x1EA5EL
+    |> fun p -> Plan.at p ~us:crash_at Plan.Server_crash
+    |> fun p -> Plan.at p ~us:heal_at Plan.Server_reboot
+  in
+  let injector =
+    Injector.attach ~transport:rig.lz_transport
+      ~on_crash:(fun () -> Pair.fail_primary rig.lz_pair)
+      ~on_reboot:(fun () -> Pair.heal_primary rig.lz_pair)
+      ~clock:rig.lz_clock plan
+  in
+  let mutate () =
+    let cap_b = Client.create rig.lz_files_client data_b in
+    ignore (Dir_client.replace rig.lz_dirs rig.lz_root "f" cap_b);
+    Clock.now rig.lz_clock
+  in
+  let reads, failed, stale =
+    stale_read_loop ~rig ~station ~name:"f" ~old_data:data_a ~step_us:60_000
+      ~until_us:(start + 1_500_000)
+      ~mutate_at:crash_at (* the bump lands in the crash window *)
+      ~mutate
+      ~poll:(fun () -> Injector.poll injector)
+      ()
+  in
+  Injector.poll injector;
+  Injector.detach injector;
+  let dump_p, dump_b = Pair.replica_dumps rig.lz_pair in
+  let epochs_agree =
+    match
+      ( Dir_server.epoch (Pair.primary rig.lz_pair) (Dir_server.root (Pair.primary rig.lz_pair)),
+        Dir_server.epoch (Pair.backup rig.lz_pair) (Dir_server.root (Pair.backup rig.lz_pair)) )
+    with
+    | Ok a, Ok b -> a = b
+    | _ -> false
+  in
+  {
+    lf_plan = "dir-primary-crash";
+    lf_reads = reads;
+    lf_failed = failed;
+    lf_stale = stale;
+    lf_revalidations = revalidations station;
+    lf_consistent =
+      Pair.primary_alive rig.lz_pair
+      && Option.is_none (Pair.divergence rig.lz_pair)
+      && String.equal dump_p dump_b && epochs_agree;
+  }
+
+(* Scenario 3: message loss while leases are being revalidated.  Reads
+   are spaced past the lease term so every read needs a renewal RPC, and
+   30% of messages vanish; the station's retries carry it through (or
+   fail the read — a liveness loss, never a stale serve). *)
+let lease_fault_loss_on_revalidate () =
+  let rig = make_lease_rig () in
+  let station = trusted_station rig in
+  let data_a = Bytes.make 4_096 'A' and data_b = Bytes.make 4_096 'B' in
+  let cap_a = Client.create rig.lz_files_client data_a in
+  Dir_client.enter rig.lz_dirs rig.lz_root "f" cap_a;
+  ignore (Station.read station ~dir:rig.lz_root "f");
+  let start = Clock.now rig.lz_clock in
+  let plan =
+    Plan.create ~seed:0x10FFL
+    |> fun p -> Plan.at p ~us:(start + 200_000) (Plan.Message_loss 0.3)
+    |> fun p -> Plan.at p ~us:(start + 2_200_000) (Plan.Message_loss 0.)
+  in
+  let injector = Injector.attach ~transport:rig.lz_transport ~clock:rig.lz_clock plan in
+  let mutate () =
+    let cap_b = Client.create rig.lz_files_client data_b in
+    ignore (Dir_client.replace rig.lz_dirs rig.lz_root "f" cap_b);
+    Clock.now rig.lz_clock
+  in
+  let reads, failed, stale =
+    stale_read_loop ~rig ~station ~name:"f" ~old_data:data_a ~step_us:250_000
+      ~until_us:(start + 3_200_000)
+      ~mutate_at:(start + 2_400_000) (* after the loss window clears *)
+      ~mutate
+      ~poll:(fun () -> Injector.poll injector)
+      ()
+  in
+  Injector.detach injector;
+  {
+    lf_plan = "loss-on-revalidation";
+    lf_reads = reads;
+    lf_failed = failed;
+    lf_stale = stale;
+    lf_revalidations = revalidations station;
+    lf_consistent = Option.is_none (Pair.divergence rig.lz_pair);
+  }
+
+(* Scenario 4: a skewed client lease clock, scripted through the plan
+   DSL (this also exercises the lease_skew grammar).  The clock jumps
+   forward mid-lease, then steps backwards — the backward step must drop
+   every lease.  The binding is removed after the skewing; a skewed
+   client may fail reads early (liveness) but never serves after the
+   removal completed. *)
+let lease_fault_clock_skew () =
+  let rig = make_lease_rig () in
+  let station = trusted_station rig in
+  let data_a = Bytes.make 4_096 'A' in
+  let cap_a = Client.create rig.lz_files_client data_a in
+  Dir_client.enter rig.lz_dirs rig.lz_root "f" cap_a;
+  ignore (Station.read station ~dir:rig.lz_root "f");
+  let start = Clock.now rig.lz_clock in
+  let plan_text =
+    Printf.sprintf "seed 77\nat %d lease_skew 150000\nat %d lease_skew -50000\n"
+      (start + 200_000) (start + 700_000)
+  in
+  let plan = match Plan.parse plan_text with Ok p -> p | Error e -> failwith e in
+  let injector =
+    Injector.attach ~transport:rig.lz_transport ~on_lease_skew:(Station.set_skew station)
+      ~clock:rig.lz_clock plan
+  in
+  let mutate () =
+    Dir_client.remove_name rig.lz_dirs rig.lz_root "f";
+    Clock.now rig.lz_clock
+  in
+  let reads, failed, stale =
+    stale_read_loop ~rig ~station ~name:"f" ~old_data:data_a ~step_us:60_000
+      ~until_us:(start + 1_800_000) ~mutate_at:(start + 900_000) ~mutate
+      ~poll:(fun () -> Injector.poll injector)
+      ()
+  in
+  Injector.detach injector;
+  let steps_back = Amoeba_sim.Stats.count (Station.stats station) "lease_clock_steps_back" in
+  {
+    lf_plan = "lease-clock-skew";
+    lf_reads = reads;
+    lf_failed = failed;
+    lf_stale = stale;
+    lf_revalidations = revalidations station;
+    lf_consistent = steps_back >= 1 && Option.is_none (Pair.divergence rig.lz_pair);
+  }
+
+(* ---- the leased LOAD profile: what the scheduler sees ---- *)
+
+(* Trace one warm leased read.  No transport tracer is attached, and
+   none is needed: the fast path never touches the transport, which is
+   the point — the trace must contain zero "rpc" spans. *)
+let leased_hot_profile () =
+  let rig = make_lease_rig () in
+  let station = trusted_station rig in
+  let cap = Client.create rig.lz_files_client (Bytes.make 4_096 'h') in
+  Dir_client.enter rig.lz_dirs rig.lz_root "hot" cap;
+  ignore (Station.read station ~dir:rig.lz_root "hot");
+  ignore (Station.read station ~dir:rig.lz_root "hot");
+  let tracer = Amoeba_trace.Trace.create ~clock:rig.lz_clock () in
+  let sink = Amoeba_trace.Trace.sink tracer in
+  Amoeba_rpc.Transport.set_tracer rig.lz_transport (Some tracer);
+  Station.set_tracer station (Some tracer);
+  ignore (Station.read station ~dir:rig.lz_root "hot");
+  Station.set_tracer station None;
+  Amoeba_rpc.Transport.set_tracer rig.lz_transport None;
+  let spans = Amoeba_trace.Sink.spans sink in
+  let profile, lpr = load_profile_of_spans ~cls:"leased.read" ~disk:(`Arm 0) spans in
+  (profile, lpr, Amoeba_trace.Attrib.rpc_count spans)
+
+type lease_report = {
+  le_cold_rpcs : int;  (** first read: lease grant + SIZE + READ *)
+  le_warm_reads : int;
+  le_warm_rpcs : int;  (** across all warm reads — must be 0 *)
+  le_warm_read_us : int;  (** one warm read: local verify + memcpy only *)
+  le_trusted_hit_us : int;
+  le_untrusted_hit_us : int;
+  le_untrusted_hit_rpcs : int;  (** the verification round trip *)
+  le_renew_rpcs : int;  (** read after expiry: the one cheap epoch check *)
+  le_forged_rejected : bool;  (** forged check field fails local verification *)
+  le_faults : lease_fault list;
+  le_hot_profile : load_profile;
+  le_hot_rpc_count : int;  (** "rpc" spans in the traced warm read — must be 0 *)
+  le_baseline_hot : load_profile;
+  le_baseline_knee : float;
+  le_baseline_knee_throughput : float;
+  le_leased_knee : float;
+  le_leased_knee_throughput : float;
+  le_server_evicted_bytes : int;  (** under pressure, from the server RAM cache *)
+  le_client_evicted_bytes : int;  (** same counter, client side *)
+}
+
+(* Memory pressure on both ends: small server and client caches, a
+   working set that fits in neither. Both caches evict, and both account
+   the displaced data under the same [bytes_evicted] counter, so a bench
+   can put the two eviction streams side by side. *)
+let lease_cache_pressure () =
+  let clock = Clock.create () in
+  let transport = Transport.create ~clock in
+  let geometry = Geometry.small ~sectors:testbed_sectors in
+  let d1 = Dev.create ~id:"lp-1" ~geometry ~clock in
+  let d2 = Dev.create ~id:"lp-2" ~geometry ~clock in
+  let mirror = Mirror.create [ d1; d2 ] in
+  Server.format mirror ~max_files:256;
+  let config =
+    { Server.default_config with Server.cache_bytes = 96 * 1024; max_cached_files = 4 }
+  in
+  let server, _report = Result.get_ok (Server.start ~config ~seed:33L mirror) in
+  Bullet_core.Proto.serve server transport;
+  let store = Client.connect transport (Server.port server) in
+  let dirs = Dir_server.create ~config:lease_dir_config ~store () in
+  Amoeba_dir.Dir_proto.serve dirs transport;
+  let dclient = Dir_client.connect transport (Dir_server.port dirs) in
+  let station =
+    Station.create
+      ~config:{ Station.default_config with Station.cache_bytes = 96 * 1024 }
+      ~sealer:(Server.sealer server) ~store ~dirs:dclient ()
+  in
+  let root = Dir_server.root dirs in
+  for i = 0 to 9 do
+    let cap = Client.create store (Bytes.make 16_384 (Char.chr (Char.code 'a' + i))) in
+    Dir_client.enter dclient root (Printf.sprintf "f%d" i) cap
+  done;
+  for _round = 1 to 2 do
+    for i = 0 to 9 do
+      ignore (Station.read station ~dir:root (Printf.sprintf "f%d" i))
+    done
+  done;
+  ( Amoeba_sim.Stats.count (Server.cache_stats server) "bytes_evicted",
+    Amoeba_sim.Stats.count
+      (Amoeba_lease.File_cache.stats (Station.cache station))
+      "bytes_evicted" )
+
+let assert_lease_invariants r =
+  let check name cond =
+    if not cond then failwith ("lease experiment invariant violated: " ^ name)
+  in
+  check "warm leased reads issue zero RPCs" (r.le_warm_rpcs = 0 && r.le_warm_reads > 0);
+  check "warm leased read spends no network time (sub-millisecond)" (r.le_warm_read_us < 1_000);
+  check "traced leased read contains zero rpc spans" (r.le_hot_rpc_count = 0);
+  check "cold read pays the lease grant and the fetch" (r.le_cold_rpcs >= 3);
+  check "untrusted hit pays exactly one verification RPC" (r.le_untrusted_hit_rpcs = 1);
+  check "trusted hit is faster than untrusted hit" (r.le_trusted_hit_us < r.le_untrusted_hit_us);
+  check "expired lease revalidates with one RPC" (r.le_renew_rpcs = 1);
+  check "forged capability rejected locally" r.le_forged_rejected;
+  check "at least three fault scenarios" (List.length r.le_faults >= 3);
+  List.iter
+    (fun f ->
+      check (f.lf_plan ^ ": no stale serve, ever") (f.lf_stale = 0);
+      check (f.lf_plan ^ ": reads actually ran") (f.lf_reads > 0);
+      check (f.lf_plan ^ ": replicas consistent") f.lf_consistent)
+    r.le_faults;
+  check "dir-primary crash scenario present"
+    (List.exists (fun f -> String.equal f.lf_plan "dir-primary-crash") r.le_faults);
+  check "leased clients move the LOAD knee right"
+    (r.le_leased_knee_throughput > r.le_baseline_knee_throughput);
+  check "server cache evicted bytes under pressure" (r.le_server_evicted_bytes > 0);
+  check "client cache evicted bytes under pressure" (r.le_client_evicted_bytes > 0)
+
+let lease_experiment () =
+  (* phase A: zero-RPC warm reads on a trusted station *)
+  let rig = make_lease_rig () in
+  let station = trusted_station rig in
+  let data = Bytes.make 4_096 'h' in
+  let cap = Client.create rig.lz_files_client data in
+  Dir_client.enter rig.lz_dirs rig.lz_root "hot" cap;
+  let _, cold_rpcs = counting_rpcs rig (fun () -> Station.read station ~dir:rig.lz_root "hot") in
+  let warm_reads = 10 in
+  let warm_t0 = Clock.now rig.lz_clock in
+  let _, warm_rpcs =
+    counting_rpcs rig (fun () ->
+        for _ = 1 to warm_reads do
+          ignore (Station.read station ~dir:rig.lz_root "hot")
+        done)
+  in
+  let warm_read_us = (Clock.now rig.lz_clock - warm_t0) / warm_reads in
+  let trusted_hit_us = time rig.lz_clock (fun () -> ignore (Station.read station ~dir:rig.lz_root "hot")) in
+  (* phase B: the untrusted path is unchanged — one verification RPC *)
+  let ustation = untrusted_station rig in
+  ignore (Station.read ustation ~dir:rig.lz_root "hot");
+  let (_, untrusted_hit_rpcs), untrusted_hit_us =
+    let r = ref (Bytes.empty, 0) in
+    let us =
+      time rig.lz_clock (fun () ->
+          r := counting_rpcs rig (fun () -> Station.read ustation ~dir:rig.lz_root "hot"))
+    in
+    (!r, us)
+  in
+  let forged =
+    let sealer = Server.sealer rig.lz_files in
+    let bad = Cap.v ~port:cap.Cap.port ~obj:cap.Cap.obj ~rights:cap.Cap.rights
+        ~check:(Int64.add cap.Cap.check 1L)
+    in
+    Sealer.verify_local sealer ~cap && not (Sealer.verify_local sealer ~cap:bad)
+  in
+  (* a lapsed lease costs exactly one renewal RPC before the cached serve *)
+  Clock.advance rig.lz_clock (2 * lease_dir_config.Dir_server.lease_us);
+  let _, renew_rpcs = counting_rpcs rig (fun () -> Station.read station ~dir:rig.lz_root "hot") in
+  (* phase C: fault plans *)
+  let faults =
+    [
+      lease_fault_expiry_race ();
+      lease_fault_primary_crash ();
+      lease_fault_loss_on_revalidate ();
+      lease_fault_clock_skew ();
+    ]
+  in
+  (* phase D: the LOAD knee with leased clients *)
+  let (hot, hot_lpr), (cold, _), (create, _) = bullet_load_profiles () in
+  let leased_hot, leased_lpr, hot_rpc_count = leased_hot_profile () in
+  let knee_of profiles =
+    let config =
+      load_config ~arms:2 ~profiles ~clients:1 ~think_us:50_000 ~requests_per_client:40
+        ~overload:Sched.no_overload
+    in
+    let knee = Sched.saturation_clients config in
+    let knee_clients = max 1 (int_of_float (ceil knee)) in
+    (knee, (run_load_point config knee_clients).lp_throughput)
+  in
+  let baseline_knee, baseline_tp = knee_of (bullet_mix (hot, cold, create)) in
+  let leased_knee, leased_tp = knee_of (bullet_mix (leased_hot, cold, create)) in
+  let server_evicted, client_evicted = lease_cache_pressure () in
+  let report =
+    {
+      le_cold_rpcs = cold_rpcs;
+      le_warm_reads = warm_reads;
+      le_warm_rpcs = warm_rpcs;
+      le_warm_read_us = warm_read_us;
+      le_trusted_hit_us = trusted_hit_us;
+      le_untrusted_hit_us = untrusted_hit_us;
+      le_untrusted_hit_rpcs = untrusted_hit_rpcs;
+      le_renew_rpcs = renew_rpcs;
+      le_forged_rejected = forged;
+      le_faults = faults;
+      le_hot_profile = leased_lpr;
+      le_hot_rpc_count = hot_rpc_count;
+      le_baseline_hot = hot_lpr;
+      le_baseline_knee = baseline_knee;
+      le_baseline_knee_throughput = baseline_tp;
+      le_leased_knee = leased_knee;
+      le_leased_knee_throughput = leased_tp;
+      le_server_evicted_bytes = server_evicted;
+      le_client_evicted_bytes = client_evicted;
+    }
+  in
+  assert_lease_invariants report;
+  report
+
+(* A small scripted scenario with the tracer on: grant, zero-RPC hits,
+   expiry + renewal, revocation after a replace, and a failed read after
+   removal.  Deterministic — the CI double-run diffs its dump, and
+   [bullet_trace --lease] renders it. *)
+let lease_trace () =
+  let rig = make_lease_rig () in
+  let station = trusted_station rig in
+  let tracer = Amoeba_trace.Trace.create ~clock:rig.lz_clock () in
+  let sink = Amoeba_trace.Trace.sink tracer in
+  Amoeba_rpc.Transport.set_tracer rig.lz_transport (Some tracer);
+  Server.set_tracer rig.lz_files (Some tracer);
+  Station.set_tracer station (Some tracer);
+  let data_a = Bytes.make 4_096 'A' and data_b = Bytes.make 4_096 'B' in
+  let cap_a = Client.create rig.lz_files_client data_a in
+  Dir_client.enter rig.lz_dirs rig.lz_root "f" cap_a;
+  ignore (Station.read station ~dir:rig.lz_root "f");
+  (* two zero-RPC hits *)
+  ignore (Station.read station ~dir:rig.lz_root "f");
+  ignore (Station.read station ~dir:rig.lz_root "f");
+  (* lapse the lease: expire + renew, then serve from cache *)
+  Clock.advance rig.lz_clock (2 * lease_dir_config.Dir_server.lease_us);
+  ignore (Station.read station ~dir:rig.lz_root "f");
+  (* replace: next revalidation sees the epoch move and revokes *)
+  let cap_b = Client.create rig.lz_files_client data_b in
+  ignore (Dir_client.replace rig.lz_dirs rig.lz_root "f" cap_b);
+  Clock.advance rig.lz_clock (2 * lease_dir_config.Dir_server.lease_us);
+  ignore (Station.read station ~dir:rig.lz_root "f");
+  (* removal: the read fails after revalidation, leaving a raised span *)
+  Dir_client.remove_name rig.lz_dirs rig.lz_root "f";
+  Clock.advance rig.lz_clock (2 * lease_dir_config.Dir_server.lease_us);
+  (try ignore (Station.read station ~dir:rig.lz_root "f")
+   with Status.Error _ -> ());
+  Station.set_tracer station None;
+  Server.set_tracer rig.lz_files None;
+  Amoeba_rpc.Transport.set_tracer rig.lz_transport None;
+  sink

@@ -439,3 +439,57 @@ val load_sched_trace : unit -> Amoeba_trace.Sink.t * Amoeba_sched.Sched.report
 (** A small overloaded deterministic run with [sched.*] spans collected
     in the returned sink — the trace the CI double-run diffs and
     [bullet_trace --sched] renders. *)
+
+(** {2 LEASE: the zero-RPC read fast path} *)
+
+type lease_fault = {
+  lf_plan : string;
+  lf_reads : int;
+  lf_failed : int;  (** liveness losses: [Not_found] after removal, exhausted retries *)
+  lf_stale : int;  (** reads returning old bytes after the mutation completed — must be 0 *)
+  lf_revalidations : int;  (** renew + grant RPCs the station issued *)
+  lf_consistent : bool;  (** pair replicas byte-identical (and epoch agreed) at the end *)
+}
+
+type lease_report = {
+  le_cold_rpcs : int;  (** first read: lease grant + SIZE + READ *)
+  le_warm_reads : int;
+  le_warm_rpcs : int;  (** across all warm reads — must be 0 *)
+  le_warm_read_us : int;  (** one warm read: local verify + memcpy only *)
+  le_trusted_hit_us : int;
+  le_untrusted_hit_us : int;
+  le_untrusted_hit_rpcs : int;  (** the verification round trip *)
+  le_renew_rpcs : int;  (** read after expiry: the one cheap epoch check *)
+  le_forged_rejected : bool;  (** forged check field fails local verification *)
+  le_faults : lease_fault list;
+  le_hot_profile : load_profile;  (** hot-read demand as leased stations see it *)
+  le_hot_rpc_count : int;  (** "rpc" spans in the traced warm read — must be 0 *)
+  le_baseline_hot : load_profile;  (** the same hot read through plain RPC *)
+  le_baseline_knee : float;
+  le_baseline_knee_throughput : float;
+  le_leased_knee : float;
+  le_leased_knee_throughput : float;
+  le_server_evicted_bytes : int;  (** under pressure, from the server RAM cache *)
+  le_client_evicted_bytes : int;  (** same counter, client side *)
+}
+
+val lease_experiment : unit -> lease_report
+(** The zero-RPC read fast path, end to end.  A trusted station (holding
+    the Bullet server's sealer out of band) reads a hot file through
+    {!Amoeba_lease.Station}: the first read pays the lease grant plus
+    the fetch, every repeat read under the lease issues {e zero} RPCs
+    and finishes in local-verify + memcpy time.  The untrusted path
+    still pays exactly one verification round trip.  Four fault plans —
+    a replace racing lease expiry, the directory primary crashing on the
+    epoch bump, message loss across revalidations, and a skewed client
+    lease clock (scripted via the [lease_skew] plan grammar) — must all
+    show zero stale serves.  Finally the LOAD machinery re-derives the
+    hot-read demand profile from a traced leased read and shows the
+    saturation knee moving right of the plain-RPC baseline.  Raises
+    [Failure] if any of these invariants is violated. *)
+
+val lease_trace : unit -> Amoeba_trace.Sink.t
+(** A small scripted lease scenario with the tracer on — grant, zero-RPC
+    cache hits, expiry and renewal, revocation after a replace, and a
+    failed read after removal.  Deterministic; the CI double-run diffs
+    its dump and [bullet_trace --lease] renders it. *)

@@ -18,6 +18,7 @@ type t = {
   mirror : Mirror.t option;
   on_crash : unit -> unit;
   on_reboot : unit -> unit;
+  on_lease_skew : int -> unit;
   stats : Stats.t;
   mutable loss : float;
   mutable duplication : float;
@@ -89,6 +90,9 @@ let apply t event =
     let s = link_state t l in
     s.link_loss <- 0.;
     s.partitioned <- false
+  | Lease_clock_skew us ->
+    t.on_lease_skew us;
+    Stats.incr t.stats "lease_skews"
 
 (* The [firing] flag makes event application atomic from the hooks' point
    of view: a reboot's boot scan reads the disk and re-registers a port,
@@ -176,7 +180,8 @@ let disk_fault t ~sector:_ ~count:_ ~write =
      pass would make event application non-atomic). *)
   if t.firing || write then false else Prng.bernoulli t.prng t.sector_errors
 
-let attach ?transport ?mirror ?(on_crash = fun () -> ()) ?(on_reboot = fun () -> ()) ~clock plan =
+let attach ?transport ?mirror ?(on_crash = fun () -> ()) ?(on_reboot = fun () -> ())
+    ?(on_lease_skew = fun (_ : int) -> ()) ~clock plan =
   let queue = Event_queue.create () in
   List.iter (fun { Plan.at_us; event } -> Event_queue.push queue ~time:at_us event) (Plan.steps plan);
   let t =
@@ -188,6 +193,7 @@ let attach ?transport ?mirror ?(on_crash = fun () -> ()) ?(on_reboot = fun () ->
       mirror;
       on_crash;
       on_reboot;
+      on_lease_skew;
       stats = Stats.create "fault-injector";
       loss = 0.;
       duplication = 0.;

@@ -40,13 +40,16 @@ val attach :
   ?mirror:Amoeba_disk.Mirror.t ->
   ?on_crash:(unit -> unit) ->
   ?on_reboot:(unit -> unit) ->
+  ?on_lease_skew:(int -> unit) ->
   clock:Amoeba_sim.Clock.t ->
   Plan.t ->
   t
 (** Install the plan's hooks; events already due (at time 0) fire
     immediately. [Drive_fail]/[Drive_recover]/[Drive_rejoin] events
     require [mirror]; message-fault draws require [transport] (without
-    it they never happen). *)
+    it they never happen). [on_lease_skew] receives [Lease_clock_skew]
+    offsets — typically [Amoeba_lease.Station.set_skew]; default
+    ignores them. *)
 
 val poll : t -> unit
 (** Fire every scripted event whose time has passed, then run one
@@ -71,6 +74,6 @@ val pending : t -> int
 
 val stats : t -> Amoeba_sim.Stats.t
 (** Counters [drive_failures], [drive_recoveries], [drive_rejoins],
-    [server_crashes], [server_reboots], [online_resyncs],
+    [server_crashes], [server_reboots], [online_resyncs], [lease_skews],
     [link_partition_drops], [link_request_drops], [link_reply_drops];
     series [resync_us], [reboot_us], [online_resync_us]. *)

@@ -11,6 +11,7 @@ type event =
   | Link_loss of Amoeba_rpc.Link.t * float
   | Link_partition of Amoeba_rpc.Link.t
   | Link_heal of Amoeba_rpc.Link.t
+  | Lease_clock_skew of int
 
 type step = { at_us : int; event : event }
 
@@ -42,6 +43,7 @@ let pp_event ppf = function
   | Link_partition l ->
     Format.fprintf ppf "%s link partitioned" (Amoeba_rpc.Link.to_string l)
   | Link_heal l -> Format.fprintf ppf "%s link healed" (Amoeba_rpc.Link.to_string l)
+  | Lease_clock_skew us -> Format.fprintf ppf "client lease clock skewed by %d us" us
 
 (* ---- the plan file DSL ----
 
@@ -60,6 +62,7 @@ let pp_event ppf = function
      at <us> link_loss <local|regional|wide> <p>
      at <us> link_partition <local|regional|wide>
      at <us> link_heal <local|regional|wide>
+     at <us> lease_skew <offset_us>          (may be negative)
 
    '#' starts a comment; blank lines are ignored.  Plain string
    processing, no dependence on the process environment, so a plan file
@@ -71,6 +74,12 @@ let parse text =
     match int_of_string_opt s with
     | Some n when n >= 0 -> k n
     | Some _ -> err lineno (Printf.sprintf "%s must be non-negative: %s" what s)
+    | None -> err lineno (Printf.sprintf "bad %s: %s" what s)
+  in
+  let signed_int_of lineno what s k =
+    (* lease skew is an offset, not a time: negative is meaningful *)
+    match int_of_string_opt s with
+    | Some n -> k n
     | None -> err lineno (Printf.sprintf "bad %s: %s" what s)
   in
   let float_of lineno what s k =
@@ -123,6 +132,8 @@ let parse text =
           float_of lineno "rate" p @@ fun p -> event us (Link_loss (l, p))
         | [ "link_partition"; l ] -> link_of lineno l @@ fun l -> event us (Link_partition l)
         | [ "link_heal"; l ] -> link_of lineno l @@ fun l -> event us (Link_heal l)
+        | [ "lease_skew"; o ] ->
+          signed_int_of lineno "skew offset" o @@ fun o -> event us (Lease_clock_skew o)
         | op :: _ -> err lineno (Printf.sprintf "unknown event: %s" op)
         | [] -> err lineno "missing event after 'at <us>'")
       | w :: _ -> err lineno (Printf.sprintf "unknown directive: %s" w))

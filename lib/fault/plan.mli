@@ -39,6 +39,12 @@ type event =
       (** every transaction on this link class times out (no draw) *)
   | Link_heal of Amoeba_rpc.Link.t
       (** clear this link class's loss rate and partition *)
+  | Lease_clock_skew of int
+      (** offset (µs, may be negative) applied to the harness's client
+          lease clock — models a station whose idea of "how long is my
+          lease still good" drifts from the server's. Lease safety must
+          hold regardless; only liveness (revalidation frequency) may
+          degrade. See [Amoeba_lease.Station.set_skew]. *)
 
 type step = { at_us : int; event : event }
 
@@ -75,7 +81,9 @@ val parse : string -> (t, string) result
     at <us> link_loss <local|regional|wide> <p>
     at <us> link_partition <local|regional|wide>
     at <us> link_heal <local|regional|wide>
+    at <us> lease_skew <offset_us>
     v}
+    [lease_skew]'s offset may be negative (a slow client clock).
     The seed defaults to [1] when no [seed] line appears. Errors carry
     the offending line number. This is what [bulletd --fault-plan]
     loads. *)

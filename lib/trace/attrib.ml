@@ -136,6 +136,15 @@ let segments spans =
   in
   List.rev rev
 
+(* RPC transactions show up as the transport's "rpc" root spans (retries
+   of one logical operation rejoin their trace, so each transaction is
+   its own "rpc" span). Counting them per trace/class is what makes the
+   zero-RPC claim of the leased read path checkable from a dump alone. *)
+let rpc_count spans =
+  List.fold_left
+    (fun acc (s : Sink.span) -> if String.equal s.Sink.name "rpc" then acc + 1 else acc)
+    0 spans
+
 let of_spans spans =
   List.fold_left (fun acc (_, trace) -> add acc (sweep trace)) zero (by_trace spans)
 

@@ -40,6 +40,10 @@ val by_trace : Sink.span list -> (int * Sink.span list) list
 val by_class : Sink.span list -> (string * int * totals) list
 (** Per op class: (class, number of traces, summed totals). *)
 
+val rpc_count : Sink.span list -> int
+(** Number of RPC transactions among these spans — the transport's
+    ["rpc"] spans. A leased client's hot read has none. *)
+
 val op_class : Sink.span list -> string
 (** The op class of one trace: the name of its earliest [Server]-layer
     span (e.g. ["serve.read"]), else the first root's name. *)

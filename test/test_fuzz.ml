@@ -66,6 +66,21 @@ let test_bullet_survives_fuzzing () =
   let cap = Bullet_core.Client.create b.client (payload 100) in
   check_bytes "still serving" (payload 100) (Bullet_core.Client.read b.client cap)
 
+(* the printable capability form must round-trip exactly — leased client
+   caches key on it, so a collision or a lossy field would alias files *)
+let test_cap_string_roundtrip () =
+  let prng = Prng.create ~seed:0xCA9AB171E5L in
+  for _ = 1 to 1_000 do
+    let cap =
+      Cap.v ~port:(Port.random prng)
+        ~obj:(Prng.int prng 0x4000_0000)
+        ~rights:(Amoeba_cap.Rights.of_int (Prng.int prng 0x1_0000))
+        ~check:(Prng.next_int64 prng)
+    in
+    let back = Cap.of_string (Cap.to_string cap) in
+    if not (Cap.equal cap back) then Alcotest.failf "round trip broke: %s" (Cap.to_string cap)
+  done
+
 (* wire decoding of arbitrary bytes *)
 let fuzz_wire_decode =
   qtest "wire decode never raises" ~count:500
@@ -269,6 +284,7 @@ let suite =
       fuzz_nfs;
       fuzz_dir;
       Alcotest.test_case "bullet survives fuzzing" `Quick test_bullet_survives_fuzzing;
+      Alcotest.test_case "capability string form round-trips" `Quick test_cap_string_roundtrip;
       fuzz_wire_decode;
       fuzz_garbage_disk;
       Alcotest.test_case "server boots from repaired disk" `Quick
