@@ -759,4 +759,15 @@ let () =
         requested
   in
   Printf.printf "Bullet file server evaluation - reproduction of ICDCS 1989 tables\n";
-  List.iter (fun (_, f) -> f ()) chosen
+  List.iter (fun (_, f) -> f ()) chosen;
+  (* under AMOEBA_TIE_CHECK=1 (the CI determinism jobs), fail loudly if
+     any scenario scheduled two same-(time, prio) events unpinned *)
+  let module Eq = Amoeba_sim.Event_queue in
+  if Eq.tie_check_enabled () then begin
+    match Eq.ties () with
+    | [] -> ()
+    | ties ->
+      List.iter (fun t -> Printf.eprintf "%s\n" (Eq.tie_to_string t)) ties;
+      Printf.eprintf "bench: %d event-queue tie(s) detected\n" (List.length ties);
+      exit 1
+  end

@@ -1,39 +1,5 @@
-(* Command-line driver for the determinism linter.
+(* Alias for amoeba_vet, kept so PR-2 muscle memory and scripts that
+   call `dune exec bin/amoeba_lint.exe` keep working. Same passes, same
+   flags; see bin/amoeba_vet.ml. *)
 
-   Usage: amoeba_lint [--list-rules] [path ...]
-
-   Paths default to "lib bin". Prints one "file:line rule-id message"
-   per diagnostic and exits non-zero if there are any, so it can gate a
-   build. A dune rule runs it over lib/ and bin/ during `dune runtest`;
-   see doc/ARCHITECTURE.md "Determinism rules" for what it enforces. *)
-
-let usage () =
-  prerr_endline "usage: amoeba_lint [--list-rules] [path ...]   (default paths: lib bin)";
-  exit 2
-
-let list_rules () =
-  List.iter
-    (fun (id, description) -> Printf.printf "%-22s %s\n" id description)
-    Amoeba_analysis.Lint.rules
-
-let () =
-  let args = List.tl (Array.to_list Sys.argv) in
-  if List.mem "--help" args || List.mem "-h" args then usage ();
-  if List.mem "--list-rules" args then list_rules ()
-  else begin
-    let paths = match args with [] -> [ "lib"; "bin" ] | paths -> paths in
-    List.iter
-      (fun path ->
-        if not (Sys.file_exists path) then begin
-          Printf.eprintf "amoeba_lint: no such path %S\n" path;
-          exit 2
-        end)
-      paths;
-    let diagnostics = Amoeba_analysis.Lint.lint_paths paths in
-    List.iter (fun d -> print_endline (Amoeba_analysis.Lint.to_string d)) diagnostics;
-    match diagnostics with
-    | [] -> ()
-    | _ :: _ ->
-      Printf.eprintf "amoeba_lint: %d diagnostic(s)\n" (List.length diagnostics);
-      exit 1
-  end
+let () = exit (Amoeba_analysis.Vet_cli.main ~prog:"amoeba_lint" Sys.argv)

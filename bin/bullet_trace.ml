@@ -292,4 +292,18 @@ let cmd =
   Cmd.v (Cmd.info "bullet_trace" ~doc)
     Term.(const run $ size $ attrib $ out $ load_path $ chrome $ only_trace $ sched $ lease)
 
-let () = exit (Cmd.eval cmd)
+(* Under AMOEBA_TIE_CHECK=1 (the CI determinism double-run jobs), turn a
+   clean run into a failure if any scenario scheduled two same-(time,
+   prio) events without pinning their relative order. *)
+let check_ties code =
+  let module Eq = Amoeba_sim.Event_queue in
+  if code = 0 && Eq.tie_check_enabled () then (
+    match Eq.ties () with
+    | [] -> code
+    | ties ->
+      List.iter (fun t -> Printf.eprintf "%s\n" (Eq.tie_to_string t)) ties;
+      Printf.eprintf "bullet_trace: %d event-queue tie(s) detected\n" (List.length ties);
+      1)
+  else code
+
+let () = exit (check_ties (Cmd.eval cmd))

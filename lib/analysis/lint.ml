@@ -2,7 +2,7 @@
    repo's own sources. Every performance claim in EXPERIMENTS.md rests on
    "same plan + same workload => same bytes"; these rules turn that
    convention into a build failure. See doc/ARCHITECTURE.md, section
-   "Determinism rules", for the rationale behind each rule id. *)
+   "Static analysis", for the rationale behind each rule id. *)
 
 type diagnostic = { file : string; line : int; rule : string; message : string }
 
@@ -10,9 +10,9 @@ let to_string d = Printf.sprintf "%s:%d %s %s" d.file d.line d.rule d.message
 
 let rules =
   [
-    ("no-wallclock", "host clock reads (Sys.time, Unix.gettimeofday) outside the TCP carrier");
-    ("no-os-entropy", "stdlib Random outside the TCP carrier; seed an Amoeba_sim.Prng instead");
-    ("no-marshal", "Marshal outside the TCP carrier; its bytes are not a stable wire format");
+    ("no-wallclock", "host clock reads (Sys.time, Unix.gettimeofday); charge Amoeba_sim.Clock");
+    ("no-os-entropy", "stdlib Random; seed an Amoeba_sim.Prng instead");
+    ("no-marshal", "Marshal anywhere; its bytes are not a stable wire format");
     ( "no-unstable-hash",
       "Hashtbl.hash and first-class polymorphic compare/(=) in lib/; unstable across versions" );
     ( "no-hashtbl-iteration",
@@ -21,18 +21,24 @@ let rules =
       "any Unix call or Sys.time in lib/trace or lib/sim; trace dumps must be pure simulation" );
     ("mli-coverage", "every lib/**/*.ml must have a matching .mli");
     ("wire-symmetry", "every top-level encode_* needs a decode_* in the same file, and vice versa");
+    ( "no-silent-catchall",
+      "a guardless `| _ ->` arm in a serve/dispatch/decode_* command match that neither raises nor \
+       returns an explicit error; unknown cmd ids must fail loudly" );
     ("parse-error", "the file does not parse; nothing else can be checked");
   ]
 
-(* ---- path classification (the per-rule allowlists) ---- *)
+(* ---- path classification ---- *)
 
 let segments path = List.filter (fun s -> s <> "" && s <> ".") (String.split_on_char '/' path)
 
 let under dir path = List.exists (String.equal dir) (segments path)
 
-(* The real-socket carrier talks to the actual OS on purpose: the TCP
-   transport and the command-line daemons around it. *)
-let is_carrier path = under "bin" path || Filename.basename path = "tcp.ml"
+(* PR 2 exempted the real-socket carrier (lib/rpc/tcp.ml + bin/) from the
+   OS rules wholesale. The PR 7 typedtree audit showed the exemption was
+   never exercised — no carrier file reads the wall clock, draws OS
+   entropy or calls Marshal — so the blanket allowlist is retired. A
+   future genuine need must use an inline, justified
+   [(* lint: allow <rule> ... *)] instead of a path carve-out. *)
 
 let in_lib path = under "lib" path
 
@@ -132,11 +138,136 @@ let codec_role name =
   | Some s -> Some (`Encode, s)
   | None -> ( match suffix "decode" with Some s -> Some (`Decode, s) | None -> None)
 
+(* ---- no-silent-catchall ----
+
+   Inside a [serve]/[dispatch]/[decode_*] binding, a guardless [| _ ->]
+   arm of a command-shaped match (one that matches integer constants, or
+   whose scrutinee mentions a cmd/command value) must fail loudly —
+   raise, or produce an explicit error value — so an unknown cmd id can
+   never be silently swallowed. *)
+
+let starts_with prefix s =
+  String.length s >= String.length prefix && String.sub s 0 (String.length prefix) = prefix
+
+let dispatch_like name = name = "serve" || name = "dispatch" || starts_with "decode_" name
+
+let rec pattern_has_int (p : Parsetree.pattern) =
+  match p.Parsetree.ppat_desc with
+  | Parsetree.Ppat_constant (Parsetree.Pconst_integer _) -> true
+  | Parsetree.Ppat_or (a, b) -> pattern_has_int a || pattern_has_int b
+  | Parsetree.Ppat_alias (a, _) | Parsetree.Ppat_constraint (a, _) -> pattern_has_int a
+  | Parsetree.Ppat_tuple ps -> List.exists pattern_has_int ps
+  | Parsetree.Ppat_construct (_, Some (_, a)) -> pattern_has_int a
+  | _ -> false
+
+let expr_mentions pred expr =
+  let found = ref false in
+  let open Ast_iterator in
+  let expr_hook sub (e : Parsetree.expression) =
+    if pred e then found := true;
+    default_iterator.expr sub e
+  in
+  let it = { default_iterator with expr = expr_hook } in
+  it.expr it expr;
+  !found
+
+let mentions_cmd_ident e =
+  match e.Parsetree.pexp_desc with
+  | Parsetree.Pexp_ident { txt; _ } ->
+    List.exists
+      (fun s ->
+        let s = String.lowercase_ascii s in
+        starts_with "cmd" s || s = "command" || s = "op" || s = "opcode")
+      (flatten txt)
+  | _ -> false
+
+let arm_fails_loudly rhs =
+  expr_mentions
+    (fun e ->
+      match e.Parsetree.pexp_desc with
+      | Parsetree.Pexp_assert _ -> true
+      | Parsetree.Pexp_construct ({ txt; _ }, _) ->
+        List.exists (fun s -> s = "Error" || s = "None") (flatten txt)
+      | Parsetree.Pexp_ident { txt; _ } ->
+        List.exists
+          (fun s ->
+            let l = String.lowercase_ascii s in
+            starts_with "fail" l || starts_with "error" l || starts_with "invalid_arg" l
+            || starts_with "raise" l || s = "Status")
+          (flatten txt)
+      | _ -> false)
+    rhs
+
+let catchall_diags ~path structure =
+  let diags = ref [] in
+  let check_cases ~dispatchy cases =
+    let dispatchy =
+      dispatchy
+      || List.exists (fun (c : Parsetree.case) -> pattern_has_int c.Parsetree.pc_lhs) cases
+    in
+    if dispatchy then
+      List.iter
+        (fun (c : Parsetree.case) ->
+          match (c.Parsetree.pc_lhs.Parsetree.ppat_desc, c.Parsetree.pc_guard) with
+          | Parsetree.Ppat_any, None ->
+            if not (arm_fails_loudly c.Parsetree.pc_rhs) then
+              diags :=
+                {
+                  file = path;
+                  line = line_of c.Parsetree.pc_lhs.Parsetree.ppat_loc;
+                  rule = "no-silent-catchall";
+                  message =
+                    "catch-all arm in a command dispatch match swallows unknown ids; raise or \
+                     return an explicit protocol error";
+                }
+                :: !diags
+          | _ -> ())
+        cases
+  in
+  let scan_binding_expr expr =
+    let open Ast_iterator in
+    let expr_hook sub (e : Parsetree.expression) =
+      (match e.Parsetree.pexp_desc with
+      | Parsetree.Pexp_match (scrut, cases) ->
+        check_cases ~dispatchy:(expr_mentions mentions_cmd_ident scrut) cases
+      | Parsetree.Pexp_function cases -> check_cases ~dispatchy:false cases
+      | _ -> ());
+      default_iterator.expr sub e
+    in
+    let it = { default_iterator with expr = expr_hook } in
+    it.expr it expr
+  in
+  let rec scan_items items =
+    List.iter
+      (fun (item : Parsetree.structure_item) ->
+        match item.Parsetree.pstr_desc with
+        | Parsetree.Pstr_value (_, bindings) ->
+          List.iter
+            (fun (vb : Parsetree.value_binding) ->
+              match vb.Parsetree.pvb_pat.Parsetree.ppat_desc with
+              | Parsetree.Ppat_var { txt; _ } when dispatch_like txt ->
+                scan_binding_expr vb.Parsetree.pvb_expr
+              | _ -> ())
+            bindings
+        | Parsetree.Pstr_module { pmb_expr = { pmod_desc = Parsetree.Pmod_structure s; _ }; _ } ->
+          scan_items s
+        | Parsetree.Pstr_recmodule mbs ->
+          List.iter
+            (fun (mb : Parsetree.module_binding) ->
+              match mb.pmb_expr.pmod_desc with
+              | Parsetree.Pmod_structure s -> scan_items s
+              | _ -> ())
+            mbs
+        | _ -> ())
+      items
+  in
+  scan_items structure;
+  !diags
+
 let scan_structure ~path structure =
   let diags = ref [] in
   let emit line rule message = diags := { file = path; line; rule; message } :: !diags in
   let lib_scoped = in_lib path in
-  let carrier = is_carrier path in
   let mentions_clock = ref false in
   let iteration_sites = ref [] in
   let note_clock lid = if List.exists (String.equal "Clock") (flatten lid) then mentions_clock := true in
@@ -157,17 +288,14 @@ let scan_structure ~path structure =
     match flatten lid with
     | [ "Sys"; "time" ] | [ "Stdlib"; "Sys"; "time" ] | [ "Unix"; "gettimeofday" ] | [ "Unix"; "time" ]
       ->
-      if not carrier then
-        emit line "no-wallclock"
-          (Printf.sprintf "%s reads the host clock; simulated code must charge Amoeba_sim.Clock" name)
+      emit line "no-wallclock"
+        (Printf.sprintf "%s reads the host clock; simulated code must charge Amoeba_sim.Clock" name)
     | "Random" :: _ :: _ | "Stdlib" :: "Random" :: _ ->
-      if not carrier then
-        emit line "no-os-entropy"
-          (Printf.sprintf "%s draws OS-visible global randomness; use an explicitly seeded Amoeba_sim.Prng" name)
+      emit line "no-os-entropy"
+        (Printf.sprintf "%s draws OS-visible global randomness; use an explicitly seeded Amoeba_sim.Prng" name)
     | "Marshal" :: _ :: _ ->
-      if not carrier then
-        emit line "no-marshal"
-          (Printf.sprintf "%s is not a stable byte format; write an explicit codec" name)
+      emit line "no-marshal"
+        (Printf.sprintf "%s is not a stable byte format; write an explicit codec" name)
     | [ "Hashtbl"; ("hash" | "seeded_hash" | "hash_param") ] ->
       if lib_scoped then
         emit line "no-unstable-hash"
@@ -242,6 +370,7 @@ let scan_structure ~path structure =
         emit line "wire-symmetry"
           (Printf.sprintf "%s has no matching %s in this file" name expected))
     codecs;
+  if lib_scoped then diags := catchall_diags ~path structure @ !diags;
   !diags
 
 (* ---- entry points ---- *)

@@ -1,0 +1,62 @@
+(** amoeba-vet: whole-program analyses over the compiler's typed trees.
+
+    The Parsetree lint ([Lint]) is pass one; these passes read the
+    [.cmt] artifacts dune leaves next to every compiled module (any dev
+    build emits them; [dune build @check] builds them without linking)
+    and see resolved paths across compilation units:
+
+    - [Proto] — protocol conformance: [vet-proto-duplicate-cmd],
+      [vet-proto-unhandled-cmd], [vet-proto-orphan-codec].
+    - [Clock] — interprocedural clock discipline:
+      [vet-clock-free-work].
+    - [Taint] — persisted-bytes taint: [vet-taint-persist].
+
+    All three over-approximate on the call graph of top-level bindings;
+    doc/ARCHITECTURE.md "Static analysis" documents the sound/unsound
+    edges. Suppression uses the lint's
+    [(* lint: allow <rule-id> <justification> *)] grammar; the taint
+    pass honours a marker at either the sink or the source site. *)
+
+type diagnostic = Lint.diagnostic = {
+  file : string;
+  line : int;
+  rule : string;
+  message : string;
+}
+
+type pass = Proto | Clock | Taint
+
+val pass_name : pass -> string
+val pass_of_name : string -> pass option
+
+val rules : (string * string) list
+(** Every vet rule id with a one-line description (the lint's rules are
+    in [Lint.rules]). *)
+
+type inventory = {
+  inv_cmds : (string * string * int) list;  (** unit, cmd name, wire value *)
+  inv_codecs : (string * string) list;  (** unit, codec name *)
+  inv_spans : (string * string) list;  (** unit, literal trace span/event name *)
+  inv_hooks : (string * string) list;  (** unit, fault-plan hook label *)
+}
+
+type report = { diagnostics : diagnostic list; inventory : inventory }
+
+val analyze :
+  read_source:(string -> string option) ->
+  passes:pass list ->
+  string list ->
+  (report, string) result
+(** [analyze ~read_source ~passes cmt_paths] loads every [.cmt], runs
+    the selected passes, and filters diagnostics through the suppression
+    markers found by [read_source] (which maps a cmt-recorded source
+    path to its text, or [None] when unavailable — suppressions are then
+    simply not honoured for that file). Diagnostics are unordered; sort
+    with [order_diagnostics]. [Error] reports unreadable cmt files. *)
+
+val order_diagnostics : diagnostic list -> diagnostic list
+(** Stable order: file, line, rule, message. *)
+
+val to_json : passes:string list -> diagnostics:diagnostic list -> inventory -> string
+(** Byte-stable JSON report (sorted arrays, fixed key order, trailing
+    newline) so CI can diff double runs byte-for-byte. *)

@@ -183,7 +183,11 @@ let disk_fault t ~sector:_ ~count:_ ~write =
 let attach ?transport ?mirror ?(on_crash = fun () -> ()) ?(on_reboot = fun () -> ())
     ?(on_lease_skew = fun (_ : int) -> ()) ~clock plan =
   let queue = Event_queue.create () in
-  List.iter (fun { Plan.at_us; event } -> Event_queue.push queue ~time:at_us event) (Plan.steps plan);
+  (* the plan's own step order pins simultaneous steps *)
+  List.iteri
+    (fun i { Plan.at_us; event } ->
+      Event_queue.push ~pin:i ~site:"injector.plan_step" queue ~time:at_us event)
+    (Plan.steps plan);
   let t =
     {
       clock;

@@ -27,6 +27,13 @@ let run_reference config =
   if config.clients <= 0 || config.requests_per_client <= 0 then
     invalid_arg "Closed_loop.run: need clients and requests";
   let queue = Event_queue.create () in
+  (* explicit monotone pins satisfy the tie-race sanitizer: same-time
+     orderings here are meant (insertion order IS the model) *)
+  let pin_n = ref 0 in
+  let pin () =
+    incr pin_n;
+    !pin_n
+  in
   let stats = Amoeba_sim.Stats.create "closed_loop" in
   (* per-client remaining requests; request start times *)
   let remaining = Array.make config.clients config.requests_per_client in
@@ -39,7 +46,9 @@ let run_reference config =
   (* every client starts thinking at time 0; a tiny per-client skew
      avoids a thundering herd of perfectly simultaneous arrivals *)
   for c = 0 to config.clients - 1 do
-    Event_queue.push queue ~time:(config.think_us + (c mod 7)) (Arrive c)
+    Event_queue.push ~pin:(pin ()) ~site:"closed_loop.start" queue
+      ~time:(config.think_us + (c mod 7))
+      (Arrive c)
   done;
   let start_service now =
     match Queue.take_opt waiting with
@@ -47,7 +56,8 @@ let run_reference config =
     | Some client ->
       in_service := Some client;
       busy_us := !busy_us + config.server_us;
-      Event_queue.push queue ~time:(now + config.server_us) Server_done
+      Event_queue.push ~pin:(pin ()) ~site:"closed_loop.serve" queue
+        ~time:(now + config.server_us) Server_done
   in
   let rec loop now =
     match Event_queue.pop queue with
@@ -61,7 +71,9 @@ let run_reference config =
       | Server_done ->
         (match !in_service with
         | None -> ()
-        | Some client -> Event_queue.push queue ~time:(at + config.wire_us) (Reply_received client));
+        | Some client ->
+          Event_queue.push ~pin:(pin ()) ~site:"closed_loop.reply" queue
+            ~time:(at + config.wire_us) (Reply_received client));
         start_service at
       | Reply_received client ->
         let response_us = at - started.(client) in
@@ -70,7 +82,8 @@ let run_reference config =
         finish_time := at;
         remaining.(client) <- remaining.(client) - 1;
         if remaining.(client) > 0 then
-          Event_queue.push queue ~time:(at + config.think_us) (Arrive client));
+          Event_queue.push ~pin:(pin ()) ~site:"closed_loop.think" queue
+            ~time:(at + config.think_us) (Arrive client));
       loop at
   in
   let end_time = loop 0 in

@@ -1,15 +1,15 @@
-(** A binary-heap event queue for discrete-event simulation.
+(** Alias for {!Amoeba_sim.Event_queue} (the implementation lives in
+    lib/sim so lower layers can schedule events without depending on the
+    pool library); see that interface for the (time, priority, sequence)
+    ordering and the tie-race sanitizer. *)
 
-    Events are (time, sequence, payload); the sequence number breaks
-    ties so simultaneous events pop in insertion order, keeping the
-    simulation deterministic. *)
-
-type 'a t
+type 'a t = 'a Amoeba_sim.Event_queue.t
 
 val create : unit -> 'a t
 
-val push : 'a t -> time:int -> 'a -> unit
-(** Schedule a payload at an absolute time (µs). *)
+val push : ?prio:int -> ?pin:int -> ?site:string -> 'a t -> time:int -> 'a -> unit
+(** Schedule a payload at an absolute time (µs); see
+    {!Amoeba_sim.Event_queue.push} for [prio]/[pin]/[site]. *)
 
 val pop : 'a t -> (int * 'a) option
 (** Earliest event, or [None] when empty. *)

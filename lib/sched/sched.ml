@@ -164,6 +164,14 @@ let run ?sink config =
   in
   let profiles = Array.of_list config.profiles in
   let queue : event Event_queue.t = Event_queue.create () in
+  (* every push carries an explicit, strictly monotone pin so the
+     tie-race sanitizer can prove same-(time, prio) orderings are meant,
+     not accidents of insertion order *)
+  let pin_n = ref 0 in
+  let pin () =
+    incr pin_n;
+    !pin_n
+  in
   let stats = Stats.create "sched" in
   let clients =
     Array.init config.clients (fun _ ->
@@ -239,13 +247,15 @@ let run ?sink config =
   let next_request cs c now =
     cs.cur_attempt <- 0;
     cs.todo <- cs.todo - 1;
-    if cs.todo > 0 then Event_queue.push queue ~time:(now + config.think_us) (Submit c)
+    if cs.todo > 0 then
+      Event_queue.push ~pin:(pin ()) ~site:"sched.think" queue ~time:(now + config.think_us)
+        (Submit c)
   in
   let retry_or_fail cs c attempt now =
     match config.overload.retry with
     | Some p when attempt < p.Backoff.attempts ->
       incr retry_n;
-      Event_queue.push queue
+      Event_queue.push ~pin:(pin ()) ~site:"sched.retry" queue
         ~time:(now + Backoff.delay_us p ~attempt)
         (Retry (c, cs.cur_req, attempt + 1))
     | Some _ | None ->
@@ -261,7 +271,7 @@ let run ?sink config =
     | (_, us) :: _ ->
       s.busy <- s.busy + us;
       emit_wait job now s.st.st_name;
-      Event_queue.push queue ~time:(now + us) (Fifo_done si)
+      Event_queue.push ~pin:(pin ()) ~site:"sched.fifo_done" queue ~time:(now + us) (Fifo_done si)
 
   and dispatch_rr si now =
     let s = st.(si) in
@@ -276,7 +286,8 @@ let run ?sink config =
       s.cur_slice <- slice;
       s.busy <- s.busy + slice;
       emit_wait job now s.st.st_name;
-      Event_queue.push queue ~time:(now + slice) (Slice_done si)
+      Event_queue.push ~pin:(pin ()) ~site:"sched.slice_done" queue ~time:(now + slice)
+        (Slice_done si)
 
   and enqueue_segment job now =
     match job.j_segments with
@@ -287,7 +298,8 @@ let run ?sink config =
       (match s.st.st_discipline with
       | Delay ->
         s.busy <- s.busy + us;
-        Event_queue.push queue ~time:(now + us) (Delay_done job)
+        Event_queue.push ~pin:(pin ()) ~site:"sched.delay_done" queue ~time:(now + us)
+          (Delay_done job)
       | Fifo ->
         (* the queue can be non-empty while [cur] is briefly [None]
            (admission re-entering from a completion mid-handler); joining
@@ -387,7 +399,10 @@ let run ?sink config =
     in
     cs.waiting <- Some job;
     (match config.overload.retry with
-    | Some p -> Event_queue.push queue ~time:(now + p.Backoff.timeout_us) (Timeout (c, job.j_req, attempt))
+    | Some p ->
+      Event_queue.push ~pin:(pin ()) ~site:"sched.timeout" queue
+        ~time:(now + p.Backoff.timeout_us)
+        (Timeout (c, job.j_req, attempt))
     | None -> ());
     let limit = config.overload.accept_limit in
     if limit <= 0 || (!admitted < limit && Queue.is_empty accept_q) then admit job now
@@ -466,7 +481,9 @@ let run ?sink config =
   (* every client starts thinking at time 0; the same per-client skew the
      closed loop has always used avoids a perfectly simultaneous herd *)
   for c = 0 to config.clients - 1 do
-    Event_queue.push queue ~time:(config.think_us + (c mod 7)) (Submit c)
+    Event_queue.push ~pin:(pin ()) ~site:"sched.start" queue
+      ~time:(config.think_us + (c mod 7))
+      (Submit c)
   done;
   let rec loop () =
     match Event_queue.pop queue with

@@ -1,15 +1,34 @@
 (** A binary-heap event queue for discrete-event simulation.
 
-    Events are (time, sequence, payload); the sequence number breaks
-    ties so simultaneous events pop in insertion order, keeping the
-    simulation deterministic. *)
+    Events order by (time, priority, sequence); the sequence number is
+    the insertion order and breaks every remaining tie, so simultaneous
+    events pop in insertion order and the simulation stays
+    deterministic. [prio] defaults to 0, making the order identical to
+    the historical (time, sequence) heap unless a caller opts in.
+
+    {2 The tie-race sanitizer}
+
+    Deterministic is not the same as meant: two events at the same
+    (time, priority) pop in whatever order the code happened to push
+    them, which is a latent race against refactorings. With the
+    sanitizer enabled ([AMOEBA_TIE_CHECK=1] in the environment, or
+    [set_tie_check true] — dune runtest and the CI determinism jobs do)
+    every such collision must carry an explicit [?pin] sequence number,
+    strictly increasing in insertion order; violations are accumulated
+    as {!tie} reports naming the [?site] of both events. The check is
+    purely observational — it never changes the pop order — so enabling
+    it cannot change a simulation's bytes. *)
 
 type 'a t
 
 val create : unit -> 'a t
 
-val push : 'a t -> time:int -> 'a -> unit
-(** Schedule a payload at an absolute time (µs). *)
+val push : ?prio:int -> ?pin:int -> ?site:string -> 'a t -> time:int -> 'a -> unit
+(** Schedule a payload at an absolute time (µs). [prio] breaks same-time
+    ties ahead of insertion order (lower pops first; default 0). [pin]
+    asserts this event's place among same-(time, prio) events: within a
+    collision set, pins must be strictly increasing in insertion order.
+    [site] names the scheduling site in tie reports. *)
 
 val pop : 'a t -> (int * 'a) option
 (** Earliest event, or [None] when empty. *)
@@ -19,3 +38,25 @@ val peek_time : 'a t -> int option
 val size : 'a t -> int
 
 val is_empty : 'a t -> bool
+
+(** {2 Sanitizer state (process-global)} *)
+
+type tie = {
+  tie_at : int;
+  tie_prio : int;
+  tie_first : string;  (** earlier-queued site, or ["<unpinned>"] *)
+  tie_second : string;
+  tie_reason : string;
+}
+
+val set_tie_check : bool -> unit
+(** Also enabled at startup when [AMOEBA_TIE_CHECK] is [1]/[true]/[yes]. *)
+
+val tie_check_enabled : unit -> bool
+
+val ties : unit -> tie list
+(** Every violation recorded since the last [clear_ties], oldest first. *)
+
+val clear_ties : unit -> unit
+
+val tie_to_string : tie -> string

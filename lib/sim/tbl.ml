@@ -5,9 +5,11 @@
    key under an explicit comparison, then iterate. *)
 
 let sorted_bindings cmp table =
+  (* lint: allow vet-taint-persist the fold feeds List.sort under an explicit comparison, so the hash order is never observable *)
   List.sort (fun (a, _) (b, _) -> cmp a b) (Hashtbl.fold (fun k v acc -> (k, v) :: acc) table [])
 
 let sorted_keys cmp table =
+  (* lint: allow vet-taint-persist the fold feeds List.sort under an explicit comparison, so the hash order is never observable *)
   List.sort cmp (Hashtbl.fold (fun k _ acc -> k :: acc) table [])
 
 let sorted_iter cmp f table = List.iter (fun (k, v) -> f k v) (sorted_bindings cmp table)

@@ -1,0 +1,15 @@
+(* Seeded clock-discipline bug: [free_read] observes the virtual clock
+   and schedules queue work but never charges simulated time.
+   [charged_read] reaches the same effects through [free_read] yet also
+   advances the clock, so only the innermost offender is reported.
+   test/test_vet.ml asserts the exact lines below. *)
+
+let free_read clock q =
+  let t = Amoeba_sim.Clock.now clock in
+  Amoeba_sim.Event_queue.push q ~time:t ();
+  t
+
+let charged_read clock q =
+  let t = free_read clock q in
+  Amoeba_sim.Clock.advance clock 10;
+  t

@@ -1,0 +1,10 @@
+(* Seeded protocol-conformance bugs: a duplicate wire value, two command
+   constants no dispatch arm ever references, and an encoder with no
+   decoder. test/test_vet.ml asserts the exact lines below — keep them
+   in sync when editing. *)
+
+let cmd_ping = 1
+let cmd_pong = 2
+let cmd_echo = 2
+let encode_frame (x : int) = x
+let dispatch command = if command = cmd_ping then 1 else 0

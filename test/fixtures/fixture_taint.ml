@@ -1,0 +1,15 @@
+(* Seeded persisted-bytes taint: [checkpoint] persists bytes that reach
+   an unordered Hashtbl.fold through a helper, and [persist_ratio]
+   formats a float directly. [persist_sorted] carries a justified
+   source-site suppression and must stay clean. test/test_vet.ml asserts
+   the exact lines below. *)
+
+let snapshot tbl = Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+
+let checkpoint tbl = List.length (snapshot tbl)
+
+let persist_ratio r = String.length (string_of_float r)
+
+let persist_sorted tbl =
+  (* lint: allow vet-taint-persist fixture: the fold feeds List.sort, so hash order is unobservable *)
+  Hashtbl.fold (fun k _ acc -> k :: acc) tbl [] |> List.sort Int.compare

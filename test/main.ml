@@ -1,3 +1,9 @@
+(* The whole test binary runs with the event-queue tie-race sanitizer
+   enabled: any simulation that schedules two same-(time, priority)
+   events without pinning their relative order is recorded, and the
+   final [tie-check] suite fails on a non-empty accumulator. *)
+let () = Amoeba_sim.Event_queue.set_tie_check true
+
 let () =
   Alcotest.run "bullet"
     [
@@ -27,7 +33,9 @@ let () =
       Test_lease.suite;
       Test_trace.suite;
       Test_lint.suite;
+      Test_vet.suite;
       Test_determinism.suite;
       Test_tools.suite;
       Test_claims.suite;
+      Test_vet.global_ties;
     ]

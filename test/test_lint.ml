@@ -32,14 +32,26 @@ let test_no_wallclock () =
 let test_no_marshal () =
   check_rules "Marshal.to_bytes" [ "no-marshal" ] "let b x = Marshal.to_bytes x []"
 
-let test_carrier_allowlist () =
+let test_carrier_allowlist_retired () =
+  (* PR 2 exempted tcp.ml + bin/ from the OS rules wholesale; the PR 7
+     typedtree audit proved the exemption unused, so it is gone — the
+     carrier is held to the same rules as everything else *)
   let source = "let t = Unix.gettimeofday () +. float_of_int (Random.int 6)" in
   Alcotest.(check (list string))
-    "tcp carrier exempt" []
-    (rules_of (Lint.lint_source ~path:"lib/rpc/tcp.ml" source));
+    "tcp carrier no longer exempt"
+    [ "no-os-entropy"; "no-wallclock" ]
+    (List.sort String.compare (rules_of (Lint.lint_source ~path:"lib/rpc/tcp.ml" source)));
   Alcotest.(check (list string))
-    "bin exempt" []
-    (rules_of (Lint.lint_source ~path:"bin/bulletd.ml" source))
+    "bin no longer exempt"
+    [ "no-os-entropy"; "no-wallclock" ]
+    (List.sort String.compare (rules_of (Lint.lint_source ~path:"bin/bulletd.ml" source)));
+  (* an inline, justified allow is the sanctioned replacement *)
+  Alcotest.(check (list string))
+    "inline allow still works" []
+    (rules_of
+       (Lint.lint_source ~path:"lib/rpc/tcp.ml"
+          "(* lint: allow no-wallclock socket timeout needs the host clock *)\n\
+           let t = Unix.gettimeofday ()"))
 
 (* ---- trace-no-wallclock: the trace/sim core may not touch the OS ---- *)
 
@@ -96,6 +108,30 @@ let test_wire_symmetry () =
   (* a local helper inside a function is not part of the wire vocabulary *)
   check_rules "local binding ignored" [] "let persist t = let encode_name n = n in encode_name t"
 
+(* ---- rule 8: silent catch-alls in dispatch/decode matches ---- *)
+
+let test_no_silent_catchall () =
+  check_rules "swallowing catch-all in dispatch"
+    [ "no-silent-catchall" ]
+    "let dispatch m = match m with 1 -> `A | 2 -> `B | _ -> `A";
+  check_rules "catch-all on a command scrutinee"
+    [ "no-silent-catchall" ]
+    "let serve command = match command with c when c = 1 -> `A | _ -> `A";
+  check_rules "error construct is loud enough" []
+    "let dispatch m = match m with 1 -> Ok `A | _ -> Error `Bad_request";
+  check_rules "raising is loud enough" []
+    "let dispatch m = match m with 1 -> `A | _ -> invalid_arg \"dispatch\"";
+  check_rules "None is an explicit failure" []
+    "let encode_frame x = x\nlet decode_frame b = match b with 1 -> Some `A | _ -> None";
+  check_rules "non-dispatch matches are out of scope" []
+    "let encode_kind k = k\nlet decode_kind c = match c with 'a' -> `A | _ -> `Other";
+  check_rules "other functions are out of scope" []
+    "let classify m = match m with 1 -> `A | _ -> `B";
+  let diags =
+    Lint.lint_source ~path:"lib/x/x.ml" "let dispatch m =\n  match m with\n  | 1 -> `A\n  | _ -> `A"
+  in
+  Alcotest.(check (list int)) "line points at the arm" [ 4 ] (lines_of diags)
+
 (* ---- suppression comments ---- *)
 
 let test_suppression () =
@@ -148,6 +184,7 @@ let test_rule_listing () =
       "trace-no-wallclock";
       "mli-coverage";
       "wire-symmetry";
+      "no-silent-catchall";
       "parse-error";
     ]
 
@@ -161,12 +198,13 @@ let suite =
       Alcotest.test_case "no-os-entropy fires on Random.self_init" `Quick test_no_os_entropy;
       Alcotest.test_case "no-wallclock" `Quick test_no_wallclock;
       Alcotest.test_case "no-marshal" `Quick test_no_marshal;
-      Alcotest.test_case "carrier allowlist (tcp.ml, bin/)" `Quick test_carrier_allowlist;
+      Alcotest.test_case "carrier allowlist retired" `Quick test_carrier_allowlist_retired;
       Alcotest.test_case "no-unstable-hash" `Quick test_no_unstable_hash;
       Alcotest.test_case "no-hashtbl-iteration needs a clock" `Quick test_hashtbl_iteration;
       Alcotest.test_case "trace-no-wallclock scopes to lib/trace + lib/sim" `Quick
         test_trace_no_wallclock;
       Alcotest.test_case "wire-symmetry" `Quick test_wire_symmetry;
+      Alcotest.test_case "no-silent-catchall" `Quick test_no_silent_catchall;
       Alcotest.test_case "suppression comments" `Quick test_suppression;
       Alcotest.test_case "lib/sched is in scope" `Quick test_sched_in_scope;
       Alcotest.test_case "parse errors are diagnostics" `Quick test_parse_error;
