@@ -642,6 +642,82 @@ let lease () =
   close_out oc;
   Printf.printf "  machine-readable copy written to BENCH_lease.json\n"
 
+(* ---- METRICS: live health, SLO burn, STD_STATUS ---- *)
+
+let metrics_json (r : E.metrics_report) =
+  let lbl = Amoeba_metrics.Health.state_label in
+  let scenario (s : E.metrics_scenario) =
+    json_obj
+      [
+        ("name", json_str s.E.ms_name);
+        ("interval_us", string_of_int s.E.ms_interval_us);
+        ("snapshots", string_of_int (List.length s.E.ms_snapshots));
+        ( "transitions",
+          json_arr
+            (List.map
+               (fun (at, st) ->
+                 json_obj [ ("at_us", string_of_int at); ("state", json_str (lbl st)) ])
+               s.E.ms_transitions) );
+        ( "alerts",
+          json_arr
+            (List.map
+               (fun (at, name, firing) ->
+                 json_obj
+                   [
+                     ("at_us", string_of_int at);
+                     ("alert", json_str name);
+                     ("firing", (if firing then "true" else "false"));
+                   ])
+               s.E.ms_alerts) );
+        ("final", json_str (lbl s.E.ms_final));
+      ]
+  in
+  json_obj
+    [
+      ("scenarios", json_arr (List.map scenario r.E.mx_scenarios));
+      ("status_metrics", string_of_int r.E.mx_status_metrics);
+      ("status_bytes", string_of_int r.E.mx_status_bytes);
+      ("roundtrip_ok", (if r.E.mx_roundtrip_ok then "true" else "false"));
+    ]
+
+let metrics () =
+  header "METRICS - live health states + SLO burn over scripted fault plans";
+  let r = E.metrics_experiment () in
+  List.iter
+    (fun (s : E.metrics_scenario) ->
+      Printf.printf "\n%s (scrape every %d ms, %d snapshots):\n" s.E.ms_name
+        (s.E.ms_interval_us / 1000)
+        (List.length s.E.ms_snapshots);
+      Printf.printf "  health  %s\n"
+        (String.concat " -> "
+           (List.map
+              (fun (at, st) ->
+                Printf.sprintf "%s@%.1fs" (Amoeba_metrics.Health.state_label st) (ms at /. 1000.))
+              s.E.ms_transitions));
+      if s.E.ms_alerts = [] then Printf.printf "  alerts  (none)\n"
+      else
+        List.iter
+          (fun (at, name, firing) ->
+            Printf.printf "  alert   %-16s %-5s at %.1f s\n" name
+              (if firing then "fire" else "clear")
+              (ms at /. 1000.))
+          s.E.ms_alerts)
+    r.E.mx_scenarios;
+  Printf.printf "\nSTD_STATUS snapshot: %d metrics in %d bytes, codec roundtrip %s\n"
+    r.E.mx_status_metrics r.E.mx_status_bytes
+    (if r.E.mx_roundtrip_ok then "ok" else "BROKEN");
+  let oc = open_out "BENCH_metrics.json" in
+  output_string oc (metrics_json r);
+  output_char oc '\n';
+  close_out oc;
+  (* every scraped snapshot in text exposition form — the widest surface
+     a CI double-run can byte-diff *)
+  let oc = open_out "BENCH_metrics_dump.txt" in
+  output_string oc (E.metrics_dump r);
+  close_out oc;
+  Printf.printf "  machine-readable copy written to BENCH_metrics.json\n";
+  Printf.printf "  full snapshot dump written to BENCH_metrics_dump.txt\n"
+
 let micro () =
   header "MICRO - Bechamel microbenchmarks (real wall-clock, ns/run)";
   let open Bechamel in
@@ -740,6 +816,7 @@ let all_benches =
     ("resync", resync);
     ("load", load);
     ("lease", lease);
+    ("metrics", metrics);
     ("micro", micro);
   ]
 

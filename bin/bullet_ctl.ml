@@ -6,6 +6,7 @@
      bullet_ctl size CAPABILITY
      bullet_ctl append CAPABILITY FILE      -> prints the new capability
      bullet_ctl rm CAPABILITY
+     bullet_ctl status [--text]             -> STD_STATUS live metrics snapshot
 
    Capabilities print as port:obj:rights:check - keep them somewhere (a
    real Amoeba would use the directory server). *)
@@ -128,6 +129,37 @@ let rm host port cap_string () =
       in
       ())
 
+let status host port text () =
+  with_conn host port (fun conn ->
+      let bullet_port = service_port conn in
+      if text then
+        let reply =
+          checked conn
+            (Message.request ~port:bullet_port ~command:Proto.cmd_std_status ~arg0:1 ())
+        in
+        print_string (Bytes.to_string reply.Message.body)
+      else
+        let reply =
+          checked conn (Message.request ~port:bullet_port ~command:Proto.cmd_std_status ())
+        in
+        match Proto.decode_status reply.Message.body with
+        | Error e ->
+          Printf.eprintf "malformed status reply: %s\n" e;
+          exit 1
+        | Ok snap ->
+          let module M = Amoeba_metrics.Metrics in
+          Printf.printf "live snapshot at %d us\n" snap.M.at_us;
+          List.iter
+            (fun { M.s_name; s_value } ->
+              match s_value with
+              | M.Counter n -> Printf.printf "  %-28s counter %12d\n" s_name n
+              | M.Gauge n -> Printf.printf "  %-28s gauge   %12d\n" s_name n
+              | M.Hist { count; sum; p50; p95; p99; max_value } ->
+                Printf.printf
+                  "  %-28s hist     count %d sum %d p50 %d p95 %d p99 %d max %d\n" s_name
+                  count sum p50 p95 p99 max_value)
+            snap.M.samples)
+
 let stat host port () =
   with_conn host port (fun conn ->
       let bullet_port = service_port conn in
@@ -248,6 +280,11 @@ let output =
 
 let unit_term = Term.const ()
 
+let status_text =
+  Arg.(
+    value & flag
+    & info [ "text" ] ~doc:"Print the text exposition instead of decoding the binary snapshot.")
+
 let commands =
   [
     Cmd.v (Cmd.info "info" ~doc:"show the service port")
@@ -271,6 +308,9 @@ let commands =
       Term.(const fetch $ host $ port $ name_arg $ output $ unit_term);
     Cmd.v (Cmd.info "ls" ~doc:"list named files") Term.(const ls $ host $ port $ unit_term);
     Cmd.v (Cmd.info "stat" ~doc:"server statistics") Term.(const stat $ host $ port $ unit_term);
+    Cmd.v
+      (Cmd.info "status" ~doc:"STD_STATUS: the server's live metrics snapshot")
+      Term.(const status $ host $ port $ status_text $ unit_term);
     Cmd.v
       (Cmd.info "del" ~doc:"unbind a name and delete all its versions")
       Term.(const del $ host $ port $ name_arg $ unit_term);

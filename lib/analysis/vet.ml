@@ -54,6 +54,9 @@ let rules =
     ( "vet-proto-orphan-codec",
       "an encode_*/decode_* has no counterpart anywhere in the scanned units (cross-file, unlike \
        wire-symmetry)" );
+    ( "vet-proto-duplicate-metric",
+      "two metric instruments in one module are registered under the same literal name; the \
+       second registration raises Duplicate_metric at runtime" );
     ( "vet-clock-free-work",
       "reads the virtual clock and touches device/queue state but never charges simulated time \
        (Clock.advance), even transitively" );
@@ -127,6 +130,7 @@ type unit_info = {
   mutable u_fns : fn_info list;
   mutable u_spans : string list; (* trace span/event literal names *)
   mutable u_hooks : string list; (* fault-plan hook labels, on_-prefixed *)
+  mutable u_metric_regs : (string * int) list; (* literal metric/prefix name, line *)
 }
 
 let scan_unit ~file ~modname (str : Typedtree.structure) =
@@ -144,6 +148,7 @@ let scan_unit ~file ~modname (str : Typedtree.structure) =
       u_fns = [];
       u_spans = [];
       u_hooks = [];
+      u_metric_regs = [];
     }
   in
   let new_fn name line =
@@ -233,6 +238,33 @@ let scan_unit ~file ~modname (str : Typedtree.structure) =
               (fun (lbl, a) ->
                 match (lbl, a) with
                 | Asttypes.Labelled l, Some _ when starts_with "on_" l -> u.u_hooks <- l :: u.u_hooks
+                | _ -> ())
+              args
+          (* metric registrations by literal name; [Stats.counter]/[Stats.hist]
+             are lookups, not registrations, so the Stats module is excluded *)
+          | last :: rest
+            when List.exists (String.equal last)
+                   [ "counter"; "gauge"; "hist"; "register_counter"; "register_hist" ]
+                 && (match rest with "Stats" :: _ -> false | _ -> true) ->
+            let rec first_literal = function
+              | [] -> ()
+              | (Asttypes.Nolabel, Some (arg : Typedtree.expression)) :: more -> (
+                match arg.exp_desc with
+                | Typedtree.Texp_constant (Asttypes.Const_string (s, _, _)) ->
+                  u.u_metric_regs <- (s, line_of arg.exp_loc) :: u.u_metric_regs
+                | _ -> first_literal more)
+              | _ :: more -> first_literal more
+            in
+            first_literal args
+          | "stats_source" :: _ ->
+            List.iter
+              (fun (lbl, a) ->
+                match (lbl, a) with
+                | Asttypes.Labelled "prefix", Some (arg : Typedtree.expression) -> (
+                  match arg.exp_desc with
+                  | Typedtree.Texp_constant (Asttypes.Const_string (s, _, _)) ->
+                    u.u_metric_regs <- (s, line_of arg.exp_loc) :: u.u_metric_regs
+                  | _ -> ())
                 | _ -> ())
               args
           | _ -> ())
@@ -430,6 +462,33 @@ let proto_pass units g =
           | _ -> []
         in
         ignore (scan sorted))
+    units;
+  (* the same literal metric name registered twice in one module would
+     raise Duplicate_metric as soon as both sites run against one
+     registry *)
+  List.iter
+    (fun u ->
+      if u.u_lib then begin
+        let sorted =
+          List.sort
+            (fun (na, la) (nb, lb) ->
+              let c = String.compare na nb in
+              if c <> 0 then c else Int.compare la lb)
+            u.u_metric_regs
+        in
+        let rec scan = function
+          | (na, la) :: (((nb, lb) :: _) as rest) ->
+            if String.equal na nb then
+              emit u lb "vet-proto-duplicate-metric"
+                (Printf.sprintf
+                   "metric %S is already registered at line %d in this module; a second \
+                    registration raises Duplicate_metric"
+                   na la);
+            scan rest
+          | _ -> ()
+        in
+        scan sorted
+      end)
     units;
   (* every cmd must be referenced from some serve/dispatch arm *)
   let dispatch_roots =
@@ -653,6 +712,7 @@ type inventory = {
   inv_codecs : (string * string) list; (* unit, name *)
   inv_spans : (string * string) list; (* unit, literal span/event name *)
   inv_hooks : (string * string) list; (* unit, fault hook label *)
+  inv_metrics : (string * string) list; (* unit, literal metric/prefix name *)
 }
 
 type report = { diagnostics : diagnostic list; inventory : inventory }
@@ -675,6 +735,11 @@ let inventory units =
       sort2 (List.concat_map (fun u -> List.map (fun (n, _) -> (u.u_name, n)) u.u_codecs) units);
     inv_spans = sort2 (List.concat_map (fun u -> List.map (fun s -> (u.u_name, s)) u.u_spans) units);
     inv_hooks = sort2 (List.concat_map (fun u -> List.map (fun h -> (u.u_name, h)) u.u_hooks) units);
+    inv_metrics =
+      sort2
+        (List.concat_map
+           (fun u -> List.map (fun (n, _) -> (u.u_name, n)) u.u_metric_regs)
+           units);
   }
 
 let analyze ~read_source ~passes cmt_paths =
@@ -759,7 +824,8 @@ let to_json ~passes ~diagnostics inv =
   in
   pair_list "codecs" inv.inv_codecs false;
   pair_list "spans" inv.inv_spans false;
-  pair_list "hooks" inv.inv_hooks true;
+  pair_list "hooks" inv.inv_hooks false;
+  pair_list "metrics" inv.inv_metrics true;
   Buffer.contents b
 
 let order_diagnostics diags =

@@ -6,7 +6,8 @@
     and see resolved paths across compilation units:
 
     - [Proto] — protocol conformance: [vet-proto-duplicate-cmd],
-      [vet-proto-unhandled-cmd], [vet-proto-orphan-codec].
+      [vet-proto-unhandled-cmd], [vet-proto-orphan-codec],
+      [vet-proto-duplicate-metric].
     - [Clock] — interprocedural clock discipline:
       [vet-clock-free-work].
     - [Taint] — persisted-bytes taint: [vet-taint-persist].
@@ -38,6 +39,9 @@ type inventory = {
   inv_codecs : (string * string) list;  (** unit, codec name *)
   inv_spans : (string * string) list;  (** unit, literal trace span/event name *)
   inv_hooks : (string * string) list;  (** unit, fault-plan hook label *)
+  inv_metrics : (string * string) list;
+      (** unit, literal metric or stats-source prefix name registered with
+          a {!Amoeba_metrics.Metrics} registry *)
 }
 
 type report = { diagnostics : diagnostic list; inventory : inventory }

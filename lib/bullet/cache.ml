@@ -7,6 +7,7 @@ type t = {
   free_rnodes : int Stack.t;
   on_evict : inode:int -> rnode:int -> unit;
   stats : Amoeba_sim.Stats.t;
+  evicted_bytes : Amoeba_metrics.Metrics.Counter.t;
   mutable tick : int;
   mutable resident : int;
   mutable used : int;
@@ -27,6 +28,7 @@ let create ~capacity ~max_rnodes ~on_evict =
     free_rnodes;
     on_evict;
     stats = Amoeba_sim.Stats.create "cache";
+    evicted_bytes = Amoeba_metrics.Metrics.Counter.create ();
     tick = 0;
     resident = 0;
     used = 0;
@@ -78,7 +80,7 @@ let evict_one t =
     drop t rnode;
     t.on_evict ~inode:e.inode ~rnode;
     Amoeba_sim.Stats.incr t.stats "evictions";
-    Amoeba_sim.Stats.add t.stats "bytes_evicted" e.length;
+    Amoeba_metrics.Metrics.Counter.add t.evicted_bytes e.length;
     (match t.tracer with
     | None -> ()
     | Some tr ->
@@ -173,3 +175,13 @@ let compact t =
   !moved
 
 let stats t = t.stats
+
+let bytes_evicted t = Amoeba_metrics.Metrics.Counter.value t.evicted_bytes
+
+let register_metrics t ~prefix reg =
+  let module M = Amoeba_metrics.Metrics in
+  M.register_counter reg (prefix ^ ".bytes_evicted") t.evicted_bytes;
+  M.gauge reg (prefix ^ ".used_bytes") (fun () -> used_bytes t);
+  M.gauge reg (prefix ^ ".capacity_bytes") (fun () -> capacity t);
+  M.gauge reg (prefix ^ ".resident_files") (fun () -> resident_files t);
+  M.stats_source reg ~prefix t.stats

@@ -69,7 +69,15 @@ val touch : t -> rnode:int -> unit
 (** Refresh a file's LRU age without reading it. *)
 
 val stats : t -> Amoeba_sim.Stats.t
-(** Counters: [insertions], [evictions], [bytes_evicted], [compactions],
-    [bytes_moved]. [bytes_evicted] sums the payload bytes dropped by LRU
-    replacement, mirroring the client cache's counter of the same name so
-    the bench can report both sides symmetrically. *)
+(** Counters: [insertions], [evictions], [compactions], [bytes_moved]. *)
+
+val bytes_evicted : t -> int
+(** Payload bytes dropped by LRU replacement so far.  Kept in a
+    {!Amoeba_metrics.Metrics.Counter} cell rather than an ad-hoc stats
+    counter so live scrapes and benches read the same instrument;
+    mirrors the client cache's counter of the same name. *)
+
+val register_metrics : t -> prefix:string -> Amoeba_metrics.Metrics.t -> unit
+(** Register [<prefix>.bytes_evicted], [<prefix>.used_bytes],
+    [<prefix>.capacity_bytes], [<prefix>.resident_files] and every
+    {!stats} counter under the prefix. *)

@@ -21,6 +21,8 @@ let cmd_restrict = 9
 
 let cmd_stat = 10
 
+let cmd_std_status = 11
+
 let command_name command =
   if command = cmd_create then "create"
   else if command = cmd_size then "size"
@@ -32,6 +34,7 @@ let command_name command =
   else if command = cmd_truncate then "truncate"
   else if command = cmd_restrict then "restrict"
   else if command = cmd_stat then "stat"
+  else if command = cmd_std_status then "std_status"
   else Printf.sprintf "cmd%d" command
 
 type stat = {
@@ -72,6 +75,18 @@ let decode_stat body =
     cache_used = get 12;
     cache_capacity = get 16;
   }
+
+let status_snapshot server =
+  Amoeba_metrics.Metrics.scrape (Server.metrics server)
+    ~at_us:(Amoeba_sim.Clock.now (Server.clock server))
+
+(* STD_STATUS reply body: the server's metrics snapshot, binary form.
+   The request's arg0 selects the representation (0 binary, 1 the text
+   exposition) so one command serves both the ctl tool and a curl-ish
+   scrape over the daemon's TCP carrier. *)
+let encode_status server = Amoeba_metrics.Metrics.encode_snapshot (status_snapshot server)
+
+let decode_status body = Amoeba_metrics.Metrics.decode_snapshot body
 
 let reply_of_result ~encode = function
   | Ok v -> encode v
@@ -127,6 +142,12 @@ let dispatch server request =
           (Server.restrict server cap (Amoeba_cap.Rights.of_int request.Message.arg0)))
   else if command = cmd_stat then
     Message.reply ~status:Status.Ok ~body:(encode_stat server) ()
+  else if command = cmd_std_status then
+    if request.Message.arg0 = 1 then
+      Message.reply ~status:Status.Ok
+        ~body:(Bytes.of_string (Amoeba_metrics.Metrics.to_text (status_snapshot server)))
+        ()
+    else Message.reply ~status:Status.Ok ~body:(encode_status server) ()
   else Message.error Status.Bad_request
 
 (* At-most-once execution for mutations over a lossy wire: remember the

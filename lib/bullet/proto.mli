@@ -24,6 +24,12 @@ val cmd_restrict : int
 
 val cmd_stat : int
 
+val cmd_std_status : int
+(** Amoeba's standard status request: the reply body is the server's
+    metrics snapshot — binary ({!encode_status}) when the request's
+    [arg0] is 0, the text exposition ({!Amoeba_metrics.Metrics.to_text})
+    when [arg0] is 1. *)
+
 val command_name : int -> string
 (** Human-readable name of a command number ("create", "read", ...);
     unknown numbers render as ["cmdN"].  Used to label trace spans. *)
@@ -40,6 +46,16 @@ type stat = {
 
 val decode_stat : bytes -> stat
 (** Decode a STAT reply body (the inverse of the dispatcher's encoder). *)
+
+val status_snapshot : Server.t -> Amoeba_metrics.Metrics.snapshot
+(** Scrape the server's registry now (virtual time). *)
+
+val encode_status : Server.t -> bytes
+(** The STD_STATUS binary reply body: {!status_snapshot} through
+    {!Amoeba_metrics.Metrics.encode_snapshot}. *)
+
+val decode_status : bytes -> (Amoeba_metrics.Metrics.snapshot, string) result
+(** Decode a STD_STATUS binary reply body (client side). *)
 
 val dispatch : Server.t -> Amoeba_rpc.Message.t -> Amoeba_rpc.Message.t
 (** Decode one request, run it against the server, encode the reply.

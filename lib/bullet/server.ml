@@ -28,6 +28,8 @@ type t = {
   prng : Amoeba_sim.Prng.t;
   service_port : Amoeba_cap.Port.t;
   stats : Amoeba_sim.Stats.t;
+  metrics : Amoeba_metrics.Metrics.t;
+  read_hist : Amoeba_sim.Stats.Hist.t;
   block_size : int;
   mutable dead : bool;
   mutable tracer : Amoeba_trace.Trace.ctx option;
@@ -74,11 +76,27 @@ let start ?(config = default_config) ?(seed = 0x42554C4C45545FL) mirror =
         prng;
         service_port = Amoeba_cap.Port.random (Amoeba_sim.Prng.create ~seed:(Int64.add seed 1L));
         stats = Amoeba_sim.Stats.create "bullet";
+        metrics = Amoeba_metrics.Metrics.create "bullet";
+        read_hist = Amoeba_sim.Stats.Hist.create ();
         block_size;
         dead = false;
         tracer = None;
       }
     in
+    (* The server's live surface: every layer it owns registers into one
+       registry, scraped by STD_STATUS and the bulletd exposition. *)
+    let module M = Amoeba_metrics.Metrics in
+    let reg = server.metrics in
+    M.gauge reg "server.live_files" (fun () -> Inode_table.live_count table);
+    M.gauge reg "server.free_inodes" (fun () -> Inode_table.free_count table);
+    M.gauge reg "server.data_blocks" (fun () ->
+        (Inode_table.descriptor table).Layout.data_size);
+    M.gauge reg "alloc.free_blocks" (fun () -> Extent_alloc.free_total disk_alloc);
+    M.gauge reg "alloc.largest_hole" (fun () -> Extent_alloc.largest_free disk_alloc);
+    M.register_hist reg "server.read_us" server.read_hist;
+    M.stats_source reg ~prefix:"server" server.stats;
+    Cache.register_metrics cache ~prefix:"cache" reg;
+    Amoeba_disk.Mirror.register_metrics mirror reg;
     Ok (server, report)
 
 let port t = t.service_port
@@ -90,6 +108,8 @@ let mirror t = t.mirror
 let sealer t = t.sealer
 
 let stats t = t.stats
+
+let metrics t = t.metrics
 
 let set_tracer t tracer =
   t.tracer <- tracer;
@@ -249,12 +269,15 @@ let ensure_cached t obj inode =
   end
 
 let read t cap =
+  let began = Amoeba_sim.Clock.now t.clock in
   let* () = guard_alive t in
   charge_cpu t;
   let* obj, inode = verify t cap ~need:Amoeba_cap.Rights.read in
   let* rnode = ensure_cached t obj inode in
   Amoeba_sim.Stats.incr t.stats "reads";
-  Ok (Cache.get t.cache ~rnode)
+  let data = Cache.get t.cache ~rnode in
+  Amoeba_sim.Stats.Hist.record t.read_hist (Amoeba_sim.Clock.now t.clock - began);
+  Ok data
 
 let read_range t cap ~pos ~len =
   let* () = guard_alive t in
@@ -398,3 +421,5 @@ let cache_used t = Cache.used_bytes t.cache
 let cache_capacity t = Cache.capacity t.cache
 
 let cache_stats t = Cache.stats t.cache
+
+let cache_bytes_evicted t = Cache.bytes_evicted t.cache

@@ -153,14 +153,26 @@ val cache_used : t -> int
 val cache_capacity : t -> int
 
 val cache_stats : t -> Amoeba_sim.Stats.t
-(** The RAM cache's own counters ([hits], [misses], [evictions],
-    [bytes_evicted], ...) — the server-side mirror of
-    {!Amoeba_lease.File_cache.stats}, so benches can report eviction
-    traffic on both ends of the lease protocol. *)
+(** The RAM cache's own counters ([hits], [misses], [evictions], ...) —
+    the server-side mirror of {!Amoeba_lease.File_cache.stats}, so
+    benches can report eviction traffic on both ends of the lease
+    protocol. *)
+
+val cache_bytes_evicted : t -> int
+(** The RAM cache's {!Cache.bytes_evicted} metrics cell. *)
 
 val stats : t -> Amoeba_sim.Stats.t
 (** Counters: [creates], [reads], [deletes], [modifies], [cache_hits],
     [cache_misses]. *)
+
+val metrics : t -> Amoeba_metrics.Metrics.t
+(** The server's live metrics registry, populated at {!start}: inode and
+    extent-allocator gauges ([server.*], [alloc.*]), a [server.read_us]
+    latency histogram, the RAM cache under [cache.] (including the
+    {!Cache.bytes_evicted} cell), and the mirror under [mirror.]
+    ({!Amoeba_disk.Mirror.register_metrics}).  Scraped by the STD_STATUS
+    protocol command and the [bulletd] text exposition; experiments can
+    register further instruments of their own. *)
 
 val mirror : t -> Amoeba_disk.Mirror.t
 

@@ -316,3 +316,21 @@ let resync_step ?(batch = 256) t =
           copied)))
 
 let stats t = t.stats
+
+let register_metrics t reg =
+  let module M = Amoeba_metrics.Metrics in
+  M.gauge reg "mirror.sync_state" (fun () ->
+      match sync_state t with Clean -> 0 | Degraded -> 1 | Resyncing _ -> 2);
+  M.gauge reg "mirror.sectors_remaining" (fun () ->
+      (* a drive that is offline but not yet resyncing rejoins fully
+         dirty, so its whole capacity is the prospective backlog *)
+      let sectors = (geometry t).Geometry.sector_count in
+      Array.fold_left
+        (fun n s ->
+          if s.syncing then n + Dirty.remaining s.dirty
+          else if not (slot_live s) then n + sectors
+          else n)
+        0 t.slots);
+  M.gauge reg "mirror.live_drives" (fun () -> live_count t);
+  M.gauge reg "mirror.pending_writes" (fun () -> pending_count t);
+  M.stats_source reg ~prefix:"mirror" t.stats

@@ -121,3 +121,11 @@ val stats : t -> Amoeba_sim.Stats.t
     {!recover}), [rejoins], [resync_steps], [resync_sectors],
     [resync_fallthroughs] (reads that skipped a still-dirty resyncing
     drive), [read_repairs], [resyncs_completed]. *)
+
+val register_metrics : t -> Amoeba_metrics.Metrics.t -> unit
+(** Register this mirror's live surface: [mirror.sync_state] (0 clean,
+    1 degraded, 2 resyncing), [mirror.sectors_remaining] (the resync
+    backlog: dirty sectors on syncing drives, full capacity for offline
+    drives — a rejoin starts fully dirty), [mirror.live_drives],
+    [mirror.pending_writes], and every {!stats} counter under the
+    [mirror.] prefix. *)

@@ -493,3 +493,55 @@ val lease_trace : unit -> Amoeba_trace.Sink.t
     cache hits, expiry and renewal, revocation after a replace, and a
     failed read after removal.  Deterministic; the CI double-run diffs
     its dump and [bullet_trace --lease] renders it. *)
+
+(** {2 METRICS: live health over scripted fault plans} *)
+
+type metrics_scenario = {
+  ms_name : string;
+  ms_interval_us : int;
+  ms_snapshots : Amoeba_metrics.Metrics.snapshot list;  (** the scrape ring, oldest first *)
+  ms_transitions : (int * Amoeba_metrics.Health.state) list;
+  ms_alerts : (int * string * bool) list;  (** SLO fire/clear edges *)
+  ms_final : Amoeba_metrics.Health.state;
+}
+
+type metrics_report = {
+  mx_scenarios : metrics_scenario list;
+  mx_status_metrics : int;  (** samples in the STD_STATUS snapshot *)
+  mx_status_bytes : int;  (** its binary encoding *)
+  mx_roundtrip_ok : bool;  (** encode -> decode -> encode is byte-identical *)
+}
+
+val metrics_experiment : unit -> metrics_report
+(** The observability tentpole, end to end.  Three scripted fault plans
+    run against live registries with a virtual-clock scraper and the
+    {!Amoeba_metrics.Health} evaluator folding every snapshot:
+
+    - {b drive-rejoin}: a mirror drive fails at 2 s and rejoins fully
+      dirty at 4 s under a read-plus-create workload.  The transition
+      sequence must be exactly Healthy -> Degraded (positive backlog) ->
+      Healthy, and the p99 read-latency SLO must burn through its window
+      while the resync drains.
+    - {b overload-storm}: a twice-saturated shedding scheduler.  The
+      interval shed rate must flip the state to Overloaded, and the
+      response-p99, goodput-floor and shed-budget alerts must all fire.
+    - {b lease-skew}: the lease clock jumps forward then steps back
+      under the plan DSL.  The churn counter must read Lease_churning —
+      never Degraded or Overloaded — and the warm-hit SLO stays quiet.
+
+    Also exercises the STD_STATUS surface off the drive-rejoin server:
+    the binary snapshot must decode and re-encode byte-identically.
+    Raises [Failure] if any transition sequence or alert edge deviates. *)
+
+val metrics_dump : metrics_report -> string
+(** Deterministic text dump — every snapshot, transition and alert edge.
+    The CI double-run diffs it byte for byte; [bullet_top --replay]
+    renders the same data. *)
+
+(**/**)
+
+val metrics_drive_rejoin : unit -> metrics_scenario * (int * int * bool) * bool
+val metrics_overload_storm : unit -> metrics_scenario * Amoeba_sched.Sched.report
+val metrics_lease_skew : unit -> metrics_scenario
+
+(**/**)

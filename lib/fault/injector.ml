@@ -229,3 +229,8 @@ let detach t =
 let pending t = Event_queue.size t.queue
 
 let stats t = t.stats
+
+let register_metrics t reg =
+  let module M = Amoeba_metrics.Metrics in
+  M.gauge reg "fault.pending_events" (fun () -> pending t);
+  M.stats_source reg ~prefix:"fault" t.stats

@@ -77,3 +77,8 @@ val stats : t -> Amoeba_sim.Stats.t
     [server_crashes], [server_reboots], [online_resyncs], [lease_skews],
     [link_partition_drops], [link_request_drops], [link_reply_drops];
     series [resync_us], [reboot_us], [online_resync_us]. *)
+
+val register_metrics : t -> Amoeba_metrics.Metrics.t -> unit
+(** Register the injector's live surface: a [fault.pending_events] gauge
+    (scripted events not yet fired) and every {!stats} counter under the
+    [fault.] prefix. *)

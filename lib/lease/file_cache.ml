@@ -12,6 +12,7 @@ type t = {
   capacity : int;
   table : (string, entry) Hashtbl.t;
   stats : Amoeba_sim.Stats.t;
+  evicted_bytes : Amoeba_metrics.Metrics.Counter.t;
   mutable used : int;
   mutable tick : int;
   mutable tracer : Amoeba_trace.Trace.ctx option;
@@ -23,6 +24,7 @@ let create ~capacity_bytes =
     capacity = capacity_bytes;
     table = Hashtbl.create 64;
     stats = Amoeba_sim.Stats.create "client-cache";
+    evicted_bytes = Amoeba_metrics.Metrics.Counter.create ();
     used = 0;
     tick = 0;
     tracer = None;
@@ -80,7 +82,7 @@ let evict_one t =
     Hashtbl.remove t.table key;
     t.used <- t.used - Bytes.length e.data;
     Amoeba_sim.Stats.incr t.stats "evictions";
-    Amoeba_sim.Stats.add t.stats "bytes_evicted" (Bytes.length e.data);
+    Amoeba_metrics.Metrics.Counter.add t.evicted_bytes (Bytes.length e.data);
     (match t.tracer with
     | None -> ()
     | Some tr ->
@@ -107,3 +109,13 @@ let insert t cap data =
 let clear t =
   Hashtbl.reset t.table;
   t.used <- 0
+
+let bytes_evicted t = Amoeba_metrics.Metrics.Counter.value t.evicted_bytes
+
+let register_metrics t ~prefix reg =
+  let module M = Amoeba_metrics.Metrics in
+  M.register_counter reg (prefix ^ ".bytes_evicted") t.evicted_bytes;
+  M.gauge reg (prefix ^ ".used_bytes") (fun () -> used_bytes t);
+  M.gauge reg (prefix ^ ".capacity_bytes") (fun () -> capacity t);
+  M.gauge reg (prefix ^ ".resident_files") (fun () -> resident_files t);
+  M.stats_source reg ~prefix t.stats

@@ -236,3 +236,15 @@ let lease_info t dir =
   match Hashtbl.find_opt t.leases (Cap.to_string dir) with
   | Some ls when ls.epoch >= 0 -> Some (ls.epoch, ls.deadline)
   | _ -> None
+
+let register_metrics t reg =
+  let module M = Amoeba_metrics.Metrics in
+  (* churn = lease lifecycle events beyond what steady cached reads
+     explain; the health evaluator watches its per-interval delta *)
+  M.gauge reg "lease.churn" (fun () ->
+      let c key = Amoeba_sim.Stats.count t.stats key in
+      c "lease_grants" + c "lease_renewals" + c "lease_revokes" + c "lease_expiries"
+      + c "lease_clock_steps_back");
+  M.gauge reg "lease.skew_us" (fun () -> skew t);
+  M.stats_source reg ~prefix:"lease" t.stats;
+  File_cache.register_metrics t.cache ~prefix:"client_cache" reg

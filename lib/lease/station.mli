@@ -83,3 +83,10 @@ val set_tracer : t -> Amoeba_trace.Trace.ctx option -> unit
     [lease.revoke] and [cache.client_hit]/[cache.client_miss]/
     [cache.client_evict] events; cache-hit copies appear as
     ["station.memcpy"] spans. *)
+
+val register_metrics : t -> Amoeba_metrics.Metrics.t -> unit
+(** Register the station's live surface: a [lease.churn] gauge (the sum
+    of grant/renewal/revoke/expiry/clock-step events, whose per-interval
+    delta the health evaluator watches), [lease.skew_us], every {!stats}
+    counter under [lease.], and the client {!File_cache} under
+    [client_cache.]. *)

@@ -162,3 +162,8 @@ let trans ?link t ~model request =
         finish t reply)
 
 let stats t = t.stats
+
+let register_metrics t reg =
+  let module M = Amoeba_metrics.Metrics in
+  M.gauge reg "rpc.registered_ports" (fun () -> Port_table.length t.services);
+  M.stats_source reg ~prefix:"rpc" t.stats

@@ -83,3 +83,8 @@ val stats : t -> Amoeba_sim.Stats.t
     [unbound_port], [timeouts], and the fault breakdown
     [dropped_requests], [dropped_replies], [duplicated_requests],
     [corrupted_replies], [unbound_timeouts]. *)
+
+val register_metrics : t -> Amoeba_metrics.Metrics.t -> unit
+(** Register the wire's live surface: a [rpc.registered_ports] gauge and
+    every {!stats} counter ([transactions], [timeouts], the fault
+    breakdown, ...) under the [rpc.] prefix. *)

@@ -154,7 +154,7 @@ let validate config =
     invalid_arg "Sched.run: retry policy needs a positive timeout_us"
   | Some _ | None -> ()
 
-let run ?sink config =
+let run ?sink ?metrics ?observer config =
   validate config;
   let stations = Array.of_list config.stations in
   let st =
@@ -188,14 +188,33 @@ let run ?sink config =
   let req_counter = ref 0 in
   let span_counter = ref 0 in
   let admitted = ref 0 in
-  let offered = ref 0 in
-  let completed = ref 0 in
-  let failed = ref 0 in
-  let shed_n = ref 0 in
-  let miss_n = ref 0 in
-  let abandon_n = ref 0 in
-  let retry_n = ref 0 in
-  let late_n = ref 0 in
+  (* the run's tallies live in metrics counter cells so a registry scrape
+     mid-run reads the same instruments the final report is built from *)
+  let module MC = Amoeba_metrics.Metrics.Counter in
+  let offered = MC.create () in
+  let completed = MC.create () in
+  let failed = MC.create () in
+  let shed_n = MC.create () in
+  let miss_n = MC.create () in
+  let abandon_n = MC.create () in
+  let retry_n = MC.create () in
+  let late_n = MC.create () in
+  let resp_hist = Stats.Hist.create () in
+  (match metrics with
+  | None -> ()
+  | Some reg ->
+    let module M = Amoeba_metrics.Metrics in
+    M.register_counter reg "sched.offered" offered;
+    M.register_counter reg "sched.completed" completed;
+    M.register_counter reg "sched.failed" failed;
+    M.register_counter reg "sched.sheds" shed_n;
+    M.register_counter reg "sched.deadline_misses" miss_n;
+    M.register_counter reg "sched.abandoned" abandon_n;
+    M.register_counter reg "sched.retried" retry_n;
+    M.register_counter reg "sched.late" late_n;
+    M.register_hist reg "sched.response_us" resp_hist;
+    M.gauge reg "sched.accept_queue" (fun () -> Queue.length accept_q);
+    M.gauge reg "sched.admitted" (fun () -> !admitted));
   let max_accept = ref 0 in
   let span_end = ref 0 in
   let touch at = if at > !span_end then span_end := at in
@@ -254,12 +273,12 @@ let run ?sink config =
   let retry_or_fail cs c attempt now =
     match config.overload.retry with
     | Some p when attempt < p.Backoff.attempts ->
-      incr retry_n;
+      MC.incr retry_n;
       Event_queue.push ~pin:(pin ()) ~site:"sched.retry" queue
         ~time:(now + Backoff.delay_us p ~attempt)
         (Retry (c, cs.cur_req, attempt + 1))
     | Some _ | None ->
-      incr failed;
+      MC.incr failed;
       next_request cs c now
   in
   (* station mechanics ------------------------------------------------ *)
@@ -328,11 +347,12 @@ let run ?sink config =
       close_root job now "ok";
       let response_us = now - job.j_req_start_us in
       Stats.observe stats "response_ms" (float_of_int response_us /. 1000.);
-      incr completed;
+      Stats.Hist.record resp_hist response_us;
+      MC.incr completed;
       next_request cs job.j_client now
     end
     else begin
-      incr late_n;
+      MC.incr late_n;
       close_root job now "late"
     end;
     drain_accept now
@@ -355,7 +375,7 @@ let run ?sink config =
         | Some job -> (
           match config.overload.policy with
           | Deadline d when now - job.j_submit_us > d ->
-            incr miss_n;
+            MC.incr miss_n;
             emit_event job now "sched.deadline_miss";
             close_root job now "deadline";
             if job.j_live then begin
@@ -377,7 +397,7 @@ let run ?sink config =
       cs.issued <- cs.issued + 1
     end;
     cs.cur_attempt <- attempt;
-    incr offered;
+    MC.incr offered;
     (* client [c]'s k-th request runs profile [(c + k) mod n]: staggered
        so simultaneous clients spread over the mix, cycling so every
        population sees the full mix *)
@@ -409,7 +429,7 @@ let run ?sink config =
     else
       match config.overload.policy with
       | Shed ->
-        incr shed_n;
+        MC.incr shed_n;
         emit_event job now "sched.shed";
         close_root job now "shed";
         job.j_live <- false;
@@ -435,7 +455,7 @@ let run ?sink config =
       match cs.waiting with
       | Some job when job.j_req = req && job.j_attempt = attempt ->
         touch at;
-        incr abandon_n;
+        MC.incr abandon_n;
         emit_event job at "sched.abandon";
         job.j_live <- false;
         cs.waiting <- None;
@@ -490,6 +510,7 @@ let run ?sink config =
     | None -> ()
     | Some (at, event) ->
       handle at event;
+      (match observer with None -> () | Some f -> f at);
       loop ()
   in
   loop ();
@@ -497,16 +518,16 @@ let run ?sink config =
   let summary = Stats.summary stats "response_ms" in
   {
     simulated_us = span;
-    offered = !offered;
-    completed = !completed;
-    failed = !failed;
-    shed_count = !shed_n;
-    deadline_misses = !miss_n;
-    abandoned = !abandon_n;
-    retried = !retry_n;
-    late = !late_n;
+    offered = MC.value offered;
+    completed = MC.value completed;
+    failed = MC.value failed;
+    shed_count = MC.value shed_n;
+    deadline_misses = MC.value miss_n;
+    abandoned = MC.value abandon_n;
+    retried = MC.value retry_n;
+    late = MC.value late_n;
     max_accept_queue = !max_accept;
-    throughput_per_sec = float_of_int !completed /. (float_of_int span /. 1e6);
+    throughput_per_sec = float_of_int (MC.value completed) /. (float_of_int span /. 1e6);
     mean_response_ms = summary.Stats.mean;
     p50_response_ms = Stats.percentile stats "response_ms" 0.5;
     p95_response_ms = Stats.percentile stats "response_ms" 0.95;

@@ -100,8 +100,21 @@ type report = {
   station_reports : station_report list;
 }
 
-val run : ?sink:Amoeba_trace.Sink.t -> config -> report
-(** Deterministic discrete-event run.  With [sink], every attempt emits
+val run :
+  ?sink:Amoeba_trace.Sink.t ->
+  ?metrics:Amoeba_metrics.Metrics.t ->
+  ?observer:(int -> unit) ->
+  config ->
+  report
+(** Deterministic discrete-event run.  With [metrics], the run's tallies
+    are registered as live instruments — [sched.offered], [sched.sheds],
+    [sched.deadline_misses], [sched.completed], [sched.failed],
+    [sched.abandoned], [sched.retried], [sched.late] counters, a
+    [sched.response_us] histogram, and [sched.accept_queue] /
+    [sched.admitted] gauges — so a scrape taken mid-run reads the same
+    cells the final report is built from.  [observer] is called with the
+    virtual time after every handled event: the hook a metrics scraper
+    (or any other sampler) polls from.  With [sink], every attempt emits
     a [sched.attempt] root span (trace id = request serial) with
     [sched.accept] / [sched.wait.<station>] / [sched.serve.<station>]
     children and zero-length [sched.shed] / [sched.deadline_miss] /

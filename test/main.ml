@@ -32,6 +32,7 @@ let () =
       Test_fault.suite;
       Test_lease.suite;
       Test_trace.suite;
+      Test_metrics.suite;
       Test_lint.suite;
       Test_vet.suite;
       Test_determinism.suite;

@@ -38,7 +38,7 @@ let test_cache_lru_eviction () =
   check_bool "a survives" true (File_cache.find cache a <> None);
   check_bool "c cached" true (File_cache.find cache c <> None);
   check_int "one eviction" 1 (Stats.count (File_cache.stats cache) "evictions");
-  check_int "evicted bytes counted" 4_096 (Stats.count (File_cache.stats cache) "bytes_evicted");
+  check_int "evicted bytes counted" 4_096 (File_cache.bytes_evicted cache);
   check_int "used" 8_192 (File_cache.used_bytes cache);
   check_int "resident" 2 (File_cache.resident_files cache)
 

@@ -57,6 +57,7 @@ let loc = Alcotest.(list (triple string int string))
 let test_fixture_proto () =
   Alcotest.check loc "proto diagnostics"
     [
+      ("fixture_metrics.ml", 13, "vet-proto-duplicate-metric");
       ("fixture_proto.ml", 7, "vet-proto-unhandled-cmd");
       ("fixture_proto.ml", 8, "vet-proto-duplicate-cmd");
       ("fixture_proto.ml", 8, "vet-proto-unhandled-cmd");
@@ -98,7 +99,14 @@ let test_fixture_inventory () =
   Alcotest.(check (list (pair string string)))
     "codec inventory"
     [ ("Vet_fixtures.Fixture_proto", "encode_frame") ]
-    inv.Vet.inv_codecs
+    inv.Vet.inv_codecs;
+  Alcotest.(check (list (pair string string)))
+    "metric inventory"
+    [
+      ("Vet_fixtures.Fixture_metrics", "fixture.depth");
+      ("Vet_fixtures.Fixture_metrics", "fixture.requests");
+    ]
+    inv.Vet.inv_metrics
 
 (* ---- the JSON report is byte-identical across double runs ---- *)
 
