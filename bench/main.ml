@@ -718,6 +718,70 @@ let metrics () =
   Printf.printf "  machine-readable copy written to BENCH_metrics.json\n";
   Printf.printf "  full snapshot dump written to BENCH_metrics_dump.txt\n"
 
+(* ---- TXN: atomic multi-object operations ---- *)
+
+let txn_json (r : E.txn_report) =
+  let fault (f : E.txn_fault) =
+    json_obj
+      [
+        ("plan", json_str f.E.tf_plan);
+        ("scenario", json_str f.E.tf_scenario);
+        ("outcome", json_str f.E.tf_outcome);
+        ("crashed", (if f.E.tf_crashed then "true" else "false"));
+        ("in_doubt", string_of_int f.E.tf_in_doubt_before);
+        ("resolved_commits", string_of_int f.E.tf_resolved_commits);
+        ("resolved_aborts", string_of_int f.E.tf_resolved_aborts);
+        ("atomic", (if f.E.tf_atomic then "true" else "false"));
+        ("orphans", string_of_int f.E.tf_orphans);
+        ("pending", string_of_int f.E.tf_pending);
+        ("dumps_equal", (if f.E.tf_dumps_equal then "true" else "false"));
+      ]
+  in
+  json_obj
+    [
+      ( "quiet",
+        json_arr
+          (List.map
+             (fun (n, o) -> json_obj [ ("scenario", json_str n); ("outcome", json_str o) ])
+             r.E.tx_quiet) );
+      ("faults", json_arr (List.map fault r.E.tx_faults));
+      ("stuck_state", json_str r.E.tx_stuck_label);
+      ("status_has_gauges", (if r.E.tx_status_has_gauges then "true" else "false"));
+    ]
+
+let txn () =
+  header "TXN - atomic multi-object operations, every 2PC edge fault-planned";
+  let r = E.txn_experiment () in
+  Printf.printf "\nQuiet baseline (no faults):\n";
+  List.iter (fun (n, o) -> Printf.printf "  %-24s %s\n" n o) r.E.tx_quiet;
+  Printf.printf "\nFault plans (atomic must be yes, orphans and residue 0 everywhere):\n";
+  Printf.printf "  %-32s %-20s %-10s %6s %8s %7s %7s %6s\n" "plan" "scenario" "outcome"
+    "doubt" "resolved" "atomic" "orphans" "equal";
+  List.iter
+    (fun (f : E.txn_fault) ->
+      Printf.printf "  %-32s %-20s %-10s %6d %5d/%-2d %7s %7d %6s\n" f.E.tf_plan
+        f.E.tf_scenario f.E.tf_outcome f.E.tf_in_doubt_before f.E.tf_resolved_commits
+        f.E.tf_resolved_aborts
+        (if f.E.tf_atomic then "yes" else "NO")
+        f.E.tf_orphans
+        (if f.E.tf_dumps_equal then "yes" else "NO"))
+    r.E.tx_faults;
+  Printf.printf "\nStuck-coordinator health walk:\n";
+  List.iter
+    (fun (at, label) -> Printf.printf "  %-16s at %.1f s\n" label (ms at /. 1000.))
+    r.E.tx_health;
+  Printf.printf "STD_STATUS carries txn.* gauges: %s\n"
+    (if r.E.tx_status_has_gauges then "yes" else "NO");
+  let oc = open_out "BENCH_txn.json" in
+  output_string oc (txn_json r);
+  output_char oc '\n';
+  close_out oc;
+  let oc = open_out "BENCH_txn_dump.txt" in
+  output_string oc (E.txn_dump r);
+  close_out oc;
+  Printf.printf "  machine-readable copy written to BENCH_txn.json\n";
+  Printf.printf "  full dump written to BENCH_txn_dump.txt\n"
+
 let micro () =
   header "MICRO - Bechamel microbenchmarks (real wall-clock, ns/run)";
   let open Bechamel in
@@ -817,6 +881,7 @@ let all_benches =
     ("load", load);
     ("lease", lease);
     ("metrics", metrics);
+    ("txn", txn);
     ("micro", micro);
   ]
 

@@ -2,9 +2,18 @@
    images — the operational counterpart of the server's boot-time
    consistency scan and its "3 a.m." compaction.
 
-     bullet_fsck IMG [IMG2]              check only
-     bullet_fsck IMG [IMG2] --repair     persist the scan's repairs
-     bullet_fsck IMG [IMG2] --compact    also squeeze out the holes      *)
+     bullet_fsck IMG [IMG2]                    check only
+     bullet_fsck IMG [IMG2] --repair           persist the scan's repairs
+     bullet_fsck IMG [IMG2] --compact          also squeeze out the holes
+     bullet_fsck IMG --reachable CAPS          list orphaned objects
+     bullet_fsck IMG --reachable CAPS --gc     delete them too
+
+   CAPS is a text file holding one capability per line (the
+   [port:obj:rights:check] form of Capability.to_string) — the caps the
+   naming layer can still reach; everything live on disk but absent from
+   that set and from the server's pending-transaction table is an
+   orphan, e.g. a 2PC participant's prepared object whose coordinator
+   died and whose RAM pending table a reboot emptied. *)
 
 module Layout = Bullet_core.Layout
 module Inode_table = Bullet_core.Inode_table
@@ -39,7 +48,27 @@ let report_table table scan =
     Printf.printf "consistency       %d inode(s) repaired: %s\n" (List.length bad)
       (String.concat ", " (List.map string_of_int bad))
 
-let run paths repair compact =
+let load_reachable path =
+  let ic = open_in path in
+  let caps = ref [] in
+  (try
+     while true do
+       let line = String.trim (input_line ic) in
+       if line <> "" then
+         match Amoeba_cap.Capability.of_string line with
+         | cap -> caps := cap :: !caps
+         | exception Invalid_argument _ ->
+           Printf.eprintf "%s: malformed capability %S\n" path line;
+           exit 2
+     done
+   with End_of_file -> close_in ic);
+  List.rev !caps
+
+let run paths repair compact reachable gc =
+  if gc && reachable = None then begin
+    prerr_endline "--gc needs --reachable";
+    exit 2
+  end;
   if paths = [] then begin
     prerr_endline "need at least one image";
     exit 2
@@ -58,18 +87,35 @@ let run paths repair compact =
       Inode_table.flush_all table ~sync:(Amoeba_disk.Mirror.live_count mirror);
       Printf.printf "repairs written back\n"
     end);
-  if compact then begin
+  if compact || reachable <> None then begin
     match Server.start mirror with
     | Error e ->
-      Printf.eprintf "cannot boot for compaction: %s\n" e;
+      Printf.eprintf "cannot boot for checks: %s\n" e;
       exit 1
     | Ok (server, _) ->
-      let frag_before = Server.disk_fragmentation server in
-      let moved = Server.compact_disk server in
-      Printf.printf "compaction        moved %d blocks (fragmentation %.3f -> %.3f)\n" moved
-        frag_before (Server.disk_fragmentation server)
+      (match reachable with
+      | None -> ()
+      | Some caps_file ->
+        let caps = load_reachable caps_file in
+        let orphans = Bullet_core.Fsck.orphans server ~reachable:caps in
+        (match orphans with
+        | [] -> Printf.printf "orphans           none\n"
+        | objs ->
+          Printf.printf "orphans           %d object(s): %s\n" (List.length objs)
+            (String.concat ", " (List.map string_of_int objs)));
+        if gc then begin
+          let removed = Bullet_core.Fsck.gc server ~reachable:caps in
+          Printf.printf "gc                deleted %d object(s)\n" removed
+        end
+        else if orphans <> [] then Printf.printf "(run with --gc to delete them)\n");
+      if compact then begin
+        let frag_before = Server.disk_fragmentation server in
+        let moved = Server.compact_disk server in
+        Printf.printf "compaction        moved %d blocks (fragmentation %.3f -> %.3f)\n" moved
+          frag_before (Server.disk_fragmentation server)
+      end
   end;
-  if repair || compact then begin
+  if repair || compact || gc then begin
     Amoeba_disk.Mirror.drain mirror;
     List.iteri
       (fun i path ->
@@ -88,8 +134,23 @@ let repair = Arg.(value & flag & info [ "repair" ] ~doc:"Write scan repairs back
 let compact =
   Arg.(value & flag & info [ "compact" ] ~doc:"Compact the file area (implies saving).")
 
+let reachable =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "reachable" ] ~docv:"CAPS"
+        ~doc:
+          "File of reachable capabilities (one per line); live objects absent from it and from \
+           the pending-transaction table are reported as orphans.")
+
+let gc =
+  Arg.(
+    value & flag
+    & info [ "gc" ]
+        ~doc:"Delete the orphans found via $(b,--reachable) (implies saving the images).")
+
 let cmd =
   let doc = "check, repair and compact Bullet drive images" in
-  Cmd.v (Cmd.info "bullet_fsck" ~doc) Term.(const run $ images $ repair $ compact)
+  Cmd.v (Cmd.info "bullet_fsck" ~doc) Term.(const run $ images $ repair $ compact $ reachable $ gc)
 
 let () = exit (Cmd.eval cmd)

@@ -38,6 +38,7 @@ let state_char = function
   | Health.Degraded _ -> 'D'
   | Health.Overloaded _ -> 'O'
   | Health.Lease_churning -> 'L'
+  | Health.Txn_stuck _ -> 'T'
 
 (* State at time [at] given the transition edges (oldest first). *)
 let state_at transitions at =

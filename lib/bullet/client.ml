@@ -146,6 +146,55 @@ let restrict t cap rights =
        (Message.request ~port:t.service ~command:Proto.cmd_restrict ~cap
           ~arg0:(Amoeba_cap.Rights.to_int rights) ()))
 
+(* ---- two-phase commit legs ----
+
+   Result-typed, not raising: a vote of no and a decision timeout are
+   ordinary protocol outcomes the coordinator must branch on, not
+   exceptions. Every leg is a mutation and carries a fresh xid (retries
+   of one send reuse it; a coordinator {e re-send} after recovery is a
+   new send with a new xid — participant idempotence, not the dedup
+   cache, covers those). *)
+
+let txn_unit_result reply =
+  match reply.Message.status with Status.Ok -> Ok () | s -> Error s
+
+let txn_prepare_create t ~txn data =
+  let reply =
+    trans t
+      (Message.request ~port:t.service ~command:Proto.cmd_txn_prepare ~arg0:txn
+         ~arg1:(Proto.encode_txn_kind Server.Txn_create)
+         ~xid:(fresh_xid ()) ~body:data ())
+  in
+  match reply.Message.status with
+  | Status.Ok -> (
+    match reply.Message.cap with Some c -> Ok c | None -> Error Status.Server_failure)
+  | s -> Error s
+
+let txn_prepare_delete t ~txn cap =
+  txn_unit_result
+    (trans t
+       (Message.request ~port:t.service ~command:Proto.cmd_txn_prepare ~arg0:txn
+          ~arg1:(Proto.encode_txn_kind Server.Txn_delete)
+          ~cap ~xid:(fresh_xid ()) ()))
+
+let txn_commit t ~txn ~kind cap =
+  txn_unit_result
+    (trans t
+       (Message.request ~port:t.service ~command:Proto.cmd_txn_commit ~arg0:txn
+          ~arg1:(Proto.encode_txn_kind kind) ~cap ~xid:(fresh_xid ()) ()))
+
+let txn_abort t ~txn ~kind cap =
+  txn_unit_result
+    (trans t
+       (Message.request ~port:t.service ~command:Proto.cmd_txn_abort ~arg0:txn
+          ~arg1:(Proto.encode_txn_kind kind) ~cap ~xid:(fresh_xid ()) ()))
+
+let txn_abort_all t ~txn =
+  txn_unit_result
+    (trans t
+       (Message.request ~port:t.service ~command:Proto.cmd_txn_abort ~arg0:txn
+          ~xid:(fresh_xid ()) ()))
+
 type stat_info = Proto.stat = {
   live_files : int;
   free_blocks : int;

@@ -72,6 +72,28 @@ val truncate : t -> ?p_factor:int -> Amoeba_cap.Capability.t -> int -> Amoeba_ca
 
 val restrict : t -> Amoeba_cap.Capability.t -> Amoeba_cap.Rights.t -> Amoeba_cap.Capability.t
 
+(** {1 Two-phase commit legs}
+
+    Result-typed rather than raising: a no-vote and a decision-leg
+    timeout are outcomes the coordinator branches on. Each call is one
+    leg of the {!Amoeba_txn} protocol against this server; all carry
+    fresh xids (one send's retries reuse the xid, a coordinator re-send
+    after recovery is a new send resolved by participant idempotence). *)
+
+val txn_prepare_create :
+  t -> txn:int -> bytes -> (Amoeba_cap.Capability.t, Amoeba_rpc.Status.t) result
+
+val txn_prepare_delete :
+  t -> txn:int -> Amoeba_cap.Capability.t -> (unit, Amoeba_rpc.Status.t) result
+
+val txn_commit :
+  t -> txn:int -> kind:Server.txn_kind -> Amoeba_cap.Capability.t -> (unit, Amoeba_rpc.Status.t) result
+
+val txn_abort :
+  t -> txn:int -> kind:Server.txn_kind -> Amoeba_cap.Capability.t -> (unit, Amoeba_rpc.Status.t) result
+
+val txn_abort_all : t -> txn:int -> (unit, Amoeba_rpc.Status.t) result
+
 type stat_info = Proto.stat = {
   live_files : int;
   free_blocks : int;

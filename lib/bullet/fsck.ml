@@ -1,0 +1,33 @@
+(* The orphan sweep.
+
+   A Bullet object is an orphan when no directory holds a capability
+   for it and no in-flight transaction is still deciding its fate.  The
+   paper's split makes this the one leak its recovery story cannot see:
+   a crash between "create file" and "bind name" leaves a live,
+   perfectly consistent inode that nothing will ever read or delete.
+   Reachability is therefore an input here, not something this module
+   discovers: the caller walks its directories (and their persistence
+   files) and hands over every capability they reference. *)
+
+let reachable_objs server caps =
+  let port = Server.port server in
+  let set = Hashtbl.create 64 in
+  List.iter
+    (fun c ->
+      if Amoeba_cap.Port.equal c.Amoeba_cap.Capability.port port then
+        Hashtbl.replace set c.Amoeba_cap.Capability.obj ())
+    caps;
+  set
+
+let orphans server ~reachable =
+  let reach = reachable_objs server reachable in
+  let pending = Hashtbl.create 8 in
+  List.iter (fun o -> Hashtbl.replace pending o ()) (Server.txn_pending_objs server);
+  List.filter
+    (fun o -> not (Hashtbl.mem reach o) && not (Hashtbl.mem pending o))
+    (Server.live_objs server)
+
+let gc server ~reachable =
+  let os = orphans server ~reachable in
+  List.iter (fun o -> ignore (Server.admin_delete_obj server o : bool)) os;
+  List.length os

@@ -1,0 +1,21 @@
+(** Orphan-object fsck: find (and collect) Bullet objects reachable
+    from no directory.
+
+    The boot-time scan ({!Inode_table.load}) checks that every inode is
+    internally consistent; what it cannot see is whether anything still
+    {e references} an object. This module closes that gap given the
+    reference roots: the caller walks its directories — and the
+    directory servers' own persistence files — and passes every
+    capability they hold. Objects of an in-flight transaction's pending
+    table are spared (their fate is the coordinator's decision); after
+    a server reboot that table is empty, which is exactly when orphaned
+    prepared creates become collectable. Used by [bullet_fsck --gc]
+    offline and by the transaction coordinator's recovery online. *)
+
+val orphans : Server.t -> reachable:Amoeba_cap.Capability.t list -> int list
+(** Live object numbers, ascending, that no capability in [reachable]
+    names and no pending transaction claims. Capabilities for other
+    servers' ports are ignored. *)
+
+val gc : Server.t -> reachable:Amoeba_cap.Capability.t list -> int
+(** Delete every orphan; returns how many were collected. *)

@@ -23,6 +23,16 @@ let cmd_stat = 10
 
 let cmd_std_status = 11
 
+(* Two-phase commit. 20..22 — and the directory service's 25..27 — are
+   disjoint from every other command number in the system, so the fault
+   injector can classify a message's 2PC leg (prepare vs decision) from
+   the command alone. *)
+let cmd_txn_prepare = 20
+
+let cmd_txn_commit = 21
+
+let cmd_txn_abort = 22
+
 let command_name command =
   if command = cmd_create then "create"
   else if command = cmd_size then "size"
@@ -35,7 +45,18 @@ let command_name command =
   else if command = cmd_restrict then "restrict"
   else if command = cmd_stat then "stat"
   else if command = cmd_std_status then "std_status"
+  else if command = cmd_txn_prepare then "txn_prepare"
+  else if command = cmd_txn_commit then "txn_commit"
+  else if command = cmd_txn_abort then "txn_abort"
   else Printf.sprintf "cmd%d" command
+
+(* txn_kind on the wire: arg1 of every txn command *)
+let encode_txn_kind = function Server.Txn_create -> 0 | Server.Txn_delete -> 1
+
+let decode_txn_kind = function
+  | 0 -> Some Server.Txn_create
+  | 1 -> Some Server.Txn_delete
+  | _ -> None
 
 type stat = {
   live_files : int;
@@ -148,6 +169,41 @@ let dispatch server request =
         ~body:(Bytes.of_string (Amoeba_metrics.Metrics.to_text (status_snapshot server)))
         ()
     else Message.reply ~status:Status.Ok ~body:(encode_status server) ()
+  else if command = cmd_txn_prepare then
+    let txn = request.Message.arg0 in
+    (match decode_txn_kind request.Message.arg1 with
+    | Some Server.Txn_create ->
+      reply_of_result ~encode:reply_cap (Server.txn_prepare_create server ~txn request.Message.body)
+    | Some Server.Txn_delete ->
+      with_cap request (fun cap ->
+          reply_of_result
+            ~encode:(fun () -> Message.reply ~status:Status.Ok ())
+            (Server.txn_prepare_delete server ~txn cap))
+    | None -> Message.error Status.Bad_request)
+  else if command = cmd_txn_commit then
+    let txn = request.Message.arg0 in
+    (match decode_txn_kind request.Message.arg1 with
+    | Some kind ->
+      with_cap request (fun cap ->
+          reply_of_result
+            ~encode:(fun () -> Message.reply ~status:Status.Ok ())
+            (Server.txn_commit server ~txn ~kind cap))
+    | None -> Message.error Status.Bad_request)
+  else if command = cmd_txn_abort then
+    let txn = request.Message.arg0 in
+    (match request.Message.cap with
+    | None ->
+      (* no capability: presumed abort of the whole transaction *)
+      reply_of_result
+        ~encode:(fun () -> Message.reply ~status:Status.Ok ())
+        (Server.txn_abort_all server ~txn)
+    | Some cap -> (
+      match decode_txn_kind request.Message.arg1 with
+      | Some kind ->
+        reply_of_result
+          ~encode:(fun () -> Message.reply ~status:Status.Ok ())
+          (Server.txn_abort server ~txn ~kind cap)
+      | None -> Message.error Status.Bad_request))
   else Message.error Status.Bad_request
 
 (* At-most-once execution for mutations over a lossy wire: remember the

@@ -30,9 +30,32 @@ val cmd_std_status : int
     [arg0] is 0, the text exposition ({!Amoeba_metrics.Metrics.to_text})
     when [arg0] is 1. *)
 
+val cmd_txn_prepare : int
+(** 2PC prepare ([arg0] = txn id, [arg1] = {!Server.txn_kind} via
+    {!encode_txn_kind}): kind create carries the contents in the body
+    and replies with the pending object's capability; kind delete
+    carries the victim capability and condemns it. The reply status is
+    the participant's vote. Commands 20..22 (and the directory
+    service's 25..27) are globally unique so the fault injector can
+    classify 2PC legs by command number. *)
+
+val cmd_txn_commit : int
+(** 2PC commit ([arg0] = txn id, [arg1] = kind, cap = the object).
+    Idempotent; carries the capability so an amnesiac (rebooted)
+    participant can still resolve it. *)
+
+val cmd_txn_abort : int
+(** 2PC abort. With a capability: roll back that object ([arg1] =
+    kind). Without: presumed abort of every prepared action of [arg0]'s
+    transaction ({!Server.txn_abort_all}). *)
+
 val command_name : int -> string
 (** Human-readable name of a command number ("create", "read", ...);
     unknown numbers render as ["cmdN"].  Used to label trace spans. *)
+
+val encode_txn_kind : Server.txn_kind -> int
+
+val decode_txn_kind : int -> Server.txn_kind option
 
 type stat = {
   live_files : int;

@@ -31,6 +31,13 @@ type t = {
   metrics : Amoeba_metrics.Metrics.t;
   read_hist : Amoeba_sim.Stats.Hist.t;
   block_size : int;
+  (* 2PC participant state, RAM only: a crash forgets both lists, which
+     is exactly the failure the coordinator's recovery (and the fsck
+     orphan sweep) must — and does — clean up after.  Plain assoc lists:
+     a server holds at most a handful of in-flight transactions, and
+     list order never reaches persisted bytes. *)
+  mutable pending : (int * int) list; (* prepared creates: (txn, obj) *)
+  mutable condemned : (int * int) list; (* prepared deletes: (txn, obj) *)
   mutable dead : bool;
   mutable tracer : Amoeba_trace.Trace.ctx option;
 }
@@ -79,6 +86,8 @@ let start ?(config = default_config) ?(seed = 0x42554C4C45545FL) mirror =
         metrics = Amoeba_metrics.Metrics.create "bullet";
         read_hist = Amoeba_sim.Stats.Hist.create ();
         block_size;
+        pending = [];
+        condemned = [];
         dead = false;
         tracer = None;
       }
@@ -93,6 +102,8 @@ let start ?(config = default_config) ?(seed = 0x42554C4C45545FL) mirror =
         (Inode_table.descriptor table).Layout.data_size);
     M.gauge reg "alloc.free_blocks" (fun () -> Extent_alloc.free_total disk_alloc);
     M.gauge reg "alloc.largest_hole" (fun () -> Extent_alloc.largest_free disk_alloc);
+    M.gauge reg "server.txn_pending" (fun () -> List.length server.pending);
+    M.gauge reg "server.txn_condemned" (fun () -> List.length server.condemned);
     M.register_hist reg "server.read_us" server.read_hist;
     M.stats_source reg ~prefix:"server" server.stats;
     Cache.register_metrics cache ~prefix:"cache" reg;
@@ -121,6 +132,10 @@ let tracer t = t.tracer
 
 let crash t =
   t.dead <- true;
+  (* volatile 2PC bookkeeping dies with the RAM; the prepared objects
+     themselves are durable on disk and become the recovery's problem *)
+  t.pending <- [];
+  t.condemned <- [];
   Amoeba_disk.Mirror.crash t.mirror
 
 (* ---- internal helpers ---- *)
@@ -289,19 +304,30 @@ let read_range t cap ~pos ~len =
     Amoeba_sim.Stats.incr t.stats "reads";
     Ok (Cache.sub t.cache ~rnode ~pos ~len)
 
-let delete t cap =
-  let* () = guard_alive t in
-  charge_cpu t;
-  let* obj, inode = verify t cap ~need:Amoeba_cap.Rights.delete in
+(* Free one object — cache, extent, inode — and zero the inode on every
+   disk before the reply: "both creation and deletion involve requests
+   to two disks". *)
+let delete_obj t obj inode =
   if inode.Layout.index <> 0 then Cache.remove t.cache ~rnode:inode.Layout.index;
   let blocks = blocks_of t inode.Layout.size_bytes in
   if blocks > 0 then Extent_alloc.free t.disk_alloc ~start:inode.Layout.first_block ~length:blocks;
   Inode_table.free t.table obj;
-  (* Zeroing the inode goes to every disk before the reply: "both creation
-     and deletion involve requests to two disks". *)
   Inode_table.flush t.table ~sync:(Amoeba_disk.Mirror.live_count t.mirror) obj;
-  Amoeba_sim.Stats.incr t.stats "deletes";
-  Ok ()
+  Amoeba_sim.Stats.incr t.stats "deletes"
+
+let is_condemned t obj = List.exists (fun (_, o) -> o = obj) t.condemned
+
+let delete t cap =
+  let* () = guard_alive t in
+  charge_cpu t;
+  let* obj, inode = verify t cap ~need:Amoeba_cap.Rights.delete in
+  (* An object condemned by a prepared transaction is spoken for: its
+     fate is the coordinator's decision, not an ordinary DELETE's. *)
+  if is_condemned t obj then Error Status.Exists
+  else begin
+    delete_obj t obj inode;
+    Ok ()
+  end
 
 (* §5: derive a new file from an existing one without shipping the whole
    contents over the wire. The server builds the new contents in RAM and
@@ -361,6 +387,125 @@ let restrict t cap rights =
   match Amoeba_cap.Sealer.restrict t.sealer ~random:inode.Layout.random ~cap ~rights with
   | None -> Error Status.Bad_capability
   | Some narrowed -> Ok narrowed
+
+(* ---- two-phase commit participant ----
+
+   Prepare makes the outcome durable-capable, not visible: a prepared
+   create writes data and inode through to every disk (full sync — a
+   prepared vote is a promise, so it gets no P-FACTOR discount) and is
+   remembered in the RAM [pending] list; a prepared delete only marks
+   the object condemned, still readable.  Commit and abort are
+   idempotent and carry the capability, so a rebooted, amnesiac server
+   can still act on a re-sent decision: the seal on the inode random
+   proves the cap refers to the same incarnation of the object, and an
+   already-resolved object simply answers Ok.  What a crash loses — the
+   pending list — is exactly what the fsck orphan sweep reconstructs
+   from reachability. *)
+
+type txn_kind = Txn_create | Txn_delete
+
+let txn_prepare_create t ~txn data =
+  let* () = guard_alive t in
+  charge_cpu t;
+  (* full sync: every live drive holds the prepared object before the
+     yes-vote leaves the server *)
+  let* cap = create_internal t ~p:(default_p t) data in
+  t.pending <- (txn, cap.Amoeba_cap.Capability.obj) :: t.pending;
+  Amoeba_sim.Stats.incr t.stats "txn_prepares";
+  Ok cap
+
+let txn_prepare_delete t ~txn cap =
+  let* () = guard_alive t in
+  charge_cpu t;
+  let* obj, _inode = verify t cap ~need:Amoeba_cap.Rights.delete in
+  if is_condemned t obj then Error Status.Exists (* claimed by another transaction *)
+  else begin
+    t.condemned <- (txn, obj) :: t.condemned;
+    Amoeba_sim.Stats.incr t.stats "txn_prepares";
+    Ok ()
+  end
+
+let forget_pending t ~txn obj =
+  t.pending <- List.filter (fun (x, o) -> not (x = txn && o = obj)) t.pending
+
+let forget_condemned t ~txn obj =
+  t.condemned <- List.filter (fun (x, o) -> not (x = txn && o = obj)) t.condemned
+
+let txn_commit t ~txn ~kind cap =
+  let* () = guard_alive t in
+  charge_cpu t;
+  Amoeba_sim.Stats.incr t.stats "txn_commits";
+  let obj = cap.Amoeba_cap.Capability.obj in
+  match kind with
+  | Txn_create ->
+    (* the object is already durable; commit just stops excluding it *)
+    forget_pending t ~txn obj;
+    Ok ()
+  | Txn_delete -> (
+    forget_condemned t ~txn obj;
+    match verify t cap ~need:Amoeba_cap.Rights.delete with
+    | Error _ -> Ok () (* already gone: a re-sent decision *)
+    | Ok (obj, inode) ->
+      delete_obj t obj inode;
+      Ok ())
+
+let txn_abort t ~txn ~kind cap =
+  let* () = guard_alive t in
+  charge_cpu t;
+  Amoeba_sim.Stats.incr t.stats "txn_aborts";
+  let obj = cap.Amoeba_cap.Capability.obj in
+  match kind with
+  | Txn_create -> (
+    forget_pending t ~txn obj;
+    match verify t cap ~need:Amoeba_cap.Rights.delete with
+    | Error _ -> Ok () (* never prepared here, or already swept *)
+    | Ok (obj, inode) ->
+      delete_obj t obj inode;
+      Ok ())
+  | Txn_delete ->
+    (* lift the condemnation; the object stays live *)
+    forget_condemned t ~txn obj;
+    Ok ()
+
+let txn_abort_all t ~txn =
+  (* presumed abort, addressed by transaction id alone: a recovering
+     coordinator that never logged the prepared capabilities can still
+     roll this server back.  Unknown transactions answer Ok — after a
+     participant reboot the pending list is empty and the orphan sweep
+     owns the leftovers. *)
+  let* () = guard_alive t in
+  charge_cpu t;
+  Amoeba_sim.Stats.incr t.stats "txn_aborts";
+  let mine = List.filter (fun (x, _) -> x = txn) t.pending in
+  List.iter
+    (fun (_, obj) ->
+      let inode = Inode_table.get t.table obj in
+      if not (Layout.is_free inode) then delete_obj t obj inode)
+    mine;
+  t.pending <- List.filter (fun (x, _) -> not (x = txn)) t.pending;
+  t.condemned <- List.filter (fun (x, _) -> not (x = txn)) t.condemned;
+  Ok ()
+
+let txn_pending_objs t = List.map snd t.pending
+
+let live_objs t =
+  let objs = ref [] in
+  Inode_table.iter_live t.table (fun obj _ -> objs := obj :: !objs);
+  List.rev !objs
+
+let admin_delete_obj t obj =
+  if t.dead || obj < 1 || obj > Inode_table.max_inode t.table then false
+  else
+    let inode = Inode_table.get t.table obj in
+    if Layout.is_free inode then false
+    else begin
+      delete_obj t obj inode;
+      true
+    end
+
+let txn_pending_count t = List.length t.pending
+
+let txn_condemned_count t = List.length t.condemned
 
 (* ---- administration ---- *)
 

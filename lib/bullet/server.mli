@@ -125,6 +125,62 @@ val restrict :
   (Amoeba_cap.Capability.t, Amoeba_rpc.Status.t) result
 (** Re-seal a capability with intersected rights. *)
 
+(** {1 Two-phase commit participant}
+
+    Prepare makes an outcome durable-capable without making it visible;
+    commit and abort are idempotent and carry the capability, so a
+    rebooted (amnesiac) server still resolves re-sent decisions
+    correctly. The pending/condemned bookkeeping is RAM-only — a crash
+    loses it, and the orphan sweep ({!Fsck}) plus the coordinator's
+    presumed-abort recovery clean up what is left on disk. *)
+
+type txn_kind = Txn_create | Txn_delete
+
+val txn_prepare_create : t -> txn:int -> bytes -> (Amoeba_cap.Capability.t, Amoeba_rpc.Status.t) result
+(** Create the object durably (data + inode on every live drive — a
+    prepared vote gets no P-FACTOR discount) but keep it in the pending
+    table: excluded from the fsck live set and unreachable until the
+    commit binds its capability somewhere. *)
+
+val txn_prepare_delete : t -> txn:int -> Amoeba_cap.Capability.t -> (unit, Amoeba_rpc.Status.t) result
+(** Condemn the object: still readable, but ordinary [DELETE] and any
+    other transaction's prepare are refused with [Exists] until this
+    transaction resolves. Needs the delete right. *)
+
+val txn_commit :
+  t -> txn:int -> kind:txn_kind -> Amoeba_cap.Capability.t -> (unit, Amoeba_rpc.Status.t) result
+(** Apply the decision: a committed create is simply promoted (it is
+    already durable); a committed delete frees the object. Idempotent —
+    an unknown or already-resolved object answers [Ok]. *)
+
+val txn_abort :
+  t -> txn:int -> kind:txn_kind -> Amoeba_cap.Capability.t -> (unit, Amoeba_rpc.Status.t) result
+(** Roll back: an aborted create is deleted, an aborted delete is
+    un-condemned. Idempotent like {!txn_commit}. *)
+
+val txn_abort_all : t -> txn:int -> (unit, Amoeba_rpc.Status.t) result
+(** Presumed abort by transaction id alone — what a recovering
+    coordinator sends when its log has a begin record but no commit
+    record (it may never have learned the prepared capabilities). Drops
+    every pending create and condemnation of [txn]; unknown ids answer
+    [Ok]. *)
+
+val txn_pending_objs : t -> int list
+(** Object numbers of prepared-but-undecided creates, for {!Fsck}'s
+    orphan sweep to exclude. *)
+
+val live_objs : t -> int list
+(** Every live object number, ascending — the fsck walk. *)
+
+val admin_delete_obj : t -> int -> bool
+(** Free one object by number, bypassing capability checks — the fsck
+    [--gc] primitive, for objects that by definition no capability
+    reaches. Returns false if the object is not live. *)
+
+val txn_pending_count : t -> int
+
+val txn_condemned_count : t -> int
+
 (** {1 Administration and introspection} *)
 
 val compact_disk : t -> int
@@ -163,7 +219,7 @@ val cache_bytes_evicted : t -> int
 
 val stats : t -> Amoeba_sim.Stats.t
 (** Counters: [creates], [reads], [deletes], [modifies], [cache_hits],
-    [cache_misses]. *)
+    [cache_misses], [txn_prepares], [txn_commits], [txn_aborts]. *)
 
 val metrics : t -> Amoeba_metrics.Metrics.t
 (** The server's live metrics registry, populated at {!start}: inode and

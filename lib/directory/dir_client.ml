@@ -12,6 +12,8 @@ type t = {
 let connect ?(model = Amoeba_rpc.Net_model.amoeba) ?link transport service =
   { transport; model; link; service }
 
+let port t = t.service
+
 let checked t request =
   let reply = Amoeba_rpc.Transport.trans ?link:t.link t.transport ~model:t.model request in
   Status.check reply.Message.status;
@@ -102,6 +104,40 @@ let restrict t dir rights =
 
 let checkpoint t =
   cap_of (checked t (Message.request ~port:t.service ~command:Dir_proto.cmd_checkpoint ()))
+
+(* ---- two-phase commit legs ----
+
+   Result-typed, not raising: a vote of no and a decision timeout are
+   ordinary protocol outcomes the coordinator branches on. Each leg
+   carries a fresh xid so the pair's dedup cache absorbs an injected
+   duplicate; the counter only needs uniqueness within this service's
+   cache window. *)
+
+let xid_counter = ref 0
+
+let fresh_xid () =
+  incr xid_counter;
+  !xid_counter
+
+let txn_result reply =
+  match reply.Message.status with Status.Ok -> Ok () | s -> Error s
+
+let txn_leg t ~command ~txn dir body =
+  txn_result
+    (Amoeba_rpc.Transport.trans ?link:t.link t.transport ~model:t.model
+       (Message.request ~port:t.service ~command ~cap:dir ~arg0:txn ~xid:(fresh_xid ()) ~body ()))
+
+let txn_prepare t ~txn dir name op =
+  txn_leg t ~command:Dir_proto.cmd_txn_prepare ~txn dir (Dir_proto.encode_txn_intent op name)
+
+let txn_commit t ~txn dir name op =
+  txn_leg t ~command:Dir_proto.cmd_txn_commit ~txn dir (Dir_proto.encode_txn_intent op name)
+
+let txn_abort t ~txn =
+  txn_result
+    (Amoeba_rpc.Transport.trans ?link:t.link t.transport ~model:t.model
+       (Message.request ~port:t.service ~command:Dir_proto.cmd_txn_abort ~arg0:txn
+          ~xid:(fresh_xid ()) ()))
 
 let components path = List.filter (fun c -> c <> "") (String.split_on_char '/' path)
 

@@ -14,6 +14,8 @@ val connect :
 (** [link] tags every transaction with a link class so link-scoped fault
     plans can target it; see {!Amoeba_rpc.Transport.trans}. *)
 
+val port : t -> Amoeba_cap.Port.t
+
 val get_root : t -> Amoeba_cap.Capability.t
 
 val make_dir : t -> Amoeba_cap.Capability.t
@@ -45,6 +47,31 @@ val versions : t -> Amoeba_cap.Capability.t -> string -> Amoeba_cap.Capability.t
 val restrict : t -> Amoeba_cap.Capability.t -> Amoeba_cap.Rights.t -> Amoeba_cap.Capability.t
 
 val checkpoint : t -> Amoeba_cap.Capability.t
+
+(** {1 Two-phase commit legs}
+
+    Result-typed rather than raising: a no-vote and a decision-leg
+    timeout are outcomes the {!Amoeba_txn} coordinator branches on.
+    Each leg carries a fresh xid, which the pair's serve-side dedup
+    cache uses to absorb injected duplicates. *)
+
+val txn_prepare :
+  t ->
+  txn:int ->
+  Amoeba_cap.Capability.t ->
+  string ->
+  Dir_server.intent_op ->
+  (unit, Amoeba_rpc.Status.t) result
+
+val txn_commit :
+  t ->
+  txn:int ->
+  Amoeba_cap.Capability.t ->
+  string ->
+  Dir_server.intent_op ->
+  (unit, Amoeba_rpc.Status.t) result
+
+val txn_abort : t -> txn:int -> (unit, Amoeba_rpc.Status.t) result
 
 val resolve : t -> Amoeba_cap.Capability.t -> string -> Amoeba_cap.Capability.t
 (** [resolve t dir "a/b/c"] resolves the whole path server-side in one

@@ -54,6 +54,12 @@ let mutating command =
   || command = Dir_proto.cmd_replace || command = Dir_proto.cmd_remove_name
   || command = Dir_proto.cmd_delete_dir
 
+(* Every 2PC leg mutates replica state (intents, applied decisions, the
+   committed bindings themselves): all of them go to both replicas. *)
+let txn_command command =
+  command = Dir_proto.cmd_txn_prepare || command = Dir_proto.cmd_txn_commit
+  || command = Dir_proto.cmd_txn_abort
+
 (* Lease grants mutate replica state too (the lease horizon): both
    replicas must record every promise, or a fail-over could let the
    survivor mutate before a lease granted by its peer has drained. *)
@@ -65,7 +71,7 @@ let dispatch t request =
   if command = Dir_proto.cmd_checkpoint then
     (* checkpointing is per-replica persistence, not replicated state *)
     Dir_proto.dispatch (if t.primary_up then t.primary else t.backup) request
-  else if mutating command || lease_granting command then begin
+  else if mutating command || lease_granting command || txn_command command then begin
     let reply_backup = Dir_proto.dispatch t.backup request in
     if t.primary_up then begin
       let reply_primary = Dir_proto.dispatch t.primary request in
@@ -76,7 +82,28 @@ let dispatch t request =
   end
   else Dir_proto.dispatch (if t.primary_up then t.primary else t.backup) request
 
-let serve t transport = Amoeba_rpc.Transport.register transport (port t) (dispatch t)
+(* At-most-once execution for xid-stamped requests, as the Bullet serve
+   loop does: an injected duplicate of a 2PC leg (or a client retry whose
+   reply was lost) gets the remembered reply instead of running twice.
+   Ordinary directory operations carry xid = 0 and bypass the cache. *)
+let dedup ~capacity service =
+  let replies : (int, Message.t) Hashtbl.t = Hashtbl.create capacity in
+  let order = Queue.create () in
+  fun request ->
+    let xid = request.Message.xid in
+    if xid = 0 then service request
+    else
+      match Hashtbl.find_opt replies xid with
+      | Some reply -> reply
+      | None ->
+        let reply = service request in
+        if Hashtbl.length replies >= capacity then Hashtbl.remove replies (Queue.pop order);
+        Hashtbl.replace replies xid reply;
+        Queue.add xid order;
+        reply
+
+let serve ?(dedup_capacity = 1024) t transport =
+  Amoeba_rpc.Transport.register transport (port t) (dedup ~capacity:dedup_capacity (dispatch t))
 
 (* recursive comparison of the two replicas' name spaces *)
 let primary t = t.primary

@@ -46,7 +46,12 @@ val dispatch : t -> Amoeba_rpc.Message.t -> Amoeba_rpc.Message.t
     reads to the first live one. Replies come from the serving replica
     (identical on both, by construction). *)
 
-val serve : t -> Amoeba_rpc.Transport.t -> unit
+val serve : ?dedup_capacity:int -> t -> Amoeba_rpc.Transport.t -> unit
+(** Register the pair's dispatcher on its port, wrapped in a bounded
+    reply cache keyed by {!Amoeba_rpc.Message.t.xid} (default capacity
+    1024, FIFO eviction), so an injected duplicate of a 2PC leg is
+    answered from the cache rather than executed twice. Ordinary
+    directory operations carry [xid = 0] and bypass it. *)
 
 val divergence : t -> string option
 (** Compare the two replicas' listings recursively from the root;

@@ -30,6 +30,16 @@ let cmd_lookup_lease = 13
 
 let cmd_renew_lease = 14
 
+(* Two-phase commit: 25..27 — and the Bullet service's 20..22 — are
+   disjoint from every other command number in the system, so the fault
+   injector can classify a message's 2PC leg (prepare vs decision) from
+   the command alone. *)
+let cmd_txn_prepare = 25
+
+let cmd_txn_commit = 26
+
+let cmd_txn_abort = 27
+
 let encode_listing rows =
   let buf = Buffer.create 128 in
   let add_row (name, cap) =
@@ -77,6 +87,34 @@ let decode_named_cap body =
     let cap = Cap.read body 0 in
     let name = Bytes.sub_string body Cap.wire_size (Bytes.length body - Cap.wire_size) in
     Some (cap, name)
+
+(* Body layout for txn prepare/commit: a one-byte op tag, the target
+   capability for enter/replace, then the name. *)
+let encode_txn_intent op name =
+  let buf = Buffer.create 32 in
+  (match op with
+  | Dir_server.Txn_enter cap ->
+    Buffer.add_char buf '\000';
+    Buffer.add_bytes buf (Cap.to_bytes cap)
+  | Dir_server.Txn_replace cap ->
+    Buffer.add_char buf '\001';
+    Buffer.add_bytes buf (Cap.to_bytes cap)
+  | Dir_server.Txn_remove -> Buffer.add_char buf '\002');
+  Buffer.add_string buf name;
+  Buffer.to_bytes buf
+
+let decode_txn_intent body =
+  let len = Bytes.length body in
+  if len < 1 then None
+  else
+    let tail pos = Bytes.sub_string body pos (len - pos) in
+    match Bytes.get body 0 with
+    | '\000' when len >= 1 + Cap.wire_size ->
+      Some (Dir_server.Txn_enter (Cap.read body 1), tail (1 + Cap.wire_size))
+    | '\001' when len >= 1 + Cap.wire_size ->
+      Some (Dir_server.Txn_replace (Cap.read body 1), tail (1 + Cap.wire_size))
+    | '\002' -> Some (Dir_server.Txn_remove, tail 1)
+    | _ -> None
 
 let reply_of_result ~encode = function
   | Ok v -> encode v
@@ -154,6 +192,22 @@ let dispatch server request =
           ~encode:(fun (epoch, lease_us) ->
             Message.reply ~status:Status.Ok ~arg0:epoch ~arg1:lease_us ())
           (Dir_server.renew_lease server cap))
+  else if command = cmd_txn_prepare then
+    with_cap request (fun cap ->
+        match decode_txn_intent request.Message.body with
+        | None -> Message.error Status.Bad_request
+        | Some (op, name) ->
+          reply_of_result ~encode:ok_unit
+            (Dir_server.txn_prepare server ~txn:request.Message.arg0 cap name op))
+  else if command = cmd_txn_commit then
+    with_cap request (fun cap ->
+        match decode_txn_intent request.Message.body with
+        | None -> Message.error Status.Bad_request
+        | Some (op, name) ->
+          reply_of_result ~encode:ok_unit
+            (Dir_server.txn_commit server ~txn:request.Message.arg0 cap name op))
+  else if command = cmd_txn_abort then
+    reply_of_result ~encode:ok_unit (Dir_server.txn_abort server ~txn:request.Message.arg0)
   else if command = cmd_checkpoint then
     reply_of_result
       ~encode:(fun cap -> Message.reply ~status:Status.Ok ~cap ())

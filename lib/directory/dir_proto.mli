@@ -35,9 +35,31 @@ val cmd_lookup_lease : int
 val cmd_renew_lease : int
 (** Cheap revalidation: reply [arg0] = epoch, [arg1] = lease duration µs. *)
 
+val cmd_txn_prepare : int
+(** 2PC prepare ([arg0] = txn id, body = {!encode_txn_intent}): vote on
+    one binding action and lock the binding under an intent. The reply
+    status is the vote. Commands 25..27 (and the Bullet service's
+    20..22) are globally unique so the fault injector can classify 2PC
+    legs by command number. *)
+
+val cmd_txn_commit : int
+(** 2PC commit ([arg0] = txn id, body = the intent again). Idempotent;
+    carries the full intent so an amnesiac (healed) replica can still
+    apply the decision. *)
+
+val cmd_txn_abort : int
+(** 2PC abort ([arg0] = txn id): presumed abort — drops every intent of
+    the transaction, unknown ids answer [Ok]. *)
+
 val encode_named_cap : Amoeba_cap.Capability.t -> string -> bytes
 (** Body layout of enter/replace requests: target capability followed by
     the name. *)
+
+val encode_txn_intent : Dir_server.intent_op -> string -> bytes
+(** Body layout of txn prepare/commit requests: a one-byte op tag, the
+    target capability for enter/replace, then the name. *)
+
+val decode_txn_intent : bytes -> (Dir_server.intent_op * string) option
 
 val encode_listing : (string * Amoeba_cap.Capability.t) list -> bytes
 

@@ -7,6 +7,24 @@ let default_config = { cpu_request_us = 1_000; max_versions = 3; p_factor = 2; l
 
 type binding = { name : string; versions : Cap.t list (* newest first, non-empty *) }
 
+(* ---- two-phase commit intents ----
+
+   A prepared-but-undecided action on one binding. Intents are replicated
+   state: the pair dispatches every txn command to both replicas and the
+   checkpoint carries them (unlike lease horizons, they are deterministic
+   across the pair), so a healed replica still knows its in-doubt
+   bindings. *)
+
+type intent_op = Txn_enter of Cap.t | Txn_replace of Cap.t | Txn_remove
+
+type intent = { txn : int; dir_obj : int; iname : string; op : intent_op }
+
+(* A decision the server has already applied, remembered so a coordinator
+   re-send after recovery is answered Ok instead of applied twice. *)
+type applied = { a_txn : int; a_obj : int; a_name : string }
+
+let applied_window = 64
+
 type dir = {
   random : int64;
   mutable rows : binding list; (* sorted by name *)
@@ -27,6 +45,8 @@ type t = {
   mutable next_obj : int;
   mutable root_obj : int;
   mutable checkpoint_file : Cap.t option;
+  mutable intents : intent list; (* prepared, undecided; insertion order *)
+  mutable applied : applied list; (* newest first, at most applied_window *)
 }
 
 (* ---- serialisation ---- *)
@@ -159,6 +179,8 @@ let create ?(config = default_config) ?(seed = 0x444952535256L) ~store () =
       next_obj = 1;
       root_obj = 0;
       checkpoint_file = None;
+      intents = [];
+      applied = [];
     }
   in
   let obj, _dir = fresh_dir t in
@@ -195,6 +217,12 @@ let verify t cap ~need =
 let ( let* ) = Result.bind
 
 let find_binding dir name = List.find_opt (fun b -> b.name = name) dir.rows
+
+(* A pending intent is a lock on its binding: conflicting ordinary
+   mutations — and other transactions' prepares — are refused until the
+   coordinator decides. *)
+let intent_locked t dir_obj name =
+  List.exists (fun i -> i.dir_obj = dir_obj && i.iname = name) t.intents
 
 (* ---- leases (Gray & Cheriton) ----
 
@@ -282,8 +310,9 @@ let insert_sorted dir binding =
 let enter t cap name target =
   charge_cpu t;
   Amoeba_sim.Stats.incr t.stats "enters";
-  let* _obj, dir = verify t cap ~need:Amoeba_cap.Rights.modify in
+  let* obj, dir = verify t cap ~need:Amoeba_cap.Rights.modify in
   if name = "" then Error Status.Bad_request
+  else if intent_locked t obj name then Error Status.Exists
   else
     match find_binding dir name with
     | Some _ -> Error Status.Exists
@@ -292,48 +321,57 @@ let enter t cap name target =
       persist t dir;
       Ok ()
 
+(* The shared body of replace and a committed Txn_replace: bump the
+   epoch (waiting out leases), stack the new version, persist, trim. *)
+let install_version t dir name target =
+  bump_epoch t dir;
+  let previous, retained, trimmed =
+    match find_binding dir name with
+    | None -> (None, [ target ], [])
+    | Some b ->
+      let stacked = target :: b.versions in
+      let rec take n = function
+        | [] -> ([], [])
+        | v :: rest ->
+          if n = 0 then ([], v :: rest)
+          else
+            let keep, drop = take (n - 1) rest in
+            (v :: keep, drop)
+      in
+      let keep, drop = take t.config.max_versions stacked in
+      let previous = match b.versions with v :: _ -> Some v | [] -> None in
+      (previous, keep, drop)
+  in
+  dir.rows <- List.filter (fun b -> b.name <> name) dir.rows;
+  insert_sorted dir { name; versions = retained };
+  persist t dir;
+  List.iter (bullet_delete_quietly t) trimmed;
+  previous
+
 let replace t cap name target =
   charge_cpu t;
   Amoeba_sim.Stats.incr t.stats "replaces";
-  let* _obj, dir = verify t cap ~need:Amoeba_cap.Rights.modify in
+  let* obj, dir = verify t cap ~need:Amoeba_cap.Rights.modify in
   if name = "" then Error Status.Bad_request
-  else begin
-    bump_epoch t dir;
-    let previous, retained, trimmed =
-      match find_binding dir name with
-      | None -> (None, [ target ], [])
-      | Some b ->
-        let stacked = target :: b.versions in
-        let rec take n = function
-          | [] -> ([], [])
-          | v :: rest ->
-            if n = 0 then ([], v :: rest)
-            else
-              let keep, drop = take (n - 1) rest in
-              (v :: keep, drop)
-        in
-        let keep, drop = take t.config.max_versions stacked in
-        let previous = match b.versions with v :: _ -> Some v | [] -> None in
-        (previous, keep, drop)
-    in
-    dir.rows <- List.filter (fun b -> b.name <> name) dir.rows;
-    insert_sorted dir { name; versions = retained };
-    persist t dir;
-    List.iter (bullet_delete_quietly t) trimmed;
-    Ok previous
-  end
+  else if intent_locked t obj name then Error Status.Exists
+  else Ok (install_version t dir name target)
+
+let drop_binding t dir name =
+  bump_epoch t dir;
+  dir.rows <- List.filter (fun b -> b.name <> name) dir.rows;
+  persist t dir
 
 let remove_name t cap name =
   charge_cpu t;
   Amoeba_sim.Stats.incr t.stats "removes";
-  let* _obj, dir = verify t cap ~need:Amoeba_cap.Rights.modify in
-  match find_binding dir name with
-  | None -> Error Status.Not_found
-  | Some _ ->
-    bump_epoch t dir;
-    dir.rows <- List.filter (fun b -> b.name <> name) dir.rows;
-    persist t dir;
-    Ok ()
+  let* obj, dir = verify t cap ~need:Amoeba_cap.Rights.modify in
+  if intent_locked t obj name then Error Status.Exists
+  else
+    match find_binding dir name with
+    | None -> Error Status.Not_found
+    | Some _ ->
+      drop_binding t dir name;
+      Ok ()
 
 let list t cap =
   charge_cpu t;
@@ -346,6 +384,7 @@ let delete_dir t cap =
   let* obj, dir = verify t cap ~need:Amoeba_cap.Rights.delete in
   if obj = t.root_obj then Error Status.Bad_request
   else if dir.rows <> [] then Error Status.Bad_request
+  else if List.exists (fun i -> i.dir_obj = obj) t.intents then Error Status.Exists
   else begin
     (* the dir object disappears, so there is no epoch to bump, but any
        outstanding lease must still drain before the name goes away *)
@@ -361,6 +400,85 @@ let restrict t cap rights =
   match Amoeba_cap.Sealer.restrict t.sealer ~random:dir.random ~cap ~rights with
   | None -> Error Status.Bad_capability
   | Some narrowed -> Ok narrowed
+
+(* ---- two-phase commit participant ----
+
+   Prepare validates the action and records an intent (the binding
+   lock); commit carries the full intent again so an amnesiac replica —
+   healed from a checkpoint taken before the prepare — can still apply
+   the decision; abort is by transaction id alone and unknown
+   transactions answer Ok (presumed abort). *)
+
+let txn_prepare t ~txn cap name op =
+  charge_cpu t;
+  Amoeba_sim.Stats.incr t.stats "txn_prepares";
+  let* obj, dir = verify t cap ~need:Amoeba_cap.Rights.modify in
+  if name = "" then Error Status.Bad_request
+  else if intent_locked t obj name then Error Status.Exists
+  else
+    let* () =
+      match op with
+      | Txn_enter _ -> (
+        match find_binding dir name with Some _ -> Error Status.Exists | None -> Ok ())
+      | Txn_replace _ -> Ok ()
+      | Txn_remove -> (
+        match find_binding dir name with Some _ -> Ok () | None -> Error Status.Not_found)
+    in
+    t.intents <- t.intents @ [ { txn; dir_obj = obj; iname = name; op } ];
+    Ok ()
+
+let note_applied t a =
+  let rec take n = function
+    | [] -> []
+    | x :: rest -> if n = 0 then [] else x :: take (n - 1) rest
+  in
+  t.applied <- a :: take (applied_window - 1) t.applied
+
+let txn_commit t ~txn cap name op =
+  charge_cpu t;
+  Amoeba_sim.Stats.incr t.stats "txn_commits";
+  let* obj, dir = verify t cap ~need:Amoeba_cap.Rights.modify in
+  let a = { a_txn = txn; a_obj = obj; a_name = name } in
+  if List.mem a t.applied then Ok () (* coordinator re-send *)
+  else begin
+    t.intents <-
+      List.filter (fun i -> not (i.txn = txn && i.dir_obj = obj && i.iname = name)) t.intents;
+    let* () =
+      match op with
+      | Txn_enter target -> (
+        match find_binding dir name with
+        | Some { versions = newest :: _; _ } when Cap.equal newest target -> Ok ()
+        | Some _ -> Error Status.Exists
+        | None ->
+          insert_sorted dir { name; versions = [ target ] };
+          persist t dir;
+          Ok ())
+      | Txn_replace target -> (
+        match find_binding dir name with
+        | Some { versions = newest :: _; _ } when Cap.equal newest target -> Ok ()
+        | _ ->
+          let (_ : Cap.t option) = install_version t dir name target in
+          Ok ())
+      | Txn_remove -> (
+        match find_binding dir name with
+        | None -> Ok ()
+        | Some _ ->
+          drop_binding t dir name;
+          Ok ())
+    in
+    note_applied t a;
+    Ok ()
+  end
+
+let txn_abort t ~txn =
+  charge_cpu t;
+  Amoeba_sim.Stats.incr t.stats "txn_aborts";
+  t.intents <- List.filter (fun i -> i.txn <> txn) t.intents;
+  Ok ()
+
+let txn_pending t = List.map (fun i -> (i.txn, i.dir_obj, i.iname)) t.intents
+
+let txn_pending_count t = List.length t.intents
 
 let repersist t =
   (* After a cross-store restore the dir files still live on the peer's
@@ -395,6 +513,45 @@ let checkpoint t =
     | None -> Buffer.add_char buf '\000'
   in
   Amoeba_sim.Tbl.sorted_iter Int.compare encode_dir t.dirs;
+  (* 2PC state, unlike lease horizons, IS replicated deterministic state:
+     a healed replica must still know its in-doubt bindings and already-
+     applied decisions. Intents are written in canonical order so both
+     replicas' checkpoints stay byte-identical. *)
+  let canonical =
+    List.sort
+      (fun a b ->
+        match Int.compare a.txn b.txn with
+        | 0 -> (
+          match Int.compare a.dir_obj b.dir_obj with
+          | 0 -> String.compare a.iname b.iname
+          | c -> c)
+        | c -> c)
+      t.intents
+  in
+  add_u32 buf (List.length canonical);
+  List.iter
+    (fun i ->
+      add_u32 buf i.txn;
+      add_u32 buf i.dir_obj;
+      (match i.op with
+      | Txn_enter cap ->
+        Buffer.add_char buf '\000';
+        add_cap buf cap
+      | Txn_replace cap ->
+        Buffer.add_char buf '\001';
+        add_cap buf cap
+      | Txn_remove -> Buffer.add_char buf '\002');
+      add_u16 buf (String.length i.iname);
+      Buffer.add_string buf i.iname)
+    canonical;
+  add_u32 buf (List.length t.applied);
+  List.iter
+    (fun a ->
+      add_u32 buf a.a_txn;
+      add_u32 buf a.a_obj;
+      add_u16 buf (String.length a.a_name);
+      Buffer.add_string buf a.a_name)
+    t.applied;
   match Bullet_core.Client.create t.store ~p_factor:t.config.p_factor (Buffer.to_bytes buf) with
   | fresh ->
     (match t.checkpoint_file with Some old -> bullet_delete_quietly t old | None -> ());
@@ -424,6 +581,8 @@ let restore ?(config = default_config) ?(seed = 0x444952535256L) ?from ~store ch
         next_obj;
         root_obj;
         checkpoint_file = Some checkpoint_cap;
+        intents = [];
+        applied = [];
       }
     in
     let restore_dir () =
@@ -443,9 +602,43 @@ let restore ?(config = default_config) ?(seed = 0x444952535256L) ?from ~store ch
       let leases_until = Amoeba_sim.Clock.now t.clock + config.lease_us in
       Hashtbl.replace t.dirs obj { random; rows; file; epoch; leases_until }
     in
+    let read_name () =
+      let len = read_u16 r in
+      let name = Bytes.sub_string r.data r.pos len in
+      r.pos <- r.pos + len;
+      name
+    in
+    let restore_intent () =
+      let txn = read_u32 r in
+      let dir_obj = read_u32 r in
+      let tag = Bytes.get r.data r.pos in
+      r.pos <- r.pos + 1;
+      let op =
+        match tag with
+        | '\000' -> Txn_enter (read_cap r)
+        | '\001' -> Txn_replace (read_cap r)
+        | _ -> Txn_remove
+      in
+      { txn; dir_obj; iname = read_name (); op }
+    in
+    let restore_applied () =
+      let a_txn = read_u32 r in
+      let a_obj = read_u32 r in
+      { a_txn; a_obj; a_name = read_name () }
+    in
     (try
        for _ = 1 to count do
          restore_dir ()
        done;
+       let n_intents = read_u32 r in
+       for _ = 1 to n_intents do
+         t.intents <- t.intents @ [ restore_intent () ]
+       done;
+       let n_applied = read_u32 r in
+       let applied = ref [] in
+       for _ = 1 to n_applied do
+         applied := restore_applied () :: !applied
+       done;
+       t.applied <- List.rev !applied;
        Ok t
      with Status.Error e -> Error e)

@@ -128,6 +128,61 @@ val restrict :
   Amoeba_cap.Rights.t ->
   (Amoeba_cap.Capability.t, Amoeba_rpc.Status.t) result
 
+(** {1 Two-phase commit participant}
+
+    The directory side of the {!Amoeba_txn} protocol. A prepare
+    validates one binding action and records an {e intent} — a lock on
+    that binding: until the coordinator decides, conflicting ordinary
+    mutations and other transactions' prepares on the same binding are
+    refused with [Exists]. Commit applies the action through the normal
+    mutation path (so epoch bumps still wait out granted lease horizons)
+    and remembers the decision so a coordinator re-send is answered [Ok]
+    rather than applied twice; abort is by transaction id and unknown
+    transactions answer [Ok] (presumed abort). Intents and applied
+    decisions are replicated, deterministic state: the checkpoint
+    carries both — unlike lease horizons — so a replica healed from its
+    peer still knows its in-doubt bindings. *)
+
+type intent_op =
+  | Txn_enter of Amoeba_cap.Capability.t
+  | Txn_replace of Amoeba_cap.Capability.t
+  | Txn_remove
+
+val txn_prepare :
+  t ->
+  txn:int ->
+  Amoeba_cap.Capability.t ->
+  string ->
+  intent_op ->
+  (unit, Amoeba_rpc.Status.t) result
+(** Vote on one binding action. [Ok] locks the binding under an intent;
+    any error is a no-vote: [Exists] for a locked binding or an
+    already-bound {!Txn_enter} name, [Not_found] for a {!Txn_remove} of
+    an unbound name. Needs the modify right. *)
+
+val txn_commit :
+  t ->
+  txn:int ->
+  Amoeba_cap.Capability.t ->
+  string ->
+  intent_op ->
+  (unit, Amoeba_rpc.Status.t) result
+(** Apply a decided action and drop its intent. Idempotent: a decision
+    already applied — remembered, or structurally visible (the name
+    already binds the committed capability; the removed name is gone) —
+    answers [Ok] without mutating. Carries the full intent so a replica
+    that lost the prepare to a heal can still comply. *)
+
+val txn_abort : t -> txn:int -> (unit, Amoeba_rpc.Status.t) result
+(** Drop every intent of the transaction. Always [Ok] — aborting an
+    unknown transaction is the presumed-abort rule at work. *)
+
+val txn_pending : t -> (int * int * string) list
+(** Pending intents as [(txn, dir object, name)] triples, in prepare
+    order; for experiments and fsck-style audits. *)
+
+val txn_pending_count : t -> int
+
 (** {1 Persistence} *)
 
 val checkpoint : t -> (Amoeba_cap.Capability.t, Amoeba_rpc.Status.t) result

@@ -19,12 +19,16 @@ type t = {
   on_crash : unit -> unit;
   on_reboot : unit -> unit;
   on_lease_skew : int -> unit;
+  on_txn_crash : Plan.txn_edge -> unit;
   stats : Stats.t;
   mutable loss : float;
   mutable duplication : float;
   mutable corruption : float;
   mutable sector_errors : float;
   links : link_state array;
+  mutable txn_armed : Plan.txn_edge option;
+  txn_drops : int array; (* remaining targeted drops, indexed by [leg_index] *)
+  txn_dups : int array; (* remaining targeted duplications, same index *)
   mutable resync_batch : int option;
   mutable resync_started_us : int;
   mutable firing : bool;
@@ -38,6 +42,23 @@ module Log = (val Logs.src_log log_src)
 let link_index : Link.t -> int = function Local -> 0 | Regional -> 1 | Wide -> 2
 
 let link_state t l = t.links.(link_index l)
+
+let leg_index : Plan.txn_leg -> int = function
+  | Prepare_request -> 0
+  | Prepare_reply -> 1
+  | Decision_request -> 2
+  | Decision_reply -> 3
+
+(* The txn wire commands, by number: Bullet prepare/commit/abort are
+   20/21/22 ([Bullet_core.Proto]) and directory prepare/commit/abort
+   are 25/26/27 ([Amoeba_dir.Dir_proto]).  Those ranges are disjoint
+   from every other service's commands precisely so the injector can
+   classify a message's 2PC exchange from the command number alone,
+   without a dependency on either proto module. *)
+let txn_exchange_of_command = function
+  | 20 | 25 -> Some (Plan.Prepare_request, Plan.Prepare_reply)
+  | 21 | 22 | 26 | 27 -> Some (Plan.Decision_request, Plan.Decision_reply)
+  | _ -> None
 
 (* Event work runs off the measured path — recovery and reboot proceed in
    the background of whichever client transaction happened to trigger the
@@ -93,6 +114,15 @@ let apply t event =
   | Lease_clock_skew us ->
     t.on_lease_skew us;
     Stats.incr t.stats "lease_skews"
+  | Txn_crash edge ->
+    t.txn_armed <- Some edge;
+    Stats.incr t.stats "txn_crashes_armed"
+  | Txn_drop (leg, n) ->
+    let i = leg_index leg in
+    t.txn_drops.(i) <- t.txn_drops.(i) + n
+  | Txn_dup leg ->
+    let i = leg_index leg in
+    t.txn_dups.(i) <- t.txn_dups.(i) + 1
 
 (* The [firing] flag makes event application atomic from the hooks' point
    of view: a reboot's boot scan reads the disk and re-registers a port,
@@ -135,16 +165,71 @@ let poll t =
   fire_due t;
   step_resync t
 
+(* Called by the 2PC harness at each protocol edge.  An armed crash for
+   this edge fires exactly once, through the harness's [on_txn_crash]
+   action (which typically unregisters a port, drops volatile state, or
+   raises to unwind the coordinator).  Runs under [firing] so the crash
+   action itself draws no faults and fires no further events. *)
+let txn_point t edge =
+  if not t.firing then begin
+    fire_due t;
+    match t.txn_armed with
+    | Some armed when armed = edge ->
+      t.txn_armed <- None;
+      Stats.incr t.stats "txn_crashes";
+      t.firing <- true;
+      Fun.protect ~finally:(fun () -> t.firing <- false) (fun () -> t.on_txn_crash edge)
+    | _ -> ()
+  end
+
+(* Targeted per-leg transaction faults.  These are scripted counts, not
+   rates: they consume no PRNG draw, so adding a txn_drop to a plan
+   leaves every probabilistic fault sequence untouched.  Request-leg
+   duplication re-executes the service (the transport runs the handler
+   twice); a duplicated reply would be discarded by the client stub's
+   transaction matching, so reply-leg duplication counts the discarded
+   copy and delivers normally. *)
+let txn_verdict t msg =
+  match txn_exchange_of_command msg.Amoeba_rpc.Message.command with
+  | None -> Transport.Deliver
+  | Some (req_leg, rep_leg) ->
+    let ri = leg_index req_leg and pi = leg_index rep_leg in
+    if t.txn_drops.(ri) > 0 then begin
+      t.txn_drops.(ri) <- t.txn_drops.(ri) - 1;
+      Stats.incr t.stats ("txn_drop_" ^ Plan.txn_leg_name req_leg);
+      Transport.Drop_request
+    end
+    else if t.txn_drops.(pi) > 0 then begin
+      t.txn_drops.(pi) <- t.txn_drops.(pi) - 1;
+      Stats.incr t.stats ("txn_drop_" ^ Plan.txn_leg_name rep_leg);
+      Transport.Drop_reply
+    end
+    else if t.txn_dups.(ri) > 0 then begin
+      t.txn_dups.(ri) <- t.txn_dups.(ri) - 1;
+      Stats.incr t.stats ("txn_dup_" ^ Plan.txn_leg_name req_leg);
+      Transport.Duplicate_request
+    end
+    else if t.txn_dups.(pi) > 0 then begin
+      t.txn_dups.(pi) <- t.txn_dups.(pi) - 1;
+      Stats.incr t.stats ("txn_dup_" ^ Plan.txn_leg_name rep_leg ^ "_discarded");
+      Transport.Deliver
+    end
+    else Transport.Deliver
+
 (* Draw order is fixed — link request loss, link reply loss, then the
    global request loss, reply loss, duplication, corruption — and a rate
    of zero consumes no draw, so plans stay deterministic under edits that
    only change when a rate switches on. A partition consumes no draw at
-   all. *)
-let delivery_verdict t ~link (_ : Amoeba_rpc.Message.t) =
+   all.  Targeted txn faults are consulted first (they are scripted
+   counts, drawless by construction). *)
+let delivery_verdict t ~link (msg : Amoeba_rpc.Message.t) =
   if t.firing then Transport.Deliver
   else begin
     fire_due t;
     step_resync t;
+    let txn_faults = txn_verdict t msg in
+    if txn_faults <> Transport.Deliver then txn_faults
+    else
     let link_faults =
       match link with
       | None -> Transport.Deliver
@@ -181,7 +266,8 @@ let disk_fault t ~sector:_ ~count:_ ~write =
   if t.firing || write then false else Prng.bernoulli t.prng t.sector_errors
 
 let attach ?transport ?mirror ?(on_crash = fun () -> ()) ?(on_reboot = fun () -> ())
-    ?(on_lease_skew = fun (_ : int) -> ()) ~clock plan =
+    ?(on_lease_skew = fun (_ : int) -> ())
+    ?(on_txn_crash = fun (_ : Plan.txn_edge) -> ()) ~clock plan =
   let queue = Event_queue.create () in
   (* the plan's own step order pins simultaneous steps *)
   List.iteri
@@ -198,12 +284,16 @@ let attach ?transport ?mirror ?(on_crash = fun () -> ()) ?(on_reboot = fun () ->
       on_crash;
       on_reboot;
       on_lease_skew;
+      on_txn_crash;
       stats = Stats.create "fault-injector";
       loss = 0.;
       duplication = 0.;
       corruption = 0.;
       sector_errors = 0.;
       links = Array.init 3 (fun _ -> { link_loss = 0.; partitioned = false });
+      txn_armed = None;
+      txn_drops = Array.make 4 0;
+      txn_dups = Array.make 4 0;
       resync_batch = None;
       resync_started_us = 0;
       firing = false;

@@ -41,6 +41,7 @@ val attach :
   ?on_crash:(unit -> unit) ->
   ?on_reboot:(unit -> unit) ->
   ?on_lease_skew:(int -> unit) ->
+  ?on_txn_crash:(Plan.txn_edge -> unit) ->
   clock:Amoeba_sim.Clock.t ->
   Plan.t ->
   t
@@ -49,7 +50,19 @@ val attach :
     require [mirror]; message-fault draws require [transport] (without
     it they never happen). [on_lease_skew] receives [Lease_clock_skew]
     offsets — typically [Amoeba_lease.Station.set_skew]; default
-    ignores them. *)
+    ignores them. [on_txn_crash] is the crash action a {!txn_point}
+    call fires when its edge is armed — typically it unregisters a
+    port, drops a server's volatile state, or raises to unwind the
+    coordinator mid-protocol; default ignores the edge. *)
+
+val txn_point : t -> Plan.txn_edge -> unit
+(** Declare that the harness's two-phase commit just reached [edge].
+    Due scripted events fire first; then, if a [Txn_crash] for exactly
+    this edge is armed, it is consumed and [on_txn_crash] runs (under
+    the same atomicity as other event applications — the crash action
+    itself draws no faults). The 2PC coordinator calls this at each of
+    its protocol edges; an experiment's crash action decides what
+    "crash" means for its rig. *)
 
 val poll : t -> unit
 (** Fire every scripted event whose time has passed, then run one
@@ -75,7 +88,9 @@ val pending : t -> int
 val stats : t -> Amoeba_sim.Stats.t
 (** Counters [drive_failures], [drive_recoveries], [drive_rejoins],
     [server_crashes], [server_reboots], [online_resyncs], [lease_skews],
-    [link_partition_drops], [link_request_drops], [link_reply_drops];
+    [link_partition_drops], [link_request_drops], [link_reply_drops],
+    [txn_crashes_armed], [txn_crashes], [txn_drop_<leg>],
+    [txn_dup_<leg>] (and [txn_dup_<leg>_discarded] for reply legs);
     series [resync_us], [reboot_us], [online_resync_us]. *)
 
 val register_metrics : t -> Amoeba_metrics.Metrics.t -> unit

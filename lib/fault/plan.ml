@@ -1,3 +1,44 @@
+(* Which edge of the two-phase-commit protocol a scripted crash lands
+   on.  The coordinator edges bracket its two durable records (begin and
+   commit); the participant edge models a server that voted yes and then
+   died holding prepared state. *)
+type txn_edge =
+  | Coord_before_prepare
+  | Coord_after_prepare
+  | Coord_after_commit_record
+  | Coord_mid_decision
+  | Participant_after_prepare
+
+type txn_leg = Prepare_request | Prepare_reply | Decision_request | Decision_reply
+
+let txn_edge_name = function
+  | Coord_before_prepare -> "coord_before_prepare"
+  | Coord_after_prepare -> "coord_after_prepare"
+  | Coord_after_commit_record -> "coord_after_commit"
+  | Coord_mid_decision -> "coord_mid_decision"
+  | Participant_after_prepare -> "participant_after_prepare"
+
+let txn_edge_of_name = function
+  | "coord_before_prepare" -> Some Coord_before_prepare
+  | "coord_after_prepare" -> Some Coord_after_prepare
+  | "coord_after_commit" -> Some Coord_after_commit_record
+  | "coord_mid_decision" -> Some Coord_mid_decision
+  | "participant_after_prepare" -> Some Participant_after_prepare
+  | _ -> None
+
+let txn_leg_name = function
+  | Prepare_request -> "prepare_req"
+  | Prepare_reply -> "prepare_reply"
+  | Decision_request -> "decision_req"
+  | Decision_reply -> "decision_reply"
+
+let txn_leg_of_name = function
+  | "prepare_req" -> Some Prepare_request
+  | "prepare_reply" -> Some Prepare_reply
+  | "decision_req" -> Some Decision_request
+  | "decision_reply" -> Some Decision_reply
+  | _ -> None
+
 type event =
   | Drive_fail of int
   | Drive_recover
@@ -12,6 +53,9 @@ type event =
   | Link_partition of Amoeba_rpc.Link.t
   | Link_heal of Amoeba_rpc.Link.t
   | Lease_clock_skew of int
+  | Txn_crash of txn_edge
+  | Txn_drop of txn_leg * int
+  | Txn_dup of txn_leg
 
 type step = { at_us : int; event : event }
 
@@ -44,6 +88,9 @@ let pp_event ppf = function
     Format.fprintf ppf "%s link partitioned" (Amoeba_rpc.Link.to_string l)
   | Link_heal l -> Format.fprintf ppf "%s link healed" (Amoeba_rpc.Link.to_string l)
   | Lease_clock_skew us -> Format.fprintf ppf "client lease clock skewed by %d us" us
+  | Txn_crash edge -> Format.fprintf ppf "txn crash armed at %s" (txn_edge_name edge)
+  | Txn_drop (leg, n) -> Format.fprintf ppf "drop next %d txn %s messages" n (txn_leg_name leg)
+  | Txn_dup leg -> Format.fprintf ppf "duplicate next txn %s message" (txn_leg_name leg)
 
 (* ---- the plan file DSL ----
 
@@ -63,34 +110,81 @@ let pp_event ppf = function
      at <us> link_partition <local|regional|wide>
      at <us> link_heal <local|regional|wide>
      at <us> lease_skew <offset_us>          (may be negative)
+     at <us> txn_crash <edge>
+     at <us> txn_drop <leg> <count>
+     at <us> txn_dup <leg>
+
+   with <edge> one of coord_before_prepare | coord_after_prepare |
+   coord_after_commit | coord_mid_decision | participant_after_prepare
+   and <leg> one of prepare_req | prepare_reply | decision_req |
+   decision_reply.
 
    '#' starts a comment; blank lines are ignored.  Plain string
    processing, no dependence on the process environment, so a plan file
-   parses to the same plan everywhere. *)
+   parses to the same plan everywhere.  Parse errors carry the line,
+   the 1-based column of the offending token, and the token itself. *)
+
+(* Split a (comment-stripped) line into its words, each tagged with the
+   1-based column where it starts — so errors can point at the exact
+   token, not just the line. *)
+let tokenize line =
+  let n = String.length line in
+  let rec go i acc =
+    if i >= n then List.rev acc
+    else if line.[i] = ' ' || line.[i] = '\t' then go (i + 1) acc
+    else begin
+      let j = ref i in
+      while !j < n && line.[!j] <> ' ' && line.[!j] <> '\t' do
+        incr j
+      done;
+      go !j ((i + 1, String.sub line i (!j - i)) :: acc)
+    end
+  in
+  go 0 []
 
 let parse text =
-  let err lineno msg = Error (Printf.sprintf "plan line %d: %s" lineno msg) in
-  let int_of lineno what s k =
+  let err lineno (col, token) msg =
+    Error (Printf.sprintf "plan line %d, col %d: %s %S" lineno col msg token)
+  in
+  (* a token is missing: point one column past the last token present *)
+  let missing lineno words what =
+    let col =
+      (* one past the end of the last token present *)
+      match List.rev words with [] -> 1 | (c, w) :: _ -> c + String.length w
+    in
+    Error (Printf.sprintf "plan line %d, col %d: missing %s" lineno col what)
+  in
+  let int_of lineno (col, s) what k =
     match int_of_string_opt s with
     | Some n when n >= 0 -> k n
-    | Some _ -> err lineno (Printf.sprintf "%s must be non-negative: %s" what s)
-    | None -> err lineno (Printf.sprintf "bad %s: %s" what s)
+    | Some _ -> err lineno (col, s) (Printf.sprintf "%s must be non-negative:" what)
+    | None -> err lineno (col, s) (Printf.sprintf "bad %s:" what)
   in
-  let signed_int_of lineno what s k =
+  let signed_int_of lineno (col, s) what k =
     (* lease skew is an offset, not a time: negative is meaningful *)
     match int_of_string_opt s with
     | Some n -> k n
-    | None -> err lineno (Printf.sprintf "bad %s: %s" what s)
+    | None -> err lineno (col, s) (Printf.sprintf "bad %s:" what)
   in
-  let float_of lineno what s k =
+  let float_of lineno (col, s) what k =
     match float_of_string_opt s with
     | Some p -> k p
-    | None -> err lineno (Printf.sprintf "bad %s: %s" what s)
+    | None -> err lineno (col, s) (Printf.sprintf "bad %s:" what)
   in
-  let link_of lineno s k =
+  let link_of lineno (col, s) k =
     match Amoeba_rpc.Link.of_string s with
     | Some l -> k l
-    | None -> err lineno (Printf.sprintf "unknown link class: %s" s)
+    | None -> err lineno (col, s) "unknown link class:"
+  in
+  let edge_of lineno (col, s) k =
+    match txn_edge_of_name s with
+    | Some e -> k e
+    | None -> err lineno (col, s) "unknown txn crash edge:"
+  in
+  let leg_of lineno (col, s) k =
+    match txn_leg_of_name s with
+    | Some l -> k l
+    | None -> err lineno (col, s) "unknown txn leg:"
   in
   let rec go plan lineno = function
     | [] -> Ok plan
@@ -100,42 +194,62 @@ let parse text =
         | Some i -> String.sub line 0 i
         | None -> line
       in
-      let words =
-        String.split_on_char ' ' (String.trim line)
-        |> List.filter (fun w -> w <> "")
-      in
+      let words = tokenize line in
       let next plan = go plan (lineno + 1) rest in
       let event us ev = next (at plan ~us ev) in
       match words with
       | [] -> next plan
-      | [ "seed"; s ] -> (
+      | [ (_, "seed"); (col, s) ] -> (
         match Int64.of_string_opt s with
         | Some seed -> next { plan with seed }
-        | None -> err lineno (Printf.sprintf "bad seed: %s" s))
-      | "at" :: us :: op -> (
-        int_of lineno "time" us @@ fun us ->
+        | None -> err lineno (col, s) "bad seed:")
+      | (_, "at") :: us :: op -> (
+        int_of lineno us "time" @@ fun us ->
         match op with
-        | [ "drive_fail"; i ] -> int_of lineno "drive index" i @@ fun i -> event us (Drive_fail i)
-        | [ "drive_recover" ] -> event us Drive_recover
-        | [ "drive_rejoin"; b ] ->
-          int_of lineno "batch" b @@ fun b ->
-          if b = 0 then err lineno "batch must be positive" else event us (Drive_rejoin b)
-        | [ "server_crash" ] -> event us Server_crash
-        | [ "server_reboot" ] -> event us Server_reboot
-        | [ "loss"; p ] -> float_of lineno "rate" p @@ fun p -> event us (Message_loss p)
-        | [ "dup"; p ] -> float_of lineno "rate" p @@ fun p -> event us (Message_duplication p)
-        | [ "corrupt"; p ] -> float_of lineno "rate" p @@ fun p -> event us (Message_corruption p)
-        | [ "sector_errors"; p ] ->
-          float_of lineno "rate" p @@ fun p -> event us (Sector_errors p)
-        | [ "link_loss"; l; p ] ->
+        | [ (_, "drive_fail"); i ] ->
+          int_of lineno i "drive index" @@ fun i -> event us (Drive_fail i)
+        | [ (_, "drive_recover") ] -> event us Drive_recover
+        | [ (_, "drive_rejoin"); b ] ->
+          int_of lineno b "batch" @@ fun batch ->
+          if batch = 0 then err lineno b "batch must be positive:"
+          else event us (Drive_rejoin batch)
+        | [ (_, "server_crash") ] -> event us Server_crash
+        | [ (_, "server_reboot") ] -> event us Server_reboot
+        | [ (_, "loss"); p ] -> float_of lineno p "rate" @@ fun p -> event us (Message_loss p)
+        | [ (_, "dup"); p ] ->
+          float_of lineno p "rate" @@ fun p -> event us (Message_duplication p)
+        | [ (_, "corrupt"); p ] ->
+          float_of lineno p "rate" @@ fun p -> event us (Message_corruption p)
+        | [ (_, "sector_errors"); p ] ->
+          float_of lineno p "rate" @@ fun p -> event us (Sector_errors p)
+        | [ (_, "link_loss"); l; p ] ->
           link_of lineno l @@ fun l ->
-          float_of lineno "rate" p @@ fun p -> event us (Link_loss (l, p))
-        | [ "link_partition"; l ] -> link_of lineno l @@ fun l -> event us (Link_partition l)
-        | [ "link_heal"; l ] -> link_of lineno l @@ fun l -> event us (Link_heal l)
-        | [ "lease_skew"; o ] ->
-          signed_int_of lineno "skew offset" o @@ fun o -> event us (Lease_clock_skew o)
-        | op :: _ -> err lineno (Printf.sprintf "unknown event: %s" op)
-        | [] -> err lineno "missing event after 'at <us>'")
-      | w :: _ -> err lineno (Printf.sprintf "unknown directive: %s" w))
+          float_of lineno p "rate" @@ fun p -> event us (Link_loss (l, p))
+        | [ (_, "link_partition"); l ] -> link_of lineno l @@ fun l -> event us (Link_partition l)
+        | [ (_, "link_heal"); l ] -> link_of lineno l @@ fun l -> event us (Link_heal l)
+        | [ (_, "lease_skew"); o ] ->
+          signed_int_of lineno o "skew offset" @@ fun o -> event us (Lease_clock_skew o)
+        | [ (_, "txn_crash"); e ] -> edge_of lineno e @@ fun e -> event us (Txn_crash e)
+        | [ (_, "txn_drop"); l; n ] ->
+          leg_of lineno l @@ fun leg ->
+          int_of lineno n "count" @@ fun count ->
+          if count = 0 then err lineno n "count must be positive:"
+          else event us (Txn_drop (leg, count))
+        | [ (_, "txn_dup"); l ] -> leg_of lineno l @@ fun l -> event us (Txn_dup l)
+        | (col, op) :: args ->
+          (* a known event name with the wrong operand count reads better
+             as "missing/extra operand" than "unknown event" *)
+          let known =
+            List.mem op
+              [ "drive_fail"; "drive_recover"; "drive_rejoin"; "server_crash"; "server_reboot";
+                "loss"; "dup"; "corrupt"; "sector_errors"; "link_loss"; "link_partition";
+                "link_heal"; "lease_skew"; "txn_crash"; "txn_drop"; "txn_dup" ]
+          in
+          if known then
+            if args = [] then missing lineno words (Printf.sprintf "operand after %S" op)
+            else err lineno (List.hd args) (Printf.sprintf "extra operand after %S:" op)
+          else err lineno (col, op) "unknown event:"
+        | [] -> missing lineno words "event after \"at <us>\"")
+      | (col, w) :: _ -> err lineno (col, w) "unknown directive:")
   in
   go (create ~seed:1L) 1 (String.split_on_char '\n' text)

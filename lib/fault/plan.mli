@@ -14,6 +14,36 @@
     {!Amoeba_rpc.Link.t} class, so a plan can degrade or partition the
     international line while local traffic is untouched. *)
 
+(** Where a scripted two-phase-commit crash lands. The coordinator
+    edges bracket its durable records: before any prepare is sent (the
+    begin record is down, nothing else), after every participant voted
+    yes but before the commit record, after the commit record but
+    before any decision message, and in the middle of fanning the
+    decision out (some participants have it, some do not). The
+    participant edge crashes a server that voted yes and then died
+    holding prepared state. *)
+type txn_edge =
+  | Coord_before_prepare
+  | Coord_after_prepare
+  | Coord_after_commit_record
+  | Coord_mid_decision
+  | Participant_after_prepare
+
+(** One of the four message legs of the 2PC exchange: the prepare
+    request, the vote carried on its reply, the decision
+    (commit/abort) request, and the ack carried on its reply. *)
+type txn_leg = Prepare_request | Prepare_reply | Decision_request | Decision_reply
+
+val txn_edge_name : txn_edge -> string
+(** The DSL spelling ([coord_before_prepare], …). *)
+
+val txn_edge_of_name : string -> txn_edge option
+
+val txn_leg_name : txn_leg -> string
+(** The DSL spelling ([prepare_req], …). *)
+
+val txn_leg_of_name : string -> txn_leg option
+
 type event =
   | Drive_fail of int  (** take the [i]th mirror drive offline *)
   | Drive_recover
@@ -45,6 +75,19 @@ type event =
           lease still good" drifts from the server's. Lease safety must
           hold regardless; only liveness (revalidation frequency) may
           degrade. See [Amoeba_lease.Station.set_skew]. *)
+  | Txn_crash of txn_edge
+      (** arm a crash at one protocol edge; it fires when the harness's
+          transaction reaches that edge (see [Injector.txn_point]) and
+          invokes the [on_txn_crash] action *)
+  | Txn_drop of txn_leg * int
+      (** drop the next [n] transaction messages on this leg — targeted
+          loss, unlike the probabilistic [Message_loss] *)
+  | Txn_dup of txn_leg
+      (** duplicate the next transaction message on this leg. Request
+          legs re-execute the service (exercising participant
+          idempotence); a duplicated {e reply} is discarded by the
+          client stub's transaction matching, so reply legs count the
+          duplicate and deliver normally. *)
 
 type step = { at_us : int; event : event }
 
@@ -82,8 +125,14 @@ val parse : string -> (t, string) result
     at <us> link_partition <local|regional|wide>
     at <us> link_heal <local|regional|wide>
     at <us> lease_skew <offset_us>
+    at <us> txn_crash <edge>
+    at <us> txn_drop <leg> <count>
+    at <us> txn_dup <leg>
     v}
     [lease_skew]'s offset may be negative (a slow client clock).
-    The seed defaults to [1] when no [seed] line appears. Errors carry
-    the offending line number. This is what [bulletd --fault-plan]
-    loads. *)
+    [<edge>] is a {!txn_edge} spelling and [<leg>] a {!txn_leg}
+    spelling. The seed defaults to [1] when no [seed] line appears.
+    Errors carry the line number, the 1-based column of the offending
+    token, and the token itself, e.g.
+    ["plan line 2, col 4: unknown directive: \"nonsense\""]. This is
+    what [bulletd --fault-plan] loads. *)

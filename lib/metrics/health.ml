@@ -7,12 +7,14 @@ type state =
   | Degraded of { resync_backlog : int }
   | Overloaded of { shed_rate : int }
   | Lease_churning
+  | Txn_stuck of { in_doubt : int }
 
 let state_label = function
   | Healthy -> "healthy"
   | Degraded { resync_backlog } -> Printf.sprintf "degraded:%d" resync_backlog
   | Overloaded { shed_rate } -> Printf.sprintf "overloaded:%d" shed_rate
   | Lease_churning -> "lease_churning"
+  | Txn_stuck { in_doubt } -> Printf.sprintf "txn_stuck:%d" in_doubt
 
 let same_kind a b =
   match (a, b) with
@@ -20,7 +22,8 @@ let same_kind a b =
   | Degraded _, Degraded _ -> true
   | Overloaded _, Overloaded _ -> true
   | Lease_churning, Lease_churning -> true
-  | (Healthy | Degraded _ | Overloaded _ | Lease_churning), _ -> false
+  | Txn_stuck _, Txn_stuck _ -> true
+  | (Healthy | Degraded _ | Overloaded _ | Lease_churning | Txn_stuck _), _ -> false
 
 type config = {
   sync_state_gauge : string;
@@ -30,6 +33,8 @@ type config = {
   shed_rate_pct : int;
   churn_counter : string;
   churn_per_interval : int;
+  in_doubt_gauge : string;
+  stuck_after : int;
   exit_after : int;
 }
 
@@ -42,6 +47,8 @@ let default_config =
     shed_rate_pct = 10;
     churn_counter = "lease.churn";
     churn_per_interval = 3;
+    in_doubt_gauge = "txn.in_doubt";
+    stuck_after = 2;
     exit_after = 2;
   }
 
@@ -49,12 +56,13 @@ type t = {
   config : config;
   mutable cur : state;
   mutable clean_streak : int;
+  mutable doubt_streak : int;
   mutable prev : Metrics.snapshot option;
   mutable transitions_rev : (int * state) list;
 }
 
 let create ?(config = default_config) () =
-  { config; cur = Healthy; clean_streak = 0; prev = None; transitions_rev = [] }
+  { config; cur = Healthy; clean_streak = 0; doubt_streak = 0; prev = None; transitions_rev = [] }
 
 let state t = t.cur
 
@@ -73,10 +81,15 @@ let observe t snap =
   let offered_d = delta c.offered_counter in
   let churn_d = delta c.churn_counter in
   let sync = metric snap c.sync_state_gauge in
+  let in_doubt = metric snap c.in_doubt_gauge in
+  (* an in-doubt transaction is normal for one scrape (a decision leg in
+     flight); one that PERSISTS is a coordinator that died mid-decision *)
+  t.doubt_streak <- (if in_doubt > 0 then t.doubt_streak + 1 else 0);
   let candidate =
     if shed_d > 0 && offered_d > 0 && shed_d * 100 >= c.shed_rate_pct * offered_d then
       Overloaded { shed_rate = shed_d * 100 / offered_d }
     else if sync <> 0 then Degraded { resync_backlog = metric snap c.backlog_gauge }
+    else if t.doubt_streak >= c.stuck_after then Txn_stuck { in_doubt }
     else if churn_d >= c.churn_per_interval then Lease_churning
     else Healthy
   in
@@ -88,14 +101,14 @@ let observe t snap =
   | Healthy ->
     (match t.cur with
     | Healthy -> ()
-    | Degraded _ | Overloaded _ | Lease_churning ->
+    | Degraded _ | Overloaded _ | Lease_churning | Txn_stuck _ ->
       (* hysteresis: one quiet interval is not recovery *)
       t.clean_streak <- t.clean_streak + 1;
       if t.clean_streak >= c.exit_after then begin
         t.clean_streak <- 0;
         goto Healthy
       end)
-  | Degraded _ | Overloaded _ | Lease_churning ->
+  | Degraded _ | Overloaded _ | Lease_churning | Txn_stuck _ ->
     t.clean_streak <- 0;
     (* entering a bad state is immediate; while the kind is unchanged the
        entry payload stands, so the transition list stays a sequence of

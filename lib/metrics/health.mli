@@ -21,10 +21,14 @@ type state =
   | Lease_churning
       (** lease grants/renewals/expiries are spiking — clients are
           re-establishing state faster than steady reads explain *)
+  | Txn_stuck of { in_doubt : int }
+      (** in-doubt 2PC transactions are not draining — a coordinator
+          died mid-decision and has not recovered; payload is the
+          in-doubt gauge at entry *)
 
 val state_label : state -> string
 (** ["healthy"], ["degraded:<backlog>"], ["overloaded:<pct>"],
-    ["lease_churning"] — for reports and dumps. *)
+    ["lease_churning"], ["txn_stuck:<n>"] — for reports and dumps. *)
 
 val same_kind : state -> state -> bool
 (** Constructor equality, ignoring payloads. *)
@@ -37,13 +41,19 @@ type config = {
   shed_rate_pct : int;  (** enter [Overloaded] at this interval shed percentage *)
   churn_counter : string;  (** cumulative lease-churn events *)
   churn_per_interval : int;  (** enter [Lease_churning] at this interval delta *)
+  in_doubt_gauge : string;  (** in-doubt 2PC transactions at the coordinator *)
+  stuck_after : int;
+      (** enter [Txn_stuck] once the gauge has been non-zero for this
+          many consecutive snapshots — one snapshot of doubt is just a
+          decision leg in flight *)
   exit_after : int;  (** consecutive clean snapshots before returning [Healthy] *)
 }
 
 val default_config : config
 (** The standard Bullet wiring: [mirror.sync_state] / [mirror.sectors_remaining]
     gauges, [sched.sheds] over [sched.offered] at 10%, [lease.churn] at 3
-    events per interval, exit after 2 clean snapshots. *)
+    events per interval, [txn.in_doubt] stuck after 2 snapshots, exit
+    after 2 clean snapshots. *)
 
 type t
 
@@ -56,7 +66,7 @@ val observe : t -> Metrics.snapshot -> state
 (** Fold one snapshot; returns the (possibly new) state.  Missing
     metrics read as zero, so one evaluator works against any registry.
     Precedence when several conditions hold: [Overloaded] over
-    [Degraded] over [Lease_churning]. *)
+    [Degraded] over [Txn_stuck] over [Lease_churning]. *)
 
 val transitions : t -> (int * state) list
 (** Every state change as [(at_us, new_state)], oldest first, including

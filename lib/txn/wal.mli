@@ -1,0 +1,47 @@
+(** The coordinator's write-ahead log.
+
+    Records are kept {e encoded}: every {!append} runs the wire codec
+    and {!records} decodes the bytes back, so what survives a simulated
+    coordinator crash is exactly what the codec can round-trip — the
+    fuzz tests hammer {!encode_record}/{!decode_record} directly.
+
+    The presumed-abort discipline needs only four record kinds:
+    [Begin txn] brackets the transaction, one [Prepared] per successful
+    prepare names the participant action (with enough capability
+    material to re-send or roll back the decision to an amnesiac
+    participant), [Commit] is the decision point, and [Done] marks full
+    resolution. Recovery reads: [Begin] without [Commit] → abort
+    everywhere; [Commit] without [Done] → re-send commits (idempotent);
+    [Done] → nothing to do. *)
+
+type action =
+  | Bullet_create of Amoeba_cap.Capability.t
+      (** a prepared Bullet object, pending until the decision *)
+  | Bullet_delete of Amoeba_cap.Capability.t  (** a condemned Bullet object *)
+  | Dir_intent of {
+      dir : Amoeba_cap.Capability.t;
+      name : string;
+      op : Amoeba_dir.Dir_server.intent_op;
+    }  (** a locked directory binding *)
+
+type record = Begin of int | Prepared of int * action | Commit of int | Done of int
+
+val encode_record : record -> bytes
+
+val decode_record : bytes -> (record, string) result
+(** Inverse of {!encode_record}; [Error] on truncation, unknown tags or
+    trailing bytes. *)
+
+type t
+
+val create : unit -> t
+
+val append : t -> record -> unit
+(** Encode and retain; the in-memory byte list models the durable log
+    (it survives the simulated coordinator crash, which unwinds only the
+    coordinator's control flow). *)
+
+val length : t -> int
+
+val records : t -> (record list, string) result
+(** Decode the whole log, oldest first. *)

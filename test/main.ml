@@ -33,6 +33,7 @@ let () =
       Test_lease.suite;
       Test_trace.suite;
       Test_metrics.suite;
+      Test_txn.suite;
       Test_lint.suite;
       Test_vet.suite;
       Test_determinism.suite;

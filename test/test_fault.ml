@@ -251,12 +251,54 @@ let contains haystack needle =
   at 0
 
 let test_plan_parse_errors_carry_line () =
-  (match Plan.parse "at 10 drive_fail 0\nat nonsense here\n" with
-  | Ok _ -> Alcotest.fail "expected a parse error"
-  | Error e -> check_bool "names line 2" true (contains e "line 2"));
-  match Plan.parse "at 10 link_loss marsnet 0.5\n" with
-  | Ok _ -> Alcotest.fail "expected a parse error"
-  | Error e -> check_bool "unknown link reported" true (contains e "link")
+  let pinned text expected =
+    match Plan.parse text with
+    | Ok _ -> Alcotest.failf "expected a parse error for %S" text
+    | Error e -> Alcotest.(check string) "exact error" expected e
+  in
+  (* line, 1-based column of the offending token, and the token itself *)
+  pinned "at 10 drive_fail 0\nat nonsense here\n"
+    "plan line 2, col 4: bad time: \"nonsense\"";
+  pinned "at 10 link_loss marsnet 0.5\n"
+    "plan line 1, col 17: unknown link class: \"marsnet\"";
+  pinned "seed 42\nat 10 drive_fial 0\n"
+    "plan line 2, col 7: unknown event: \"drive_fial\"";
+  pinned "at 10 loss\n" "plan line 1, col 11: missing operand after \"loss\"";
+  pinned "at 5000\n" "plan line 1, col 8: missing event after \"at <us>\"";
+  pinned "at 10 txn_crash coord_between\n"
+    "plan line 1, col 17: unknown txn crash edge: \"coord_between\"";
+  pinned "at 10 txn_drop sideways 1\n"
+    "plan line 1, col 16: unknown txn leg: \"sideways\"";
+  pinned "frob 1\n" "plan line 1, col 1: unknown directive: \"frob\""
+
+let test_plan_parse_txn_directives () =
+  let text =
+    "seed 9\n\
+     at 100 txn_crash coord_before_prepare\n\
+     at 200 txn_crash coord_after_prepare\n\
+     at 300 txn_crash coord_after_commit\n\
+     at 400 txn_crash coord_mid_decision\n\
+     at 500 txn_crash participant_after_prepare\n\
+     at 600 txn_drop prepare_req 2\n\
+     at 700 txn_drop decision_reply 1\n\
+     at 800 txn_dup decision_req\n"
+  in
+  match Plan.parse text with
+  | Error e -> Alcotest.failf "parse failed: %s" e
+  | Ok plan ->
+    check_int "eight steps" 8 (List.length (Plan.steps plan));
+    check_bool "edges round-trip" true
+      (List.exists
+         (fun s -> s.Plan.event = Plan.Txn_crash Plan.Coord_after_commit_record)
+         (Plan.steps plan));
+    check_bool "drop leg and count" true
+      (List.exists
+         (fun s -> s.Plan.event = Plan.Txn_drop (Plan.Prepare_request, 2))
+         (Plan.steps plan));
+    check_bool "dup leg" true
+      (List.exists
+         (fun s -> s.Plan.event = Plan.Txn_dup (Plan.Decision_request))
+         (Plan.steps plan))
 
 let test_drive_rejoin_via_plan () =
   let rig = make_rig ~sectors:1024 () in
@@ -371,8 +413,9 @@ let suite =
         test_crash_reboot_spanned_by_retries;
       Alcotest.test_case "same seed, same run" `Quick test_same_seed_same_run;
       Alcotest.test_case "plan text parses" `Quick test_plan_parse;
-      Alcotest.test_case "plan parse errors carry the line" `Quick
+      Alcotest.test_case "plan parse errors carry line, col and token" `Quick
         test_plan_parse_errors_carry_line;
+      Alcotest.test_case "txn directives parse" `Quick test_plan_parse_txn_directives;
       Alcotest.test_case "drive rejoin via plan, injector paces resync" `Quick
         test_drive_rejoin_via_plan;
       Alcotest.test_case "link faults scope to tagged traffic" `Quick
