@@ -782,6 +782,95 @@ let txn () =
   Printf.printf "  machine-readable copy written to BENCH_txn.json\n";
   Printf.printf "  full dump written to BENCH_txn_dump.txt\n"
 
+(* ---- CLUSTER: sharded multi-server rebalancing ---- *)
+
+let cluster_json (r : E.cluster_report) (b : E.cluster_bench) =
+  let lbl = Amoeba_metrics.Health.state_label in
+  let lo, hi = r.E.cl_spread in
+  let point (p : E.cluster_bench_point) =
+    json_obj
+      [
+        ("objects", string_of_int p.E.cb_objects);
+        ("delta_shards", string_of_int p.E.cb_delta_shards);
+        ("steps", string_of_int p.E.cb_steps);
+        ("copied", string_of_int p.E.cb_copied);
+        ("rebalance_us", string_of_int p.E.cb_rebalance_us);
+      ]
+  in
+  json_obj
+    [
+      ("objects", string_of_int r.E.cl_objects);
+      ("live_servers", string_of_int r.E.cl_live_servers);
+      ("join_delta", string_of_int r.E.cl_join_delta);
+      ("join_expected", string_of_int r.E.cl_join_expected);
+      ("untouched", string_of_int r.E.cl_untouched);
+      ("untouched_moved", string_of_int r.E.cl_untouched_moved);
+      ("kill_fired", (if r.E.cl_kill_fired then "true" else "false"));
+      ("polled_reads", string_of_int r.E.cl_polled_reads);
+      ("unreadable", string_of_int r.E.cl_unreadable);
+      ("fallthroughs", string_of_int r.E.cl_fallthroughs);
+      ("read_repairs", string_of_int r.E.cl_read_repairs);
+      ("migrated", string_of_int r.E.cl_migrated);
+      ("under_peak", string_of_int r.E.cl_under_peak);
+      ("under_final", string_of_int r.E.cl_under_final);
+      ("spread_min", string_of_int lo);
+      ("spread_max", string_of_int hi);
+      ( "transitions",
+        json_arr
+          (List.map
+             (fun (at, st) ->
+               json_obj [ ("at_us", string_of_int at); ("state", json_str (lbl st)) ])
+             r.E.cl_scenario.E.ms_transitions) );
+      ("double_run_identical", (if r.E.cl_double_run_identical then "true" else "false"));
+      ("status_has_gauges", (if r.E.cl_status_has_gauges then "true" else "false"));
+      ("points", json_arr (List.map point b.E.cb_points));
+      ("quiet_reads", string_of_int b.E.cb_quiet_reads);
+      ("quiet_us", string_of_int b.E.cb_quiet_us);
+      ("migrate_reads", string_of_int b.E.cb_migrate_reads);
+      ("migrate_us", string_of_int b.E.cb_migrate_us);
+    ]
+
+let cluster () =
+  header "CLUSTER - sharded multi-server Bullet: join, kill, rebalance";
+  let r = E.cluster_experiment () in
+  let b = E.cluster_bench () in
+  Printf.printf "\nEpisode (N=4 join, scripted shard_kill mid-drain, R=2):\n";
+  Printf.printf "  join delta        %d shards (ring-computed %d)\n" r.E.cl_join_delta
+    r.E.cl_join_expected;
+  Printf.printf "  foreground reads  %d, unreadable %d\n" r.E.cl_polled_reads r.E.cl_unreadable;
+  Printf.printf "  fallthroughs      %d (read-repairs %d)\n" r.E.cl_fallthroughs
+    r.E.cl_read_repairs;
+  Printf.printf "  migrated objects  %d\n" r.E.cl_migrated;
+  Printf.printf "  under-replicated  peak %d, final %d\n" r.E.cl_under_peak r.E.cl_under_final;
+  Printf.printf "  health  %s\n"
+    (String.concat " -> "
+       (List.map
+          (fun (at, st) ->
+            Printf.sprintf "%s@%.1fs" (Amoeba_metrics.Health.state_label st) (ms at /. 1000.))
+          r.E.cl_scenario.E.ms_transitions));
+  Printf.printf "\nRebalance cost vs object count (full drain after the fourth join):\n";
+  Printf.printf "  %-10s %12s %8s %8s %14s\n" "objects" "delta shards" "steps" "copied"
+    "drain (ms)";
+  List.iter
+    (fun (p : E.cluster_bench_point) ->
+      Printf.printf "  %-10d %12d %8d %8d %14.1f\n" p.E.cb_objects p.E.cb_delta_shards
+        p.E.cb_steps p.E.cb_copied (ms p.E.cb_rebalance_us))
+    b.E.cb_points;
+  let per_read n us = ms us /. float_of_int n in
+  Printf.printf "\nGoodput (per-read virtual ms, same 96-read mix):\n";
+  Printf.printf "  quiet        %8.2f ms/read\n" (per_read b.E.cb_quiet_reads b.E.cb_quiet_us);
+  Printf.printf "  migrating    %8.2f ms/read (one bounded rebalance step per read)\n"
+    (per_read b.E.cb_migrate_reads b.E.cb_migrate_us);
+  let oc = open_out "BENCH_cluster.json" in
+  output_string oc (cluster_json r b);
+  output_char oc '\n';
+  close_out oc;
+  let oc = open_out "BENCH_cluster_dump.txt" in
+  output_string oc (E.cluster_dump r);
+  close_out oc;
+  Printf.printf "  machine-readable copy written to BENCH_cluster.json\n";
+  Printf.printf "  full dump written to BENCH_cluster_dump.txt\n"
+
 let micro () =
   header "MICRO - Bechamel microbenchmarks (real wall-clock, ns/run)";
   let open Bechamel in
@@ -882,6 +971,7 @@ let all_benches =
     ("lease", lease);
     ("metrics", metrics);
     ("txn", txn);
+    ("cluster", cluster);
     ("micro", micro);
   ]
 

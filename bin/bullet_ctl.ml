@@ -7,6 +7,7 @@
      bullet_ctl append CAPABILITY FILE      -> prints the new capability
      bullet_ctl rm CAPABILITY
      bullet_ctl status [--text]             -> STD_STATUS live metrics snapshot
+     bullet_ctl cluster CHECKPOINT          -> offline cluster-directory status table
 
    Capabilities print as port:obj:rights:check - keep them somewhere (a
    real Amoeba would use the directory server). *)
@@ -258,6 +259,48 @@ let del host port name () =
       in
       List.iter delete versions)
 
+(* ---- cluster: offline status table over a directory checkpoint ---- *)
+
+let cluster_status ck_path () =
+  let module Cluster = Amoeba_cluster.Cluster in
+  match Cluster.parse_checkpoint (read_file ck_path) with
+  | Error e ->
+    Printf.eprintf "%s: %s\n" ck_path e;
+    exit 1
+  | Ok info ->
+    Printf.printf "cluster directory: shards %d, replicas %d\n" info.Cluster.ck_shards
+      info.Cluster.ck_replicas;
+    let live (_, _, status) = status <> "dead" in
+    let replicas_on name =
+      List.length
+        (List.filter
+           (fun (_, holds) -> List.exists (fun (srv, _) -> srv = name) holds)
+           info.Cluster.ck_objects)
+    in
+    Printf.printf "  %-12s %-10s %-8s %s\n" "server" "region" "status" "replicas";
+    List.iter
+      (fun (name, region, status) ->
+        Printf.printf "  %-12s %-10s %-8s %8d\n" name region status (replicas_on name))
+      info.Cluster.ck_servers;
+    let want = min info.Cluster.ck_replicas (max (List.length (List.filter live info.Cluster.ck_servers)) 1) in
+    let under =
+      List.filter_map
+        (fun (key, holds) ->
+          let n =
+            List.length
+              (List.filter
+                 (fun (srv, _) ->
+                   List.exists (fun (m, _, s) -> m = srv && s <> "dead") info.Cluster.ck_servers)
+                 holds)
+          in
+          if n < want then Some key else None)
+        info.Cluster.ck_objects
+    in
+    Printf.printf "objects %d, under-replicated %d%s\n"
+      (List.length info.Cluster.ck_objects)
+      (List.length under)
+      (match under with [] -> "" | keys -> ": " ^ String.concat " " keys)
+
 open Cmdliner
 
 let host = Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~docv:"HOST" ~doc:"Server host.")
@@ -314,6 +357,12 @@ let commands =
     Cmd.v
       (Cmd.info "del" ~doc:"unbind a name and delete all its versions")
       Term.(const del $ host $ port $ name_arg $ unit_term);
+    Cmd.v
+      (Cmd.info "cluster" ~doc:"offline status table over a cluster-directory checkpoint")
+      Term.(
+        const cluster_status
+        $ Arg.(required & pos 0 (some file) None & info [] ~docv:"CHECKPOINT")
+        $ unit_term);
   ]
 
 let () =

@@ -7,6 +7,8 @@
      bullet_fsck IMG [IMG2] --compact          also squeeze out the holes
      bullet_fsck IMG --reachable CAPS          list orphaned objects
      bullet_fsck IMG --reachable CAPS --gc     delete them too
+     bullet_fsck --cluster CHECKPOINT [--member name=img[,img]]...
+                                               cross-check a cluster directory
 
    CAPS is a text file holding one capability per line (the
    [port:obj:rights:check] form of Capability.to_string) — the caps the
@@ -18,6 +20,7 @@
 module Layout = Bullet_core.Layout
 module Inode_table = Bullet_core.Inode_table
 module Server = Bullet_core.Server
+module Cluster = Amoeba_cluster.Cluster
 
 let load_images paths =
   let clock = Amoeba_sim.Clock.create () in
@@ -125,6 +128,135 @@ let run paths repair compact reachable gc =
   end;
   ignore clock
 
+(* ---- cluster mode: cross-check inode tables vs a cluster directory ----
+
+   The checkpoint says which servers hold which objects; the member
+   images say what is actually on disk. A replica the directory claims
+   but the disk cannot serve, or a key with fewer verified live copies
+   than R, is an inconsistency — exit 1, the rebalancer (or an operator)
+   has work to do. *)
+
+let read_text path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let parse_member spec =
+  match String.index_opt spec '=' with
+  | None | Some 0 ->
+    Printf.eprintf "--member %s: expected name=img[,img]\n" spec;
+    exit 2
+  | Some i ->
+    let name = String.sub spec 0 i in
+    let paths =
+      List.filter
+        (fun p -> p <> "")
+        (String.split_on_char ',' (String.sub spec (i + 1) (String.length spec - i - 1)))
+    in
+    if paths = [] then begin
+      Printf.eprintf "--member %s: no images\n" spec;
+      exit 2
+    end;
+    (name, paths)
+
+let run_cluster ck_path member_specs =
+  let info =
+    match Cluster.parse_checkpoint (read_text ck_path) with
+    | Ok info -> info
+    | Error e ->
+      Printf.eprintf "%s: %s\n" ck_path e;
+      exit 1
+  in
+  let members = List.map parse_member member_specs in
+  List.iter
+    (fun (name, _) ->
+      if not (List.exists (fun (n, _, _) -> n = name) info.Cluster.ck_servers) then begin
+        Printf.eprintf "--member %s: not a server of this checkpoint\n" name;
+        exit 2
+      end)
+    members;
+  let live = List.filter (fun (_, _, status) -> status <> "dead") info.Cluster.ck_servers in
+  Printf.printf "cluster directory  %s\n" ck_path;
+  Printf.printf "shards            %d\n" info.Cluster.ck_shards;
+  Printf.printf "replicas          %d\n" info.Cluster.ck_replicas;
+  Printf.printf "servers           %d (%d live)\n"
+    (List.length info.Cluster.ck_servers)
+    (List.length live);
+  Printf.printf "objects           %d\n" (List.length info.Cluster.ck_objects);
+  (* boot each provided member off its images with the seed the cluster
+     used (FNV-1a over the name), so the directory's capabilities unseal *)
+  let boot (name, paths) =
+    let _clock, mirror = load_images paths in
+    match Server.start ~seed:(Amoeba_sim.Prng.seed_of_string name) mirror with
+    | Ok (server, _scan) -> (name, server)
+    | Error e ->
+      Printf.eprintf "--member %s: not a valid Bullet image set: %s\n" name e;
+      exit 1
+  in
+  let booted = List.map boot members in
+  let missing =
+    List.concat_map
+      (fun (key, holds) ->
+        List.filter_map
+          (fun (srv, cap) ->
+            match List.assoc_opt srv booted with
+            | None -> None
+            | Some server -> (
+              match Server.read server cap with
+              | Ok _ -> None
+              | Error _ -> Some (key, srv)))
+          holds)
+      info.Cluster.ck_objects
+  in
+  List.iter
+    (fun (key, srv) -> Printf.printf "MISSING           %s: replica on %s not on disk\n" key srv)
+    missing;
+  if booted <> [] && missing = [] then
+    Printf.printf "inode tables      %d member(s) back every claimed replica\n"
+      (List.length booted);
+  let want = min info.Cluster.ck_replicas (max (List.length live) 1) in
+  let verified key holds =
+    List.filter
+      (fun (srv, _) ->
+        List.exists (fun (n, _, _) -> n = srv) live
+        && not (List.exists (fun (k, s) -> k = key && s = srv) missing))
+      holds
+  in
+  let under =
+    List.filter_map
+      (fun (key, holds) ->
+        let n = List.length (verified key holds) in
+        if n < want then Some (key, n) else None)
+      info.Cluster.ck_objects
+  in
+  (match under with
+  | [] -> Printf.printf "replication       every object at %d live cop%s\n" want
+            (if want = 1 then "y" else "ies")
+  | _ ->
+    List.iter
+      (fun (key, n) ->
+        Printf.printf "UNDER-REPLICATED  %s: %d live cop%s, want %d\n" key n
+          (if n = 1 then "y" else "ies")
+          want)
+      under);
+  if under <> [] || missing <> [] then exit 1
+
+let main paths repair compact reachable gc cluster members =
+  match cluster with
+  | Some ck_path ->
+    if repair || compact || gc || reachable <> None || paths <> [] then begin
+      prerr_endline "--cluster takes only --member arguments";
+      exit 2
+    end;
+    run_cluster ck_path members
+  | None ->
+    if members <> [] then begin
+      prerr_endline "--member needs --cluster";
+      exit 2
+    end;
+    run paths repair compact reachable gc
+
 open Cmdliner
 
 let images = Arg.(value & pos_all file [] & info [] ~docv:"IMAGE")
@@ -149,8 +281,27 @@ let gc =
     & info [ "gc" ]
         ~doc:"Delete the orphans found via $(b,--reachable) (implies saving the images).")
 
+let cluster =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "cluster" ] ~docv:"CHECKPOINT"
+        ~doc:
+          "Cross-check a cluster directory checkpoint instead of a drive image: report every \
+           under-replicated object (and, with $(b,--member), every replica the directory claims \
+           that the member's inode table cannot back). Exit 1 on any inconsistency.")
+
+let members =
+  Arg.(
+    value & opt_all string []
+    & info [ "member" ] ~docv:"NAME=IMG[,IMG]"
+        ~doc:
+          "A cluster member's drive images, for the $(b,--cluster) on-disk cross-check. \
+           Repeatable.")
+
 let cmd =
   let doc = "check, repair and compact Bullet drive images" in
-  Cmd.v (Cmd.info "bullet_fsck" ~doc) Term.(const run $ images $ repair $ compact $ reachable $ gc)
+  Cmd.v (Cmd.info "bullet_fsck" ~doc)
+    Term.(const main $ images $ repair $ compact $ reachable $ gc $ cluster $ members)
 
 let () = exit (Cmd.eval cmd)

@@ -5,9 +5,10 @@
      bullet_top [--port N]          one STD_STATUS snapshot from a bulletd
      bullet_top --watch 2 [--port]  poll and redraw every 2 s
 
-   The replay mode needs no server: it drives the three scripted fault
-   plans (drive rejoin, overload storm, lease skew) in-process and draws
-   each scenario's time series, health transitions and SLO alert edges.
+   The replay mode needs no server: it drives the scripted fault plans
+   of the METRICS experiment (drive rejoin, overload storm, lease skew)
+   plus the CLUSTER rebalance episode in-process and draws each
+   scenario's time series, health transitions and SLO alert edges.
    Everything it prints derives from the virtual clock, so two runs are
    byte-identical. *)
 
@@ -39,6 +40,7 @@ let state_char = function
   | Health.Overloaded _ -> 'O'
   | Health.Lease_churning -> 'L'
   | Health.Txn_stuck _ -> 'T'
+  | Health.Rebalancing _ -> 'R'
 
 (* State at time [at] given the transition edges (oldest first). *)
 let state_at transitions at =
@@ -97,7 +99,15 @@ let replay () =
   List.iter render_scenario r.E.mx_scenarios;
   Printf.printf "STD_STATUS: %d metrics in %d bytes, codec roundtrip %s\n" r.E.mx_status_metrics
     r.E.mx_status_bytes
-    (if r.E.mx_roundtrip_ok then "ok" else "BROKEN")
+    (if r.E.mx_roundtrip_ok then "ok" else "BROKEN");
+  print_newline ();
+  let c = E.cluster_experiment () in
+  render_scenario c.E.cl_scenario;
+  Printf.printf
+    "CLUSTER: %d objects on %d live servers, %d migrated, %d fallthrough (%d repaired), \
+     under-replicated %d\n"
+    c.E.cl_objects c.E.cl_live_servers c.E.cl_migrated c.E.cl_fallthroughs c.E.cl_read_repairs
+    c.E.cl_under_final
 
 (* ---- live mode: STD_STATUS over TCP ---- *)
 

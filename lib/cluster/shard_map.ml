@@ -1,0 +1,63 @@
+type t = {
+  bits : Bytes.t; (* one bit per shard *)
+  shards : int;
+  mutable remaining : int;
+  mutable cursor : int; (* where the rebalance scan resumes *)
+}
+
+let create ~shards =
+  if shards <= 0 then invalid_arg "Shard_map.create: shards must be positive";
+  { bits = Bytes.make ((shards + 7) / 8) '\000'; shards; remaining = 0; cursor = 0 }
+
+let shards t = t.shards
+
+let remaining t = t.remaining
+
+let check t s op =
+  if s < 0 || s >= t.shards then
+    invalid_arg (Printf.sprintf "Shard_map.%s: shard %d out of bounds (%d shards)" op s t.shards)
+
+let get t s = Char.code (Bytes.get t.bits (s lsr 3)) land (1 lsl (s land 7)) <> 0
+
+let set t s v =
+  let i = s lsr 3 in
+  let mask = 1 lsl (s land 7) in
+  let b = Char.code (Bytes.get t.bits i) in
+  Bytes.set t.bits i (Char.chr (if v then b lor mask else b land lnot mask))
+
+let mark t s =
+  check t s "mark";
+  if not (get t s) then begin
+    set t s true;
+    t.remaining <- t.remaining + 1
+  end
+
+let clear t s =
+  check t s "clear";
+  if get t s then begin
+    set t s false;
+    t.remaining <- t.remaining - 1
+  end
+
+let is_dirty t s =
+  check t s "is_dirty";
+  get t s
+
+(* Scan circularly from the cursor; the wrap means shards marked behind
+   an in-progress drain cannot starve the ones ahead of it. The cursor
+   parks ON the found shard, so an interrupted drain resumes there. *)
+let next t =
+  if t.remaining = 0 then None
+  else begin
+    let rec find s steps =
+      if steps >= t.shards then None
+      else
+        let s = if s >= t.shards then 0 else s in
+        if get t s then Some s else find (s + 1) (steps + 1)
+    in
+    match find t.cursor 0 with
+    | None -> None
+    | Some s ->
+      t.cursor <- s;
+      Some s
+  end

@@ -1,0 +1,39 @@
+(** Dirty-shard tracking for cluster rebalancing.
+
+    The cluster analogue of {!Amoeba_disk.Dirty}: one bit per shard of
+    the fixed shard space plus a circular scan cursor. A shard is
+    {e dirty} when its desired replica group (from the ring) may differ
+    from where its objects actually sit — a membership change marks
+    exactly the ring-delta shards, and the rebalancer drains them one
+    bounded batch at a time while foreground reads fall through to live
+    holders.
+
+    Pure data, no clock, no randomness — a rebalance schedule is a
+    deterministic function of the mark/clear history. *)
+
+type t
+
+val create : shards:int -> t
+(** All-clean map over a shard space of [shards] shards. Raises
+    [Invalid_argument] when [shards <= 0]. *)
+
+val shards : t -> int
+
+val remaining : t -> int
+(** Number of dirty shards — the rebalance backlog. *)
+
+val mark : t -> int -> unit
+(** Mark one shard dirty (idempotent). Raises [Invalid_argument] when
+    out of range. *)
+
+val clear : t -> int -> unit
+(** Mark one shard clean: its objects are where the ring says. *)
+
+val is_dirty : t -> int -> bool
+
+val next : t -> int option
+(** The next dirty shard, scanning circularly from where the previous
+    {!next} found one; [None] when nothing is dirty. Does {e not} clear
+    it — the caller clears once the shard's objects have actually been
+    migrated, and an uncleared shard is returned again so a rebalancer
+    interrupted mid-shard resumes exactly where it stopped. *)

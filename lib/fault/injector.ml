@@ -20,6 +20,7 @@ type t = {
   on_reboot : unit -> unit;
   on_lease_skew : int -> unit;
   on_txn_crash : Plan.txn_edge -> unit;
+  on_shard_kill : string -> unit;
   stats : Stats.t;
   mutable loss : float;
   mutable duplication : float;
@@ -123,6 +124,9 @@ let apply t event =
   | Txn_dup leg ->
     let i = leg_index leg in
     t.txn_dups.(i) <- t.txn_dups.(i) + 1
+  | Shard_kill name ->
+    t.on_shard_kill name;
+    Stats.incr t.stats "shard_kills"
 
 (* The [firing] flag makes event application atomic from the hooks' point
    of view: a reboot's boot scan reads the disk and re-registers a port,
@@ -267,7 +271,8 @@ let disk_fault t ~sector:_ ~count:_ ~write =
 
 let attach ?transport ?mirror ?(on_crash = fun () -> ()) ?(on_reboot = fun () -> ())
     ?(on_lease_skew = fun (_ : int) -> ())
-    ?(on_txn_crash = fun (_ : Plan.txn_edge) -> ()) ~clock plan =
+    ?(on_txn_crash = fun (_ : Plan.txn_edge) -> ())
+    ?(on_shard_kill = fun (_ : string) -> ()) ~clock plan =
   let queue = Event_queue.create () in
   (* the plan's own step order pins simultaneous steps *)
   List.iteri
@@ -285,6 +290,7 @@ let attach ?transport ?mirror ?(on_crash = fun () -> ()) ?(on_reboot = fun () ->
       on_reboot;
       on_lease_skew;
       on_txn_crash;
+      on_shard_kill;
       stats = Stats.create "fault-injector";
       loss = 0.;
       duplication = 0.;

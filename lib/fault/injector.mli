@@ -42,6 +42,7 @@ val attach :
   ?on_reboot:(unit -> unit) ->
   ?on_lease_skew:(int -> unit) ->
   ?on_txn_crash:(Plan.txn_edge -> unit) ->
+  ?on_shard_kill:(string -> unit) ->
   clock:Amoeba_sim.Clock.t ->
   Plan.t ->
   t
@@ -53,7 +54,9 @@ val attach :
     ignores them. [on_txn_crash] is the crash action a {!txn_point}
     call fires when its edge is armed — typically it unregisters a
     port, drops a server's volatile state, or raises to unwind the
-    coordinator mid-protocol; default ignores the edge. *)
+    coordinator mid-protocol; default ignores the edge.
+    [on_shard_kill] receives [Shard_kill] server names — for a cluster
+    rig, [Amoeba_cluster.Cluster.kill_server]; default ignores them. *)
 
 val txn_point : t -> Plan.txn_edge -> unit
 (** Declare that the harness's two-phase commit just reached [edge].
@@ -90,8 +93,9 @@ val stats : t -> Amoeba_sim.Stats.t
     [server_crashes], [server_reboots], [online_resyncs], [lease_skews],
     [link_partition_drops], [link_request_drops], [link_reply_drops],
     [txn_crashes_armed], [txn_crashes], [txn_drop_<leg>],
-    [txn_dup_<leg>] (and [txn_dup_<leg>_discarded] for reply legs);
-    series [resync_us], [reboot_us], [online_resync_us]. *)
+    [txn_dup_<leg>] (and [txn_dup_<leg>_discarded] for reply legs),
+    [shard_kills]; series [resync_us], [reboot_us],
+    [online_resync_us]. *)
 
 val register_metrics : t -> Amoeba_metrics.Metrics.t -> unit
 (** Register the injector's live surface: a [fault.pending_events] gauge

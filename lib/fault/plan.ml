@@ -56,6 +56,7 @@ type event =
   | Txn_crash of txn_edge
   | Txn_drop of txn_leg * int
   | Txn_dup of txn_leg
+  | Shard_kill of string
 
 type step = { at_us : int; event : event }
 
@@ -91,6 +92,7 @@ let pp_event ppf = function
   | Txn_crash edge -> Format.fprintf ppf "txn crash armed at %s" (txn_edge_name edge)
   | Txn_drop (leg, n) -> Format.fprintf ppf "drop next %d txn %s messages" n (txn_leg_name leg)
   | Txn_dup leg -> Format.fprintf ppf "duplicate next txn %s message" (txn_leg_name leg)
+  | Shard_kill name -> Format.fprintf ppf "cluster server %s killed" name
 
 (* ---- the plan file DSL ----
 
@@ -113,6 +115,7 @@ let pp_event ppf = function
      at <us> txn_crash <edge>
      at <us> txn_drop <leg> <count>
      at <us> txn_dup <leg>
+     at <us> shard_kill <server>
 
    with <edge> one of coord_before_prepare | coord_after_prepare |
    coord_after_commit | coord_mid_decision | participant_after_prepare
@@ -236,6 +239,7 @@ let parse text =
           if count = 0 then err lineno n "count must be positive:"
           else event us (Txn_drop (leg, count))
         | [ (_, "txn_dup"); l ] -> leg_of lineno l @@ fun l -> event us (Txn_dup l)
+        | [ (_, "shard_kill"); (_, name) ] -> event us (Shard_kill name)
         | (col, op) :: args ->
           (* a known event name with the wrong operand count reads better
              as "missing/extra operand" than "unknown event" *)
@@ -243,7 +247,7 @@ let parse text =
             List.mem op
               [ "drive_fail"; "drive_recover"; "drive_rejoin"; "server_crash"; "server_reboot";
                 "loss"; "dup"; "corrupt"; "sector_errors"; "link_loss"; "link_partition";
-                "link_heal"; "lease_skew"; "txn_crash"; "txn_drop"; "txn_dup" ]
+                "link_heal"; "lease_skew"; "txn_crash"; "txn_drop"; "txn_dup"; "shard_kill" ]
           in
           if known then
             if args = [] then missing lineno words (Printf.sprintf "operand after %S" op)

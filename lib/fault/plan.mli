@@ -88,6 +88,13 @@ type event =
           idempotence); a duplicated {e reply} is discarded by the
           client stub's transaction matching, so reply legs count the
           duplicate and deliver normally. *)
+  | Shard_kill of string
+      (** kill the named cluster server — permanently, mid-whatever the
+          rebalancer is doing. The harness's [on_shard_kill] action
+          receives the name; for a cluster rig it calls
+          [Amoeba_cluster.Cluster.kill_server], which unregisters the
+          port, crashes the server, drops its replicas and marks the
+          ring-delta shards for re-replication on the survivors. *)
 
 type step = { at_us : int; event : event }
 
@@ -128,6 +135,7 @@ val parse : string -> (t, string) result
     at <us> txn_crash <edge>
     at <us> txn_drop <leg> <count>
     at <us> txn_dup <leg>
+    at <us> shard_kill <server>
     v}
     [lease_skew]'s offset may be negative (a slow client clock).
     [<edge>] is a {!txn_edge} spelling and [<leg>] a {!txn_leg}

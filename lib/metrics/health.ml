@@ -8,6 +8,7 @@ type state =
   | Overloaded of { shed_rate : int }
   | Lease_churning
   | Txn_stuck of { in_doubt : int }
+  | Rebalancing of { shards_remaining : int }
 
 let state_label = function
   | Healthy -> "healthy"
@@ -15,6 +16,7 @@ let state_label = function
   | Overloaded { shed_rate } -> Printf.sprintf "overloaded:%d" shed_rate
   | Lease_churning -> "lease_churning"
   | Txn_stuck { in_doubt } -> Printf.sprintf "txn_stuck:%d" in_doubt
+  | Rebalancing { shards_remaining } -> Printf.sprintf "rebalancing:%d" shards_remaining
 
 let same_kind a b =
   match (a, b) with
@@ -23,7 +25,9 @@ let same_kind a b =
   | Overloaded _, Overloaded _ -> true
   | Lease_churning, Lease_churning -> true
   | Txn_stuck _, Txn_stuck _ -> true
-  | (Healthy | Degraded _ | Overloaded _ | Lease_churning | Txn_stuck _), _ -> false
+  | Rebalancing _, Rebalancing _ -> true
+  | (Healthy | Degraded _ | Overloaded _ | Lease_churning | Txn_stuck _ | Rebalancing _), _ ->
+    false
 
 type config = {
   sync_state_gauge : string;
@@ -35,6 +39,8 @@ type config = {
   churn_per_interval : int;
   in_doubt_gauge : string;
   stuck_after : int;
+  rebal_gauge : string;
+  rebal_after : int;
   exit_after : int;
 }
 
@@ -49,6 +55,8 @@ let default_config =
     churn_per_interval = 3;
     in_doubt_gauge = "txn.in_doubt";
     stuck_after = 2;
+    rebal_gauge = "cluster.shards_remaining";
+    rebal_after = 2;
     exit_after = 2;
   }
 
@@ -57,12 +65,21 @@ type t = {
   mutable cur : state;
   mutable clean_streak : int;
   mutable doubt_streak : int;
+  mutable rebal_streak : int;
   mutable prev : Metrics.snapshot option;
   mutable transitions_rev : (int * state) list;
 }
 
 let create ?(config = default_config) () =
-  { config; cur = Healthy; clean_streak = 0; doubt_streak = 0; prev = None; transitions_rev = [] }
+  {
+    config;
+    cur = Healthy;
+    clean_streak = 0;
+    doubt_streak = 0;
+    rebal_streak = 0;
+    prev = None;
+    transitions_rev = [];
+  }
 
 let state t = t.cur
 
@@ -82,15 +99,21 @@ let observe t snap =
   let churn_d = delta c.churn_counter in
   let sync = metric snap c.sync_state_gauge in
   let in_doubt = metric snap c.in_doubt_gauge in
+  let in_rebal = metric snap c.rebal_gauge in
   (* an in-doubt transaction is normal for one scrape (a decision leg in
      flight); one that PERSISTS is a coordinator that died mid-decision *)
   t.doubt_streak <- (if in_doubt > 0 then t.doubt_streak + 1 else 0);
+  (* entry hysteresis for rebalancing too: one snapshot of dirty shards
+     is a membership blip the very next step may drain — a BACKLOG that
+     persists is a migration in progress *)
+  t.rebal_streak <- (if in_rebal > 0 then t.rebal_streak + 1 else 0);
   let candidate =
     if shed_d > 0 && offered_d > 0 && shed_d * 100 >= c.shed_rate_pct * offered_d then
       Overloaded { shed_rate = shed_d * 100 / offered_d }
     else if sync <> 0 then Degraded { resync_backlog = metric snap c.backlog_gauge }
     else if t.doubt_streak >= c.stuck_after then Txn_stuck { in_doubt }
     else if churn_d >= c.churn_per_interval then Lease_churning
+    else if t.rebal_streak >= c.rebal_after then Rebalancing { shards_remaining = in_rebal }
     else Healthy
   in
   let goto s =
@@ -101,14 +124,14 @@ let observe t snap =
   | Healthy ->
     (match t.cur with
     | Healthy -> ()
-    | Degraded _ | Overloaded _ | Lease_churning | Txn_stuck _ ->
+    | Degraded _ | Overloaded _ | Lease_churning | Txn_stuck _ | Rebalancing _ ->
       (* hysteresis: one quiet interval is not recovery *)
       t.clean_streak <- t.clean_streak + 1;
       if t.clean_streak >= c.exit_after then begin
         t.clean_streak <- 0;
         goto Healthy
       end)
-  | Degraded _ | Overloaded _ | Lease_churning | Txn_stuck _ ->
+  | Degraded _ | Overloaded _ | Lease_churning | Txn_stuck _ | Rebalancing _ ->
     t.clean_streak <- 0;
     (* entering a bad state is immediate; while the kind is unchanged the
        entry payload stands, so the transition list stays a sequence of

@@ -25,10 +25,15 @@ type state =
       (** in-doubt 2PC transactions are not draining — a coordinator
           died mid-decision and has not recovered; payload is the
           in-doubt gauge at entry *)
+  | Rebalancing of { shards_remaining : int }
+      (** the cluster is migrating shards after a membership change;
+          payload is the dirty-shard backlog at entry. Planned data
+          movement, so every incident state outranks it. *)
 
 val state_label : state -> string
 (** ["healthy"], ["degraded:<backlog>"], ["overloaded:<pct>"],
-    ["lease_churning"], ["txn_stuck:<n>"] — for reports and dumps. *)
+    ["lease_churning"], ["txn_stuck:<n>"], ["rebalancing:<n>"] — for
+    reports and dumps. *)
 
 val same_kind : state -> state -> bool
 (** Constructor equality, ignoring payloads. *)
@@ -46,13 +51,19 @@ type config = {
       (** enter [Txn_stuck] once the gauge has been non-zero for this
           many consecutive snapshots — one snapshot of doubt is just a
           decision leg in flight *)
+  rebal_gauge : string;  (** dirty-shard backlog, reported in [Rebalancing] *)
+  rebal_after : int;
+      (** enter [Rebalancing] once the backlog gauge has been non-zero
+          for this many consecutive snapshots — entry hysteresis, so a
+          membership blip the next step drains never shows *)
   exit_after : int;  (** consecutive clean snapshots before returning [Healthy] *)
 }
 
 val default_config : config
 (** The standard Bullet wiring: [mirror.sync_state] / [mirror.sectors_remaining]
     gauges, [sched.sheds] over [sched.offered] at 10%, [lease.churn] at 3
-    events per interval, [txn.in_doubt] stuck after 2 snapshots, exit
+    events per interval, [txn.in_doubt] stuck after 2 snapshots,
+    [cluster.shards_remaining] rebalancing after 2 snapshots, exit
     after 2 clean snapshots. *)
 
 type t
@@ -66,7 +77,8 @@ val observe : t -> Metrics.snapshot -> state
 (** Fold one snapshot; returns the (possibly new) state.  Missing
     metrics read as zero, so one evaluator works against any registry.
     Precedence when several conditions hold: [Overloaded] over
-    [Degraded] over [Txn_stuck] over [Lease_churning]. *)
+    [Degraded] over [Txn_stuck] over [Lease_churning] over
+    [Rebalancing] — planned data movement never masks an incident. *)
 
 val transitions : t -> (int * state) list
 (** Every state change as [(at_us, new_state)], oldest first, including

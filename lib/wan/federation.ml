@@ -149,13 +149,29 @@ let descriptor_of t ~from name =
   let raw = Client.read (bullet_client t ~from ~at:t.home_site) descriptor_cap in
   (descriptor_cap, decode_descriptor raw)
 
-let pick_closest t ~from replicas =
-  let rank (site, _) =
-    match link_between t from site with Link.Local -> 0 | Link.Regional -> 1 | Link.Wide -> 2
+(* Generic replica ranking: closest link class first, then the live
+   load hint, then the site name so equal candidates break the same way
+   everywhere. [load] defaults to "no hint" — pure link distance. *)
+let rank_replicas ?(load = fun (_ : site) -> 0) ~link_to replicas =
+  let weight (site, _) =
+    let cls = match link_to site with Link.Local -> 0 | Link.Regional -> 1 | Link.Wide -> 2 in
+    (cls, load site, site)
   in
-  match List.sort (fun a b -> Int.compare (rank a) (rank b)) replicas with
+  let cmp a b =
+    let ca, la, sa = weight a and cb, lb, sb = weight b in
+    match Int.compare ca cb with
+    | 0 -> ( match Int.compare la lb with 0 -> String.compare sa sb | c -> c)
+    | c -> c
+  in
+  List.sort cmp replicas
+
+let pick_replica ?load ~link_to replicas =
+  match rank_replicas ?load ~link_to replicas with
   | best :: _ -> best
   | [] -> failwith "empty replica descriptor"
+
+let pick_closest t ~from replicas =
+  pick_replica ~link_to:(fun site -> link_between t from site) replicas
 
 let fetch t ~from name =
   let _desc, replicas = descriptor_of t ~from name in

@@ -49,6 +49,31 @@ val sites : t -> site list
 
 val link_between : t -> site -> site -> Link.t
 
+(** {2 Replica descriptors and routing}
+
+    The descriptor codec and the replica-ranking policy are exposed so
+    other placement layers (notably [Amoeba_cluster]) can reuse the
+    exact same wire form and the exact same "closest, then least
+    loaded" decision — a cluster router is a federation reader whose
+    load hints come from live {!Amoeba_metrics.Metrics} snapshots. *)
+
+val encode_descriptor : (site * Amoeba_cap.Capability.t) list -> bytes
+(** The replica-descriptor wire form: a count byte, then per replica a
+    length-prefixed site name and the capability bytes. *)
+
+val decode_descriptor : bytes -> (site * Amoeba_cap.Capability.t) list
+(** Inverse of {!encode_descriptor}. *)
+
+val rank_replicas :
+  ?load:(site -> int) -> link_to:(site -> Link.t) -> (site * 'a) list -> (site * 'a) list
+(** Candidates ordered best-first: ascending link class ([Local] <
+    [Regional] < [Wide]) under [link_to], then ascending [load] hint
+    (default: none — pure link distance), then site name, so equal
+    candidates break identically everywhere. *)
+
+val pick_replica : ?load:(site -> int) -> link_to:(site -> Link.t) -> (site * 'a) list -> site * 'a
+(** Head of {!rank_replicas}. Raises [Failure] on an empty list. *)
+
 val publish :
   t -> from:site -> name:string -> ?replicate_to:site list -> bytes -> Amoeba_cap.Capability.t
 (** Create the file at [from]'s Bullet server, copy it to each extra

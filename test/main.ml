@@ -23,6 +23,7 @@ let () =
       Test_workload.suite;
       Test_wire.suite;
       Test_wan.suite;
+      Test_cluster.suite;
       Test_fuzz.suite;
       Test_dir_pair.suite;
       Test_worm.suite;

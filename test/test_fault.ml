@@ -269,7 +269,43 @@ let test_plan_parse_errors_carry_line () =
     "plan line 1, col 17: unknown txn crash edge: \"coord_between\"";
   pinned "at 10 txn_drop sideways 1\n"
     "plan line 1, col 16: unknown txn leg: \"sideways\"";
-  pinned "frob 1\n" "plan line 1, col 1: unknown directive: \"frob\""
+  pinned "frob 1\n" "plan line 1, col 1: unknown directive: \"frob\"";
+  pinned "at 10 shard_kill\n" "plan line 1, col 17: missing operand after \"shard_kill\"";
+  pinned "seed 3\nat 10 shard_kill bee cow\n"
+    "plan line 2, col 18: extra operand after \"shard_kill\": \"bee\""
+
+let test_plan_parse_shard_kill () =
+  match Plan.parse "seed 7\nat 4000000 shard_kill bee\nat 9000000 shard_kill emu\n" with
+  | Error e -> Alcotest.failf "parse failed: %s" e
+  | Ok plan ->
+    check_int "two steps" 2 (List.length (Plan.steps plan));
+    (match Plan.steps plan with
+    | { Plan.at_us = 4_000_000; event = Plan.Shard_kill "bee" }
+      :: { Plan.at_us = 9_000_000; event = Plan.Shard_kill "emu" }
+      :: [] -> ()
+    | _ -> Alcotest.fail "shard_kill steps mis-parsed");
+    check_bool "describes the victim" true
+      (contains
+         (Format.asprintf "%a" Plan.pp_event (Plan.Shard_kill "bee"))
+         "bee")
+
+(* The injector hands Shard_kill names to the harness action and counts
+   them; a plan without a cluster attached is simply ignored. *)
+let test_shard_kill_reaches_hook () =
+  let clock = Amoeba_sim.Clock.create () in
+  let plan =
+    match Plan.parse "at 1000 shard_kill bee\n" with Ok p -> p | Error e -> failwith e
+  in
+  let killed = ref [] in
+  let injector =
+    Injector.attach ~on_shard_kill:(fun name -> killed := name :: !killed) ~clock plan
+  in
+  check_bool "not yet" true (!killed = []);
+  Amoeba_sim.Clock.advance clock 1_000;
+  Injector.poll injector;
+  check_bool "hook got the name" true (!killed = [ "bee" ]);
+  check_int "counted" 1 (Amoeba_sim.Stats.count (Injector.stats injector) "shard_kills");
+  Injector.detach injector
 
 let test_plan_parse_txn_directives () =
   let text =
@@ -416,6 +452,9 @@ let suite =
       Alcotest.test_case "plan parse errors carry line, col and token" `Quick
         test_plan_parse_errors_carry_line;
       Alcotest.test_case "txn directives parse" `Quick test_plan_parse_txn_directives;
+      Alcotest.test_case "shard_kill directives parse" `Quick test_plan_parse_shard_kill;
+      Alcotest.test_case "shard_kill reaches the harness hook" `Quick
+        test_shard_kill_reaches_hook;
       Alcotest.test_case "drive rejoin via plan, injector paces resync" `Quick
         test_drive_rejoin_via_plan;
       Alcotest.test_case "link faults scope to tagged traffic" `Quick

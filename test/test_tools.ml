@@ -245,6 +245,86 @@ let test_daemon_rejects_bad_plan () =
       check_bool "refuses to start" true (status <> Unix.WEXITED 0);
       check_bool "says why" true (contains out "plan"))
 
+(* ---- cluster-aware fsck: checkpoint vs inode tables ---- *)
+
+module Cluster = Amoeba_cluster.Cluster
+
+let write_text path s =
+  let oc = open_out_bin path in
+  output_string oc s;
+  close_out oc
+
+let save_member c name =
+  let mirror = Cluster.server_mirror c name in
+  Amoeba_disk.Mirror.drain mirror;
+  List.iteri
+    (fun i d -> Amoeba_disk.Image.save d (Printf.sprintf "%s-%d.img" name (i + 1)))
+    (Amoeba_disk.Mirror.drives mirror)
+
+let ctl_cluster args = run (Filename.quote (tool "bullet_ctl") ^ " cluster " ^ args)
+
+let test_fsck_cluster_crosscheck () =
+  in_temp_dir (fun () ->
+      let c = Cluster.create () in
+      List.iter
+        (fun (name, region) -> Cluster.add_server c ~name ~region)
+        [ ("ant", "west"); ("bee", "west"); ("cow", "east") ];
+      ignore (Cluster.rebalance c);
+      let keys = List.init 8 (fun i -> Printf.sprintf "k-%d" i) in
+      List.iteri (fun i key -> Cluster.put c ~from:"west" ~key (payload (300 + i))) keys;
+      write_text "clean.ck" (Cluster.checkpoint c);
+      save_member c "ant";
+      (* healthy cluster, on-disk replicas all backed: exit 0 *)
+      let status, out = fsck "--cluster clean.ck --member ant=ant-1.img,ant-2.img" in
+      check_bool "clean crosscheck ok" true (status = Unix.WEXITED 0);
+      check_bool "replication fine" true (contains out "every object at 2 live copies");
+      check_bool "inode tables back the directory" true
+        (contains out "1 member(s) back every claimed replica");
+      (* the offline status table agrees *)
+      let status, out = ctl_cluster "clean.ck" in
+      check_bool "ctl cluster ok" true (status = Unix.WEXITED 0);
+      check_bool "table lists servers" true (contains out "ant");
+      check_bool "nothing under-replicated" true (contains out "under-replicated 0");
+      (* hand-seed under-replication: a kill recorded before the heal *)
+      Cluster.kill_server c "bee";
+      write_text "under.ck" (Cluster.checkpoint c);
+      let status, out = fsck "--cluster under.ck" in
+      check_bool "under-replication is exit 1" true (status = Unix.WEXITED 1);
+      check_bool "reported per key" true (contains out "UNDER-REPLICATED");
+      (* hand-seed a replica the directory claims but the disk lost:
+         delete one of ant's objects behind the directory's back *)
+      ignore (Cluster.rebalance c);
+      write_text "healed.ck" (Cluster.checkpoint c);
+      let info =
+        match Cluster.parse_checkpoint (Cluster.checkpoint c) with
+        | Ok info -> info
+        | Error e -> Alcotest.failf "checkpoint does not parse: %s" e
+      in
+      let victim_cap =
+        match
+          List.find_map
+            (fun (_key, holds) -> List.assoc_opt "ant" holds)
+            info.Cluster.ck_objects
+        with
+        | Some cap -> cap
+        | None -> Alcotest.fail "ant holds nothing"
+      in
+      (match Bullet_core.Server.delete (Cluster.server c "ant") victim_cap with
+      | Ok () -> ()
+      | Error st -> Alcotest.failf "delete failed: %s" (Amoeba_rpc.Status.to_string st));
+      save_member c "ant";
+      let status, out = fsck "--cluster healed.ck --member ant=ant-1.img,ant-2.img" in
+      check_bool "lost replica is exit 1" true (status = Unix.WEXITED 1);
+      check_bool "missing replica named" true (contains out "MISSING");
+      check_bool "and the key under-replicated" true (contains out "UNDER-REPLICATED"))
+
+let test_fsck_cluster_rejects_garbage () =
+  in_temp_dir (fun () ->
+      write_text "bad.ck" "shards 64\nreplicas 2\nfrobnicate\n";
+      let status, out = fsck "--cluster bad.ck" in
+      check_bool "nonzero exit" true (status = Unix.WEXITED 1);
+      check_bool "line pinned" true (contains out "checkpoint line 3"))
+
 let suite =
   ( "tools",
     [
@@ -253,6 +333,10 @@ let suite =
       Alcotest.test_case "fsck rejects garbage" `Quick test_fsck_rejects_garbage_file;
       Alcotest.test_case "fsck --compact" `Quick test_fsck_compact;
       Alcotest.test_case "fsck clean after crash+reboot" `Quick test_fsck_clean_after_crash_reboot;
+      Alcotest.test_case "fsck --cluster cross-checks the directory" `Quick
+        test_fsck_cluster_crosscheck;
+      Alcotest.test_case "fsck --cluster rejects a malformed checkpoint" `Quick
+        test_fsck_cluster_rejects_garbage;
       Alcotest.test_case "bulletd end to end over TCP" `Slow test_daemon_end_to_end;
       Alcotest.test_case "bulletd --fault-plan drops frames on TCP" `Slow test_daemon_fault_plan;
       Alcotest.test_case "bulletd rejects a malformed plan" `Quick test_daemon_rejects_bad_plan;
